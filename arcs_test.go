@@ -1,0 +1,364 @@
+package arcs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const demoCSV = `age,salary,group
+25,55000,A
+30,60000,A
+28,70000,A
+35,80000,A
+50,90000,A
+55,100000,A
+52,110000,A
+45,95000,A
+70,40000,A
+75,50000,A
+72,35000,A
+65,60000,A
+25,120000,other
+30,20000,other
+50,30000,other
+55,140000,other
+70,100000,other
+75,130000,other
+40,40000,other
+60,140000,other
+`
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tb, err := ReadCSV(strings.NewReader(demoCSV), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(tb, Config{
+		XAttr: "age", YAttr: "salary",
+		CritAttr: "group", CritValue: "A",
+		NumBins: 6,
+		Walk:    ThresholdWalk{MaxSupportLevels: 6, MaxConfLevels: 4, MaxEvals: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no clustered rules")
+	}
+	for _, r := range res.Rules {
+		if r.CritAttr != "group" || r.CritValue != "A" {
+			t.Errorf("rule criterion wrong: %s", r)
+		}
+		if !strings.Contains(r.String(), "=> group = A") {
+			t.Errorf("rule rendering wrong: %s", r)
+		}
+	}
+}
+
+func TestPublicSystemReuse(t *testing.T) {
+	tb, err := ReadCSV(strings.NewReader(demoCSV), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(tb, Config{
+		XAttr: "age", YAttr: "salary",
+		CritAttr: "group", CritValue: "A",
+		NumBins: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs1, err := sys.MineAt(0.01, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := sys.MineAt(0.01, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs2) > len(rs1) {
+		t.Errorf("tighter confidence produced more rules: %d vs %d", len(rs2), len(rs1))
+	}
+}
+
+func TestPublicSegmentAll(t *testing.T) {
+	tb, err := ReadCSV(strings.NewReader(demoCSV), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := SegmentAll(tb, Config{
+		XAttr: "age", YAttr: "salary", CritAttr: "group",
+		NumBins: 6,
+		Walk:    ThresholdWalk{MaxSupportLevels: 5, MaxConfLevels: 3, MaxEvals: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("segments for %d groups, want 2", len(results))
+	}
+}
+
+func TestPublicSynthGenerator(t *testing.T) {
+	gen, err := NewGenerator(SynthConfig{Function: 2, N: 500, Seed: 1, FracA: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Materialize(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 500 {
+		t.Fatalf("generated %d tuples", tb.Len())
+	}
+	if SynthSchema().Attr("group") == nil {
+		t.Error("synth schema missing group")
+	}
+}
+
+func TestPublicSelectAttributePair(t *testing.T) {
+	gen, err := NewGenerator(SynthConfig{Function: 1, N: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Materialize(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _, _, err := SelectAttributePair(tb, "group", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != "age" {
+		t.Errorf("top attribute = %s, want age", x)
+	}
+}
+
+func TestPublicCombineRules(t *testing.T) {
+	a := []ClusteredRule{{
+		XAttr: "age", YAttr: "salary", CritAttr: "g", CritValue: "A",
+		XLo: 20, XHi: 40, YLo: 50_000, YHi: 100_000,
+	}}
+	b := []ClusteredRule{{
+		XAttr: "salary", YAttr: "loan", CritAttr: "g", CritValue: "A",
+		XLo: 80_000, XHi: 120_000, YLo: 0, YHi: 300_000,
+	}}
+	multi, err := CombineRules(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi) != 1 || len(multi[0].Ranges) != 3 {
+		t.Fatalf("combined = %v", multi)
+	}
+}
+
+func TestPublicSchemaConstruction(t *testing.T) {
+	s := NewSchema(
+		Attribute{Name: "x", Kind: Quantitative},
+		Attribute{Name: "g", Kind: Categorical},
+	)
+	tb := NewTable(s)
+	if err := tb.AppendValues(1.5, "yes"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 1 {
+		t.Error("append failed")
+	}
+}
+
+func TestPublicDiscretizeCriterion(t *testing.T) {
+	// Segment on a quantitative criterion (total sales) by binning it
+	// into categorical tiers first (paper §2.2).
+	gen, err := NewGenerator(SynthConfig{Function: 2, N: 5_000, Seed: 4, FracA: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := DiscretizeCriterion(gen, "loan", 0, 500_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := src.Schema().Attr("loan")
+	if a.Kind != Categorical || a.NumCategories() != 4 {
+		t.Fatalf("loan not discretized: %v categories", a.NumCategories())
+	}
+	sys, err := New(src, Config{
+		XAttr: "age", YAttr: "salary",
+		CritAttr: "loan", CritValue: a.Category(0),
+		NumBins: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loan is independent of (age, salary); mining at zero thresholds
+	// must still be structurally sound.
+	rs, err := sys.MineAt(0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.CritAttr != "loan" {
+			t.Errorf("rule criterion = %q", r.CritAttr)
+		}
+	}
+}
+
+func TestPublicSegmentModelRoundTrip(t *testing.T) {
+	tb, err := ReadCSV(strings.NewReader(demoCSV), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(tb, Config{
+		XAttr: "age", YAttr: "salary",
+		CritAttr: "group", CritValue: "A",
+		NumBins: 6,
+		Walk:    ThresholdWalk{MaxSupportLevels: 6, MaxConfLevels: 4, MaxEvals: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewSegmentModel(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSegmentModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applier, err := loaded.Bind(tb.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	err = applier.Apply(tb, func(_ Tuple, c bool) error {
+		if c {
+			covered++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered == 0 {
+		t.Error("model covers nothing")
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	gen, err := NewGenerator(SynthConfig{Function: 2, N: 3_000, Seed: 6, FracA: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Materialize(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C4.5 baseline.
+	tree, err := TrainC45(tb, "group", C45Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.ErrorRate(tb) > 0.2 {
+		t.Errorf("C4.5 training error %.3f", tree.ErrorRate(tb))
+	}
+	// Apriori over a coarsely binned copy.
+	binned, err := DiscretizeCriterion(tb, "salary", 20_000, 150_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Materialize(Limit(binned, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Project to 3 columns for tractable itemsets.
+	proj := NewTable(NewSchema(
+		Attribute{Name: "salary", Kind: Categorical},
+		Attribute{Name: "group", Kind: Categorical},
+	))
+	salIdx := small.Schema().MustIndex("salary")
+	grpIdx := small.Schema().MustIndex("group")
+	for i := 0; i < small.Len(); i++ {
+		r := small.Row(i)
+		proj.MustAppend(Tuple{r[salIdx], r[grpIdx]})
+	}
+	rs, err := MineApriori(proj, AprioriConfig{MinSupport: 0.05, MinConfidence: 0.3, MaxItemsetSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Error("Apriori mined nothing")
+	}
+	// Quantitative interval rules over the same projection.
+	qs, err := MineQuantitative(proj, QuantConfig{
+		MinSupport: 0.05, MinConfidence: 0.3, MaxSupport: 0.5,
+		RHSAttr: 1, Bins: []int{4, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) == 0 {
+		t.Error("quantitative miner mined nothing")
+	}
+}
+
+func TestPublicCombineChainAndVerify(t *testing.T) {
+	ab := []ClusteredRule{{
+		XAttr: "age", YAttr: "salary", CritAttr: "group", CritValue: "A",
+		XLo: 20, XHi: 40, YLo: 50_000, YHi: 100_000,
+	}}
+	bc := []ClusteredRule{{
+		XAttr: "salary", YAttr: "loan", CritAttr: "group", CritValue: "A",
+		XLo: 60_000, XHi: 120_000, YLo: 0, YHi: 200_000,
+	}}
+	multi, err := CombineChain(ab, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi) != 1 {
+		t.Fatalf("combined = %v", multi)
+	}
+	gen, _ := NewGenerator(SynthConfig{Function: 2, N: 1_000, Seed: 8, FracA: 0.4})
+	tb, _ := Materialize(gen)
+	stats, err := VerifyMultiRule(multi[0], tb, "group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Support < 0 || stats.Confidence < 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if _, err := VerifyMultiRule(multi[0], tb, "nope"); err == nil {
+		t.Error("unknown criterion should error")
+	}
+}
+
+func TestPublicWriteCSV(t *testing.T) {
+	tb, err := ReadCSV(strings.NewReader(demoCSV), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tb.Len() {
+		t.Errorf("round trip: %d vs %d rows", back.Len(), tb.Len())
+	}
+}
+
+func TestPublicMineErrors(t *testing.T) {
+	tb, _ := ReadCSV(strings.NewReader(demoCSV), nil)
+	if _, err := Mine(tb, Config{}); err == nil {
+		t.Error("missing attrs should error")
+	}
+	if _, err := SegmentAll(tb, Config{}); err == nil {
+		t.Error("missing attrs should error in SegmentAll")
+	}
+}

@@ -1,0 +1,61 @@
+package arcs
+
+import (
+	"arcs/internal/apriori"
+	"arcs/internal/c45"
+	"arcs/internal/quant"
+	"arcs/internal/rules"
+)
+
+// Baseline re-exports: the comparison systems of the paper's evaluation
+// are usable on their own — a C4.5-style decision tree with C4.5RULES
+// extraction, and a generic Apriori association rule miner.
+
+// C45Config controls decision tree induction (min instances per branch,
+// pruning confidence factor, depth bound).
+type C45Config = c45.Config
+
+// C45Tree is a trained decision tree classifier.
+type C45Tree = c45.Tree
+
+// C45RuleSet is an ordered classification rule list extracted from a
+// tree in the manner of C4.5RULES.
+type C45RuleSet = c45.RuleSet
+
+// TrainC45 induces a C4.5-style decision tree predicting classAttr from
+// the other attributes of the table.
+func TrainC45(tb *Table, classAttr string, cfg C45Config) (*C45Tree, error) {
+	return c45.Train(tb, classAttr, cfg)
+}
+
+// AprioriConfig controls the generic association rule miner.
+type AprioriConfig = apriori.Config
+
+// AssociationRule is a generic itemset rule X => Y produced by Apriori.
+type AssociationRule = rules.Rule
+
+// MineApriori runs the classical Apriori algorithm over binned data
+// (every attribute value is truncated to an integer item). It is the
+// general-purpose alternative to ARCS's single-pass 2D engine.
+func MineApriori(src Source, cfg AprioriConfig) ([]AssociationRule, error) {
+	return apriori.Mine(src, cfg)
+}
+
+// QuantConfig controls the Srikant-Agrawal quantitative interval rule
+// miner (the related-work system of paper §1.1).
+type QuantConfig = quant.Config
+
+// QuantRule is one quantitative interval rule.
+type QuantRule = quant.Rule
+
+// QuantInterval is one attribute-interval item of a quantitative rule.
+type QuantInterval = quant.Interval
+
+// MineQuantitative mines quantitative interval rules from a pre-binned
+// table: adjacent bins merge into candidate intervals up to the maxsup
+// cap, itemsets are mined levelwise, and rules are pruned with the
+// greater-than-expected interest measure. Contrast its output volume
+// with Mine's clustered rules (see `arcsbench -exp why`).
+func MineQuantitative(tb *Table, cfg QuantConfig) ([]QuantRule, error) {
+	return quant.Mine(tb, cfg)
+}

@@ -1,0 +1,220 @@
+// Command arcs runs the Association Rule Clustering System over a CSV
+// file and prints the clustered association rules that segment the data.
+//
+// Usage:
+//
+//	arcs -in data.csv -x age -y salary -crit group [-value A] [flags]
+//
+// With -value, one segmentation is computed; without it, every value of
+// the criterion attribute is segmented (reusing the single binning pass).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"arcs/internal/core"
+	"arcs/internal/dataset"
+	"arcs/internal/optimizer"
+	"arcs/internal/report"
+	"arcs/internal/segment"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input CSV file (required)")
+		xAttr     = flag.String("x", "", "first LHS attribute (required)")
+		yAttr     = flag.String("y", "", "second LHS attribute (required)")
+		critAttr  = flag.String("crit", "", "categorical criterion attribute (required)")
+		critValue = flag.String("value", "", "criterion value to segment (default: all values)")
+		bins      = flag.Int("bins", 50, "bins per quantitative attribute")
+		smoothing = flag.String("smoothing", "binary", "grid smoothing: binary, off, weighted, morphological")
+		binning   = flag.String("binning", "equi-width", "bin strategy: equi-width, equi-depth, homogeneity, supervised")
+		search    = flag.String("search", "walk", "threshold search: walk, anneal, factorial, fixed")
+		minSup    = flag.Float64("minsup", 0.0001, "minimum support (with -search fixed)")
+		minConf   = flag.Float64("minconf", 0.39, "minimum confidence (with -search fixed)")
+		prune     = flag.Float64("prune", 0.01, "minimum cluster size as a fraction of the grid")
+		lift      = flag.Float64("lift", 0, "greater-than-expected interest factor (0 disables)")
+		seed      = flag.Int64("seed", 1, "sampling seed")
+		showGrid  = flag.Bool("grid", false, "print the rule grid before clustering")
+		verbose   = flag.Bool("v", false, "print the optimizer trace")
+		format    = flag.String("format", "text", "output format: text, markdown, json")
+		stream    = flag.Bool("stream", false, "stream the CSV from disk instead of loading it (constant memory)")
+		save      = flag.String("save", "", "write the segmentation model as JSON to this file (requires -value)")
+		describe  = flag.Bool("describe", false, "print per-attribute statistics and exit")
+	)
+	flag.Parse()
+	if *in == "" || (!*describe && (*xAttr == "" || *yAttr == "" || *critAttr == "")) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	outFormat, err := report.ParseFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+
+	var src dataset.Source
+	if *stream {
+		schema, err := dataset.InferCSVSchema(*in, 10_000)
+		if err != nil {
+			fatal(err)
+		}
+		cs, err := dataset.OpenCSVStream(*in, schema)
+		if err != nil {
+			fatal(err)
+		}
+		defer cs.Close()
+		src = cs
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		tb, err := dataset.ReadCSV(f, nil)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		src = tb
+	}
+
+	if *describe {
+		tb, err := dataset.Materialize(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(dataset.RenderSummary(dataset.Summarize(tb), 8))
+		return
+	}
+
+	cfg := core.Config{
+		XAttr: *xAttr, YAttr: *yAttr,
+		CritAttr: *critAttr, CritValue: *critValue,
+		NumBins:            *bins,
+		PruneFraction:      *prune,
+		InterestLift:       *lift,
+		FixedMinSupport:    *minSup,
+		FixedMinConfidence: *minConf,
+		Seed:               *seed,
+		Walk:               optimizer.ThresholdWalk{},
+	}
+	switch *smoothing {
+	case "binary":
+		cfg.Smoothing = core.SmoothBinary
+	case "off":
+		cfg.Smoothing = core.SmoothOff
+	case "weighted":
+		cfg.Smoothing = core.SmoothWeighted
+	case "morphological":
+		cfg.Smoothing = core.SmoothMorphological
+	default:
+		fatal(fmt.Errorf("unknown smoothing %q", *smoothing))
+	}
+	switch *binning {
+	case "equi-width":
+		cfg.BinStrategy = core.BinEquiWidth
+	case "equi-depth":
+		cfg.BinStrategy = core.BinEquiDepth
+	case "homogeneity":
+		cfg.BinStrategy = core.BinHomogeneity
+	case "supervised":
+		cfg.BinStrategy = core.BinSupervised
+	default:
+		fatal(fmt.Errorf("unknown binning %q", *binning))
+	}
+	switch *search {
+	case "walk":
+		cfg.Search = core.SearchWalk
+	case "anneal":
+		cfg.Search = core.SearchAnneal
+	case "factorial":
+		cfg.Search = core.SearchFactorial
+	case "fixed":
+		cfg.Search = core.SearchFixed
+	default:
+		fatal(fmt.Errorf("unknown search %q", *search))
+	}
+
+	sys, err := core.New(src, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *critValue != "" {
+		res, err := sys.Run()
+		if err != nil {
+			fatal(err)
+		}
+		if *showGrid {
+			bm, err := sys.Grid(*critValue, res.MinSupport, res.MinConfidence)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("rule grid for %s = %s with clusters (y grows upward):\n%s",
+				*critAttr, *critValue, report.RenderGrid(bm, res.Rules))
+			fmt.Print(report.RenderGridLegend(res.Rules))
+			fmt.Println()
+		}
+		if err := report.WriteResult(os.Stdout, res, outFormat); err != nil {
+			fatal(err)
+		}
+		if *save != "" {
+			if err := saveModel(*save, res); err != nil {
+				fatal(err)
+			}
+		}
+		printTrace(res, *verbose)
+		return
+	}
+	if *save != "" {
+		fatal(fmt.Errorf("-save requires -value"))
+	}
+	results, err := sys.SegmentAll()
+	if err != nil {
+		fatal(err)
+	}
+	labels := make([]string, 0, len(results))
+	for label := range results {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	if err := report.WriteAll(os.Stdout, results, labels, outFormat); err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		for _, label := range labels {
+			printTrace(results[label], true)
+		}
+	}
+}
+
+func saveModel(path string, res *core.Result) error {
+	model, err := segment.New(res.Rules, res.MinSupport, res.MinConfidence)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return model.Write(f)
+}
+
+func printTrace(res *core.Result, verbose bool) {
+	if !verbose {
+		return
+	}
+	for _, s := range res.Trace {
+		fmt.Printf("  probe sup=%.5f conf=%.3f -> %d rules, cost %.2f\n",
+			s.Support, s.Confidence, s.NumRules, s.Cost)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arcs:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command arcsapply applies a saved segmentation model (produced by
+// `arcs -save`) to a CSV file, completing the paper's deployment story:
+// segment the existing customer base once, then score prospect lists
+// against the saved model.
+//
+// Usage:
+//
+//	arcsapply -model segment.json -in prospects.csv [-matched-only] > scored.csv
+//
+// Output is the input CSV with an extra column holding "yes"/"no" for
+// segment membership; -matched-only emits only the matching rows,
+// without the extra column.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"arcs/internal/dataset"
+	"arcs/internal/segment"
+)
+
+func main() {
+	var (
+		modelPath   = flag.String("model", "", "segmentation model JSON (required)")
+		in          = flag.String("in", "", "input CSV file (required)")
+		out         = flag.String("out", "", "output file (default stdout)")
+		matchedOnly = flag.Bool("matched-only", false, "emit only matching rows, without the membership column")
+		column      = flag.String("column", "in_segment", "name of the membership column")
+	)
+	flag.Parse()
+	if *modelPath == "" || *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := segment.Read(mf)
+	mf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	schema, err := dataset.InferCSVSchema(*in, 10_000)
+	if err != nil {
+		fatal(err)
+	}
+	src, err := dataset.OpenCSVStream(*in, schema)
+	if err != nil {
+		fatal(err)
+	}
+	defer src.Close()
+
+	applier, err := model.Bind(schema)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := csv.NewWriter(bw)
+
+	header := schema.Names()
+	if !*matchedOnly {
+		header = append(header, *column)
+	}
+	if err := cw.Write(header); err != nil {
+		fatal(err)
+	}
+
+	rec := make([]string, schema.Len(), schema.Len()+1)
+	matched, total := 0, 0
+	err = applier.Apply(src, func(t dataset.Tuple, covered bool) error {
+		total++
+		if covered {
+			matched++
+		}
+		if *matchedOnly && !covered {
+			return nil
+		}
+		for i, v := range t {
+			a := schema.At(i)
+			if a.Kind == dataset.Categorical {
+				rec[i] = a.Category(int(v))
+			} else {
+				rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		row := rec
+		if !*matchedOnly {
+			member := "no"
+			if covered {
+				member = "yes"
+			}
+			row = append(rec, member)
+		}
+		return cw.Write(row)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "arcsapply: %d of %d rows in segment %s = %s\n",
+		matched, total, model.CritAttr, model.CritValue)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arcsapply:", err)
+	os.Exit(1)
+}

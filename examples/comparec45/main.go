@@ -1,0 +1,110 @@
+// ARCS vs C4.5: the paper's §4.2 comparison on one database. Trains both
+// systems on Function 2 data with 10% outliers and contrasts the number
+// of rules, their readability and their error on held-out data — the
+// paper's point being that ARCS produces a handful of rectangular rules
+// a human can act on, where C4.5RULES produces several times more, at
+// comparable accuracy (and worse once outliers enter).
+//
+//	go run ./examples/comparec45
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"arcs"
+)
+
+func main() {
+	const (
+		trainN   = 50_000
+		testN    = 10_000
+		outliers = 0.10
+	)
+	mkGen := func(seed int64) arcs.Source {
+		gen, err := arcs.NewGenerator(arcs.SynthConfig{
+			Function: 2, N: trainN, Seed: seed,
+			Perturbation: 0.05, OutlierFraction: outliers, FracA: 0.40,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return gen
+	}
+
+	// Held-out test data from a different seed.
+	testGen, err := arcs.NewGenerator(arcs.SynthConfig{
+		Function: 2, N: testN, Seed: 99,
+		Perturbation: 0.05, OutlierFraction: outliers, FracA: 0.40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := arcs.Materialize(testGen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- ARCS ---
+	res, err := arcs.Mine(mkGen(1), arcs.Config{
+		XAttr: "age", YAttr: "salary",
+		CritAttr: "group", CritValue: "A",
+		NumBins: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ARCS: %d clustered association rules\n", len(res.Rules))
+	for _, r := range res.Rules {
+		fmt.Printf("  %s\n", r)
+	}
+	arcsErr := measureARCS(res.Rules, test)
+	fmt.Printf("  held-out error: %.2f%%\n\n", 100*arcsErr)
+
+	// --- C4.5 + C4.5RULES ---
+	train, err := arcs.Materialize(mkGen(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := arcs.TrainC45(train, "group", arcs.C45Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules := tree.ExtractRules(train)
+	fmt.Printf("C4.5RULES: %d rules (tree: %d leaves, depth %d)\n",
+		len(rules.Rules), tree.NumLeaves(), tree.Depth())
+	for i, s := range rules.Strings() {
+		if i == 8 {
+			fmt.Printf("  ... %d more\n", len(rules.Rules)-8)
+			break
+		}
+		fmt.Printf("  %s\n", s)
+	}
+	fmt.Printf("  held-out error: %.2f%%\n", 100*rules.ErrorRate(test))
+}
+
+// measureARCS computes the FP+FN rate of the segmentation on the test
+// table (a tuple is positive when its group is "A").
+func measureARCS(rules []arcs.ClusteredRule, test *arcs.Table) float64 {
+	schema := test.Schema()
+	ageIdx := schema.MustIndex("age")
+	salIdx := schema.MustIndex("salary")
+	grpIdx := schema.MustIndex("group")
+	codeA, _ := schema.Attr("group").LookupCategory("A")
+	wrong := 0
+	for i := 0; i < test.Len(); i++ {
+		row := test.Row(i)
+		covered := false
+		for _, r := range rules {
+			if r.Covers(row[ageIdx], row[salIdx]) {
+				covered = true
+				break
+			}
+		}
+		isA := int(row[grpIdx]) == codeA
+		if covered != isA {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(test.Len())
+}

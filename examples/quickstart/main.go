@@ -1,0 +1,64 @@
+// Quickstart: mine clustered association rules from a small in-memory
+// table with the one-shot API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"arcs"
+)
+
+func main() {
+	// Build a toy customer table: age, salary and a rating group. Young
+	// customers with mid-range salaries and older customers with low
+	// salaries tend to be rated "good".
+	schema := arcs.NewSchema(
+		arcs.Attribute{Name: "age", Kind: arcs.Quantitative},
+		arcs.Attribute{Name: "salary", Kind: arcs.Quantitative},
+		arcs.Attribute{Name: "rating", Kind: arcs.Categorical},
+	)
+	tb := arcs.NewTable(schema)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20_000; i++ {
+		age := 20 + rng.Float64()*60
+		salary := 20_000 + rng.Float64()*130_000
+		rating := "average"
+		if (age < 45 && salary >= 50_000 && salary < 100_000) ||
+			(age >= 60 && salary < 60_000) {
+			rating = "good"
+		}
+		// 5% label noise keeps it realistic.
+		if rng.Float64() < 0.05 {
+			if rating == "good" {
+				rating = "average"
+			} else {
+				rating = "good"
+			}
+		}
+		if err := tb.AppendValues(age, salary, rating); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One call: bin, mine, smooth, cluster, verify, optimize thresholds.
+	res, err := arcs.Mine(tb, arcs.Config{
+		XAttr: "age", YAttr: "salary",
+		CritAttr: "rating", CritValue: "good",
+		NumBins: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("clustered association rules for rating = good:")
+	for _, r := range res.Rules {
+		fmt.Printf("  %s   [support %.4f, confidence %.2f]\n", r, r.Support, r.Confidence)
+	}
+	fmt.Printf("chosen thresholds: support >= %.5f, confidence >= %.3f\n",
+		res.MinSupport, res.MinConfidence)
+	fmt.Printf("verification against a sample: %s\n", res.Errors)
+}

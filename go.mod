@@ -1,0 +1,3 @@
+module arcs
+
+go 1.22

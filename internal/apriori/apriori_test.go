@@ -1,0 +1,276 @@
+package apriori
+
+import (
+	"math"
+	"testing"
+
+	"arcs/internal/dataset"
+	"arcs/internal/rules"
+)
+
+// binnedTable builds a table of already-binned integer attributes.
+func binnedTable(t *testing.T, rows [][]float64, attrs int) *dataset.Table {
+	t.Helper()
+	s := &dataset.Schema{}
+	for i := 0; i < attrs; i++ {
+		s.MustAdd(string(rune('a'+i)), dataset.Quantitative)
+	}
+	tb := dataset.NewTable(s)
+	for _, r := range rows {
+		tb.MustAppend(dataset.Tuple(r))
+	}
+	return tb
+}
+
+func TestFrequentItemsetsSimple(t *testing.T) {
+	// 10 tuples; item a=1 appears 8 times, b=2 appears 6 times together
+	// with a=1 5 times.
+	var rows [][]float64
+	for i := 0; i < 5; i++ {
+		rows = append(rows, []float64{1, 2}) // a=1, b=2
+	}
+	for i := 0; i < 3; i++ {
+		rows = append(rows, []float64{1, 3})
+	}
+	rows = append(rows, []float64{0, 2})
+	rows = append(rows, []float64{0, 9})
+	tb := binnedTable(t, rows, 2)
+	support, frequent, err := FrequentItemsets(tb, Config{MinSupport: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := support["0=1"]; math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("sup(a=1) = %v", got)
+	}
+	if got := support["0=1|1=2"]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("sup(a=1,b=2) = %v", got)
+	}
+	// b=3 (support .3) must be absent.
+	if _, ok := support["1=3"]; ok {
+		t.Error("infrequent item b=3 should be pruned")
+	}
+	found2 := false
+	for _, is := range frequent {
+		if len(is) == 2 {
+			found2 = true
+		}
+	}
+	if !found2 {
+		t.Error("no 2-itemsets found")
+	}
+}
+
+func TestMineRules(t *testing.T) {
+	var rows [][]float64
+	for i := 0; i < 9; i++ {
+		rows = append(rows, []float64{1, 2})
+	}
+	rows = append(rows, []float64{1, 7})
+	tb := binnedTable(t, rows, 2)
+	rs, err := Mine(tb, Config{MinSupport: 0.5, MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a=1 => b=2 with confidence 0.9 must be present.
+	found := false
+	for _, r := range rs {
+		if len(r.X) == 1 && r.X[0] == (rules.Item{Attr: 0, Val: 1}) &&
+			len(r.Y) == 1 && r.Y[0] == (rules.Item{Attr: 1, Val: 2}) {
+			found = true
+			if math.Abs(r.Confidence-0.9) > 1e-12 {
+				t.Errorf("confidence = %v, want 0.9", r.Confidence)
+			}
+			if math.Abs(r.Support-0.9) > 1e-12 {
+				t.Errorf("support = %v, want 0.9", r.Support)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("rule a=1 => b=2 not mined; got %v", rs)
+	}
+	// b=2 => a=1 has confidence 1.0, also present.
+	foundRev := false
+	for _, r := range rs {
+		if len(r.X) == 1 && r.X[0] == (rules.Item{Attr: 1, Val: 2}) {
+			foundRev = true
+		}
+	}
+	if !foundRev {
+		t.Error("reverse rule missing")
+	}
+}
+
+func TestMineConfidenceFilter(t *testing.T) {
+	// a=1 occurs 10 times, with b=2 only 5: confidence 0.5 < 0.8.
+	var rows [][]float64
+	for i := 0; i < 5; i++ {
+		rows = append(rows, []float64{1, 2})
+	}
+	for i := 0; i < 5; i++ {
+		rows = append(rows, []float64{1, 3})
+	}
+	tb := binnedTable(t, rows, 2)
+	rs, err := Mine(tb, Config{MinSupport: 0.4, MinConfidence: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if len(r.X) == 1 && r.X[0] == (rules.Item{Attr: 0, Val: 1}) {
+			t.Errorf("low-confidence rule emitted: %v", r)
+		}
+	}
+}
+
+func TestThreeItemsets(t *testing.T) {
+	// Three attributes always co-occurring.
+	var rows [][]float64
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []float64{1, 2, 3})
+	}
+	tb := binnedTable(t, rows, 3)
+	support, frequent, err := FrequentItemsets(tb, Config{MinSupport: 0.9, MaxItemsetSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := support["0=1|1=2|2=3"]; math.Abs(got-1) > 1e-12 {
+		t.Errorf("3-itemset support = %v", got)
+	}
+	max := 0
+	for _, is := range frequent {
+		if len(is) > max {
+			max = len(is)
+		}
+	}
+	if max != 3 {
+		t.Errorf("max itemset size = %d, want 3", max)
+	}
+	// Rules from the 3-itemset include 2-item LHS.
+	rs, err := Mine(tb, Config{MinSupport: 0.9, MinConfidence: 0.9, MaxItemsetSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has2LHS := false
+	for _, r := range rs {
+		if len(r.X) == 2 {
+			has2LHS = true
+		}
+	}
+	if !has2LHS {
+		t.Error("no rule with 2-item LHS")
+	}
+}
+
+func TestMaxItemsetSizeBound(t *testing.T) {
+	var rows [][]float64
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []float64{1, 2, 3})
+	}
+	tb := binnedTable(t, rows, 3)
+	_, frequent, err := FrequentItemsets(tb, Config{MinSupport: 0.5, MaxItemsetSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, is := range frequent {
+		if len(is) > 2 {
+			t.Errorf("itemset %v exceeds max size 2", is)
+		}
+	}
+}
+
+func TestValidationAndEmpty(t *testing.T) {
+	tb := binnedTable(t, nil, 2)
+	if _, _, err := FrequentItemsets(tb, Config{MinSupport: -1}); err == nil {
+		t.Error("negative support should error")
+	}
+	if _, _, err := FrequentItemsets(tb, Config{MinConfidence: 2}); err == nil {
+		t.Error("confidence > 1 should error")
+	}
+	if _, _, err := FrequentItemsets(tb, Config{MaxItemsetSize: -1}); err == nil {
+		t.Error("negative max size should error")
+	}
+	sup, freq, err := FrequentItemsets(tb, Config{MinSupport: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sup) != 0 || len(freq) != 0 {
+		t.Error("empty source should yield nothing")
+	}
+}
+
+func TestNoDuplicateAttrInItemset(t *testing.T) {
+	var rows [][]float64
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []float64{1, 1}) // same value, different attrs
+	}
+	tb := binnedTable(t, rows, 2)
+	_, frequent, err := FrequentItemsets(tb, Config{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, is := range frequent {
+		seen := map[int]bool{}
+		for _, it := range is {
+			if seen[it.Attr] {
+				t.Fatalf("itemset %v repeats attribute %d", is, it.Attr)
+			}
+			seen[it.Attr] = true
+		}
+	}
+}
+
+func TestSupportMonotonicity(t *testing.T) {
+	// Property: every frequent itemset's subsets are frequent with at
+	// least its support (downward closure).
+	var rows [][]float64
+	vals := [][]float64{{1, 2, 3}, {1, 2, 4}, {1, 5, 3}, {2, 2, 3}, {1, 2, 3}}
+	for i := 0; i < 4; i++ {
+		rows = append(rows, vals...)
+	}
+	tb := binnedTable(t, rows, 3)
+	support, frequent, err := FrequentItemsets(tb, Config{MinSupport: 0.2, MaxItemsetSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range frequent {
+		if len(z) < 2 {
+			continue
+		}
+		supZ := support[itemsetKey(z)]
+		forEachProperSubset(z, func(x rules.Itemset) {
+			supX, ok := support[itemsetKey(x)]
+			if !ok {
+				t.Fatalf("subset %v of frequent %v is not frequent", x, z)
+			}
+			if supX < supZ-1e-12 {
+				t.Fatalf("sup(%v)=%v < sup(%v)=%v violates monotonicity", x, supX, z, supZ)
+			}
+		})
+	}
+}
+
+func TestMineLift(t *testing.T) {
+	// a=1 and b=2 perfectly associated in half the data; b=2 never
+	// appears without a=1, so lift of a=1 => b=2 is 1/sup(b=2) = 2.
+	var rows [][]float64
+	for i := 0; i < 5; i++ {
+		rows = append(rows, []float64{1, 2})
+	}
+	for i := 0; i < 5; i++ {
+		rows = append(rows, []float64{0, 3})
+	}
+	tb := binnedTable(t, rows, 2)
+	rs, err := Mine(tb, Config{MinSupport: 0.3, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if len(r.X) == 1 && r.X[0] == (rules.Item{Attr: 0, Val: 1}) &&
+			len(r.Y) == 1 && r.Y[0] == (rules.Item{Attr: 1, Val: 2}) {
+			if math.Abs(r.Lift-2) > 1e-12 {
+				t.Errorf("lift = %v, want 2", r.Lift)
+			}
+			return
+		}
+	}
+	t.Fatal("rule a=1 => b=2 not found")
+}

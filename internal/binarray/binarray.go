@@ -1,0 +1,162 @@
+// Package binarray implements the BinArray of paper §3.1: a dense
+// in-memory nx × ny × (nseg+1) count array indexed by the bin numbers of
+// the two LHS attributes. For each (binx, biny) cell it maintains the
+// number of tuples having each possible RHS attribute value, plus the
+// cell total. The array is filled in a single pass over the data, after
+// which association rules for any support/confidence thresholds — and
+// any criterion value — can be derived without re-reading the data; this
+// is what makes ARCS's "re-mining" nearly instantaneous (§3.2).
+package binarray
+
+import (
+	"fmt"
+
+	"arcs/internal/binning"
+	"arcs/internal/dataset"
+)
+
+// BinArray is the paper's central counting structure. Counts are uint32:
+// the structure is designed to stay small enough for main memory even at
+// a 1000×1000 grid, and 4 billion tuples per cell exceeds any workload
+// the system targets.
+type BinArray struct {
+	nx, ny, nseg int
+	// counts is laid out cell-major: cell (x, y) occupies the slice
+	// [(x*ny+y)*(nseg+1), ...+nseg+1), with per-segment counts first and
+	// the cell total in the final slot.
+	counts []uint32
+	n      uint64 // total tuples added
+}
+
+// New allocates a BinArray for an nx × ny grid with an RHS attribute of
+// cardinality nseg.
+func New(nx, ny, nseg int) (*BinArray, error) {
+	if nx <= 0 || ny <= 0 || nseg <= 0 {
+		return nil, fmt.Errorf("binarray: invalid dimensions %d×%d×%d", nx, ny, nseg)
+	}
+	return &BinArray{
+		nx:     nx,
+		ny:     ny,
+		nseg:   nseg,
+		counts: make([]uint32, nx*ny*(nseg+1)),
+	}, nil
+}
+
+// NX reports the number of x bins.
+func (b *BinArray) NX() int { return b.nx }
+
+// NY reports the number of y bins.
+func (b *BinArray) NY() int { return b.ny }
+
+// NSeg reports the cardinality of the RHS segmentation attribute.
+func (b *BinArray) NSeg() int { return b.nseg }
+
+// N reports the total number of tuples added.
+func (b *BinArray) N() uint64 { return b.n }
+
+func (b *BinArray) base(x, y int) int { return (x*b.ny + y) * (b.nseg + 1) }
+
+// Add records one tuple falling in cell (x, y) with RHS value seg.
+// Indices are the caller's responsibility; out-of-range indices panic, as
+// they always indicate a bug in the binner.
+func (b *BinArray) Add(x, y, seg int) {
+	if x < 0 || x >= b.nx || y < 0 || y >= b.ny || seg < 0 || seg >= b.nseg {
+		panic(fmt.Sprintf("binarray: Add(%d, %d, %d) out of range %d×%d×%d", x, y, seg, b.nx, b.ny, b.nseg))
+	}
+	base := b.base(x, y)
+	b.counts[base+seg]++
+	b.counts[base+b.nseg]++
+	b.n++
+}
+
+// Count returns the number of tuples in cell (x, y) with RHS value seg —
+// the |(i, j, Gk)| of §3.2.
+func (b *BinArray) Count(x, y, seg int) uint32 {
+	return b.counts[b.base(x, y)+seg]
+}
+
+// CellTotal returns the total number of tuples in cell (x, y) — the
+// |(i, j)| of §3.2.
+func (b *BinArray) CellTotal(x, y int) uint32 {
+	return b.counts[b.base(x, y)+b.nseg]
+}
+
+// Support returns the support of the rule X=x ∧ Y=y ⇒ G=seg, i.e.
+// |(i, j, Gk)| / N. It is zero when the array is empty.
+func (b *BinArray) Support(x, y, seg int) float64 {
+	if b.n == 0 {
+		return 0
+	}
+	return float64(b.Count(x, y, seg)) / float64(b.n)
+}
+
+// Confidence returns the confidence of the rule X=x ∧ Y=y ⇒ G=seg, i.e.
+// |(i, j, Gk)| / |(i, j)|. It is zero for empty cells.
+func (b *BinArray) Confidence(x, y, seg int) float64 {
+	total := b.CellTotal(x, y)
+	if total == 0 {
+		return 0
+	}
+	return float64(b.Count(x, y, seg)) / float64(total)
+}
+
+// SegmentTotal returns the total number of tuples with RHS value seg
+// across all cells.
+func (b *BinArray) SegmentTotal(seg int) uint64 {
+	var total uint64
+	for x := 0; x < b.nx; x++ {
+		for y := 0; y < b.ny; y++ {
+			total += uint64(b.Count(x, y, seg))
+		}
+	}
+	return total
+}
+
+// Occupied invokes fn for every cell with at least one tuple of RHS value
+// seg, passing the cell coordinates, the segment count and the cell
+// total. Iteration is row-major (x outer, y inner) and deterministic.
+func (b *BinArray) Occupied(seg int, fn func(x, y int, segCount, cellTotal uint32)) {
+	for x := 0; x < b.nx; x++ {
+		for y := 0; y < b.ny; y++ {
+			if c := b.Count(x, y, seg); c > 0 {
+				fn(x, y, c, b.CellTotal(x, y))
+			}
+		}
+	}
+}
+
+// Reset zeroes all counts, allowing the array to be reused for another
+// pass without reallocating.
+func (b *BinArray) Reset() {
+	for i := range b.counts {
+		b.counts[i] = 0
+	}
+	b.n = 0
+}
+
+// Build performs the single binning pass of Figure 2's binner component:
+// it streams src once, maps the two LHS attributes through their binners
+// and the criterion attribute through its category code, and accumulates
+// the counts. xIdx, yIdx and critIdx are schema attribute positions.
+func Build(src dataset.Source, xIdx, yIdx, critIdx int, xb, yb binning.Binner, nseg int) (*BinArray, error) {
+	ba, err := New(xb.NumBins(), yb.NumBins(), nseg)
+	if err != nil {
+		return nil, err
+	}
+	width := src.Schema().Len()
+	err = dataset.ForEach(src, func(t dataset.Tuple) error {
+		if len(t) != width {
+			return dataset.ErrSchemaMismatch
+		}
+		seg := int(t[critIdx])
+		if seg < 0 || seg >= nseg {
+			return fmt.Errorf("binarray: criterion value %d out of range 0..%d", seg, nseg-1)
+		}
+		ba.Add(xb.Bin(t[xIdx]), yb.Bin(t[yIdx]), seg)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ba, nil
+}

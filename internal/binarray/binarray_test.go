@@ -1,0 +1,209 @@
+package binarray
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"arcs/internal/binning"
+	"arcs/internal/dataset"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, dims := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 2, 2}} {
+		if _, err := New(dims[0], dims[1], dims[2]); err == nil {
+			t.Errorf("dims %v should be rejected", dims)
+		}
+	}
+	ba, err := New(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba.NX() != 3 || ba.NY() != 4 || ba.NSeg() != 2 {
+		t.Errorf("dims = %d, %d, %d", ba.NX(), ba.NY(), ba.NSeg())
+	}
+}
+
+func TestAddAndCounts(t *testing.T) {
+	ba, _ := New(2, 2, 3)
+	ba.Add(0, 0, 1)
+	ba.Add(0, 0, 1)
+	ba.Add(0, 0, 2)
+	ba.Add(1, 1, 0)
+	if got := ba.Count(0, 0, 1); got != 2 {
+		t.Errorf("Count(0,0,1) = %d", got)
+	}
+	if got := ba.CellTotal(0, 0); got != 3 {
+		t.Errorf("CellTotal(0,0) = %d", got)
+	}
+	if got := ba.Count(0, 0, 0); got != 0 {
+		t.Errorf("Count(0,0,0) = %d", got)
+	}
+	if ba.N() != 4 {
+		t.Errorf("N = %d", ba.N())
+	}
+	if got := ba.SegmentTotal(1); got != 2 {
+		t.Errorf("SegmentTotal(1) = %d", got)
+	}
+}
+
+func TestSupportConfidence(t *testing.T) {
+	ba, _ := New(2, 2, 2)
+	// 8 tuples in cell (0,0): 6 of seg 0, 2 of seg 1; 2 tuples elsewhere.
+	for i := 0; i < 6; i++ {
+		ba.Add(0, 0, 0)
+	}
+	ba.Add(0, 0, 1)
+	ba.Add(0, 0, 1)
+	ba.Add(1, 0, 0)
+	ba.Add(1, 1, 1)
+	if got := ba.Support(0, 0, 0); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Support = %v, want 0.6", got)
+	}
+	if got := ba.Confidence(0, 0, 0); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Confidence = %v, want 0.75", got)
+	}
+	if got := ba.Confidence(0, 1, 0); got != 0 {
+		t.Errorf("Confidence of empty cell = %v", got)
+	}
+}
+
+func TestZeroValueSupportSafe(t *testing.T) {
+	ba, _ := New(1, 1, 1)
+	if ba.Support(0, 0, 0) != 0 {
+		t.Error("Support on empty array should be 0")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	ba, _ := New(2, 2, 2)
+	for _, c := range [][3]int{{2, 0, 0}, {0, 2, 0}, {0, 0, 2}, {-1, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add%v should panic", c)
+				}
+			}()
+			ba.Add(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestOccupiedDeterministicOrder(t *testing.T) {
+	ba, _ := New(3, 3, 1)
+	ba.Add(2, 0, 0)
+	ba.Add(0, 1, 0)
+	ba.Add(1, 2, 0)
+	var cells [][2]int
+	ba.Occupied(0, func(x, y int, c, total uint32) {
+		cells = append(cells, [2]int{x, y})
+		if c != 1 || total != 1 {
+			t.Errorf("cell (%d,%d): count=%d total=%d", x, y, c, total)
+		}
+	})
+	want := [][2]int{{0, 1}, {1, 2}, {2, 0}}
+	if len(cells) != len(want) {
+		t.Fatalf("cells = %v", cells)
+	}
+	for i := range want {
+		if cells[i] != want[i] {
+			t.Errorf("cell order %v, want %v", cells, want)
+			break
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	ba, _ := New(2, 2, 2)
+	ba.Add(1, 1, 1)
+	ba.Reset()
+	if ba.N() != 0 || ba.Count(1, 1, 1) != 0 || ba.CellTotal(1, 1) != 0 {
+		t.Error("Reset did not zero counts")
+	}
+}
+
+func TestInvariantTotalsMatch(t *testing.T) {
+	// Property: after arbitrary Adds, cell totals equal the sum of the
+	// per-segment counts, and N equals the grand total.
+	f := func(ops []uint8) bool {
+		ba, _ := New(4, 4, 3)
+		for _, op := range ops {
+			x := int(op) % 4
+			y := int(op>>2) % 4
+			s := int(op>>4) % 3
+			ba.Add(x, y, s)
+		}
+		var grand uint64
+		for x := 0; x < 4; x++ {
+			for y := 0; y < 4; y++ {
+				var sum uint32
+				for s := 0; s < 3; s++ {
+					sum += ba.Count(x, y, s)
+				}
+				if sum != ba.CellTotal(x, y) {
+					return false
+				}
+				grand += uint64(sum)
+			}
+		}
+		return grand == ba.N()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildFromSource(t *testing.T) {
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "age", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "salary", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "group", Kind: dataset.Categorical},
+	)
+	tb := dataset.NewTable(schema)
+	rows := [][]interface{}{
+		{25, 30_000.0, "A"},
+		{25, 31_000.0, "A"},
+		{45, 90_000.0, "B"},
+		{75, 10_000.0, "A"},
+	}
+	for _, r := range rows {
+		if err := tb.AppendValues(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	xb, _ := binning.NewEquiWidth(20, 80, 3)     // bins: [20,40) [40,60) [60,80]
+	yb, _ := binning.NewEquiWidth(0, 120_000, 3) // bins of 40k
+	ba, err := Build(tb, 0, 1, 2, xb, yb, schema.Attr("group").NumCategories())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba.N() != 4 {
+		t.Fatalf("N = %d", ba.N())
+	}
+	codeA, _ := schema.Attr("group").LookupCategory("A")
+	codeB, _ := schema.Attr("group").LookupCategory("B")
+	if got := ba.Count(0, 0, codeA); got != 2 {
+		t.Errorf("young low-salary A count = %d, want 2", got)
+	}
+	if got := ba.Count(1, 2, codeB); got != 1 {
+		t.Errorf("middle high-salary B count = %d, want 1", got)
+	}
+	if got := ba.Count(2, 0, codeA); got != 1 {
+		t.Errorf("old low-salary A count = %d, want 1", got)
+	}
+}
+
+func TestBuildRejectsBadCriterion(t *testing.T) {
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "x", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "y", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "g", Kind: dataset.Categorical},
+	)
+	tb := dataset.NewTable(schema)
+	tb.MustAppend(dataset.Tuple{1, 1, 5}) // group code 5 with nseg 2
+	xb, _ := binning.NewEquiWidth(0, 10, 2)
+	yb, _ := binning.NewEquiWidth(0, 10, 2)
+	if _, err := Build(tb, 0, 1, 2, xb, yb, 2); err == nil {
+		t.Error("criterion code out of range should error")
+	}
+}

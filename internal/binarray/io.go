@@ -1,0 +1,92 @@
+package binarray
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Serialization of the BinArray. The paper's headline efficiency claim —
+// changing thresholds or criterion values re-mines instantly because the
+// counts stay in memory — extends across process restarts by snapshotting
+// the counts: a saved BinArray restores in milliseconds where re-binning
+// a 10M-tuple source takes a full pass.
+//
+// Format (little-endian): magic "ARCSBA1\n", then nx, ny, nseg, n as
+// uint64, then the raw count array.
+
+var baMagic = [8]byte{'A', 'R', 'C', 'S', 'B', 'A', '1', '\n'}
+
+// Write snapshots the BinArray.
+func (b *BinArray) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(baMagic[:]); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(b.nx), uint64(b.ny), uint64(b.nseg), b.n} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, b.counts); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read restores a BinArray written by Write, validating the header and
+// internal consistency (the stored grand total must match the cell
+// totals).
+func Read(r io.Reader) (*BinArray, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("binarray: reading header: %w", err)
+	}
+	if magic != baMagic {
+		return nil, fmt.Errorf("binarray: bad magic %q", magic[:])
+	}
+	var dims [4]uint64
+	for i := range dims {
+		if err := binary.Read(br, binary.LittleEndian, &dims[i]); err != nil {
+			return nil, fmt.Errorf("binarray: reading dimensions: %w", err)
+		}
+	}
+	const maxDim = 1 << 20
+	if dims[0] == 0 || dims[1] == 0 || dims[2] == 0 ||
+		dims[0] > maxDim || dims[1] > maxDim || dims[2] > maxDim {
+		return nil, fmt.Errorf("binarray: implausible dimensions %v", dims[:3])
+	}
+	cells := dims[0] * dims[1] * (dims[2] + 1)
+	if cells > (1 << 31) {
+		return nil, fmt.Errorf("binarray: snapshot too large (%d cells)", cells)
+	}
+	ba, err := New(int(dims[0]), int(dims[1]), int(dims[2]))
+	if err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, ba.counts); err != nil {
+		return nil, fmt.Errorf("binarray: reading counts: %w", err)
+	}
+	ba.n = dims[3]
+	// Consistency: the grand total of cell totals must equal n, and each
+	// cell total must equal its per-segment sum.
+	var grand uint64
+	for x := 0; x < ba.nx; x++ {
+		for y := 0; y < ba.ny; y++ {
+			var sum uint32
+			for s := 0; s < ba.nseg; s++ {
+				sum += ba.Count(x, y, s)
+			}
+			if sum != ba.CellTotal(x, y) {
+				return nil, fmt.Errorf("binarray: corrupt snapshot: cell (%d,%d) total mismatch", x, y)
+			}
+			grand += uint64(sum)
+		}
+	}
+	if grand != ba.n {
+		return nil, fmt.Errorf("binarray: corrupt snapshot: grand total %d, stored N %d", grand, ba.n)
+	}
+	return ba, nil
+}

@@ -1,0 +1,97 @@
+package binarray
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	ba, _ := New(5, 7, 3)
+	ba.Add(0, 0, 0)
+	ba.Add(4, 6, 2)
+	ba.Add(2, 3, 1)
+	ba.Add(2, 3, 1)
+	var buf bytes.Buffer
+	if err := ba.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NX() != 5 || back.NY() != 7 || back.NSeg() != 3 || back.N() != 4 {
+		t.Fatalf("restored dims/N = %d/%d/%d/%d", back.NX(), back.NY(), back.NSeg(), back.N())
+	}
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 7; y++ {
+			for s := 0; s < 3; s++ {
+				if back.Count(x, y, s) != ba.Count(x, y, s) {
+					t.Fatalf("count (%d,%d,%d) differs", x, y, s)
+				}
+			}
+			if back.CellTotal(x, y) != ba.CellTotal(x, y) {
+				t.Fatalf("total (%d,%d) differs", x, y)
+			}
+		}
+	}
+	// Supports and confidences survive exactly.
+	if back.Support(2, 3, 1) != ba.Support(2, 3, 1) {
+		t.Error("support changed")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"short",
+		"NOTMAGIC________________",
+		string(baMagic[:]), // magic only, truncated dims
+	}
+	for i, s := range cases {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestReadRejectsCorruptCounts(t *testing.T) {
+	ba, _ := New(2, 2, 2)
+	ba.Add(0, 0, 0)
+	var buf bytes.Buffer
+	if err := ba.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a count byte in the payload (after the 8+32 byte header), so
+	// a per-segment count disagrees with its stored cell total.
+	data[8+32] ^= 0xFF
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt counts should be rejected")
+	}
+}
+
+func TestReadRejectsImplausibleDims(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(baMagic[:])
+	// nx = 0.
+	buf.Write(make([]byte, 32))
+	if _, err := Read(&buf); err == nil {
+		t.Error("zero dims should be rejected")
+	}
+}
+
+func TestWriteReadEmpty(t *testing.T) {
+	ba, _ := New(3, 3, 2)
+	var buf bytes.Buffer
+	if err := ba.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 0 {
+		t.Errorf("N = %d", back.N())
+	}
+}

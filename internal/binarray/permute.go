@@ -1,0 +1,65 @@
+package binarray
+
+import "fmt"
+
+// PermuteX returns a new BinArray whose x bins are reordered so that old
+// bin i lands at position order[i]. It supports the categorical-LHS
+// extension: after a better category ordering is computed, the counts are
+// permuted in memory instead of re-reading the source data. order must be
+// a permutation of 0..NX-1.
+func PermuteX(ba *BinArray, order []int) (*BinArray, error) {
+	if len(order) != ba.nx {
+		return nil, fmt.Errorf("binarray: order has %d entries for %d x bins", len(order), ba.nx)
+	}
+	seen := make([]bool, ba.nx)
+	for _, p := range order {
+		if p < 0 || p >= ba.nx || seen[p] {
+			return nil, fmt.Errorf("binarray: order is not a permutation: %v", order)
+		}
+		seen[p] = true
+	}
+	out, err := New(ba.nx, ba.ny, ba.nseg)
+	if err != nil {
+		return nil, err
+	}
+	stride := ba.nseg + 1
+	for x := 0; x < ba.nx; x++ {
+		nx := order[x]
+		for y := 0; y < ba.ny; y++ {
+			src := ba.counts[ba.base(x, y) : ba.base(x, y)+stride]
+			dst := out.counts[out.base(nx, y) : out.base(nx, y)+stride]
+			copy(dst, src)
+		}
+	}
+	out.n = ba.n
+	return out, nil
+}
+
+// PermuteY returns a new BinArray with reordered y bins, the counterpart
+// of PermuteX for a categorical y attribute.
+func PermuteY(ba *BinArray, order []int) (*BinArray, error) {
+	if len(order) != ba.ny {
+		return nil, fmt.Errorf("binarray: order has %d entries for %d y bins", len(order), ba.ny)
+	}
+	seen := make([]bool, ba.ny)
+	for _, p := range order {
+		if p < 0 || p >= ba.ny || seen[p] {
+			return nil, fmt.Errorf("binarray: order is not a permutation: %v", order)
+		}
+		seen[p] = true
+	}
+	out, err := New(ba.nx, ba.ny, ba.nseg)
+	if err != nil {
+		return nil, err
+	}
+	stride := ba.nseg + 1
+	for x := 0; x < ba.nx; x++ {
+		for y := 0; y < ba.ny; y++ {
+			src := ba.counts[ba.base(x, y) : ba.base(x, y)+stride]
+			dst := out.counts[out.base(x, order[y]) : out.base(x, order[y])+stride]
+			copy(dst, src)
+		}
+	}
+	out.n = ba.n
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package binarray
+
+import "testing"
+
+func TestPermuteX(t *testing.T) {
+	ba, _ := New(3, 2, 2)
+	ba.Add(0, 0, 0)
+	ba.Add(0, 0, 0)
+	ba.Add(1, 1, 1)
+	ba.Add(2, 0, 0)
+	// old x 0 -> 2, 1 -> 0, 2 -> 1
+	out, err := PermuteX(ba, []int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N() != ba.N() {
+		t.Errorf("N = %d, want %d", out.N(), ba.N())
+	}
+	if got := out.Count(2, 0, 0); got != 2 {
+		t.Errorf("Count(2,0,0) = %d, want 2 (moved from x=0)", got)
+	}
+	if got := out.Count(0, 1, 1); got != 1 {
+		t.Errorf("Count(0,1,1) = %d, want 1 (moved from x=1)", got)
+	}
+	if got := out.CellTotal(1, 0); got != 1 {
+		t.Errorf("CellTotal(1,0) = %d, want 1 (moved from x=2)", got)
+	}
+	// Original untouched.
+	if ba.Count(0, 0, 0) != 2 {
+		t.Error("PermuteX modified its input")
+	}
+}
+
+func TestPermuteY(t *testing.T) {
+	ba, _ := New(2, 3, 1)
+	ba.Add(0, 0, 0)
+	ba.Add(1, 2, 0)
+	out, err := PermuteY(ba, []int{1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Count(0, 1, 0); got != 1 {
+		t.Errorf("Count(0,1,0) = %d (y=0 should move to 1)", got)
+	}
+	if got := out.Count(1, 0, 0); got != 1 {
+		t.Errorf("Count(1,0,0) = %d (y=2 should move to 0)", got)
+	}
+}
+
+func TestPermuteValidation(t *testing.T) {
+	ba, _ := New(3, 3, 1)
+	if _, err := PermuteX(ba, []int{0, 1}); err == nil {
+		t.Error("wrong-length order should error")
+	}
+	if _, err := PermuteX(ba, []int{0, 0, 1}); err == nil {
+		t.Error("non-permutation should error")
+	}
+	if _, err := PermuteY(ba, []int{0, 1, 9}); err == nil {
+		t.Error("out-of-range order should error")
+	}
+	if _, err := PermuteY(ba, []int{0, 1}); err == nil {
+		t.Error("wrong-length y order should error")
+	}
+}

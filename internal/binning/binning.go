@@ -1,0 +1,363 @@
+// Package binning partitions attribute domains into bins (paper §3.1).
+// Quantitative attributes are mapped to consecutive integer bin numbers
+// before mining so that the binning process is transparent to the
+// association rule engine. The paper's experiments use equi-width bins;
+// equi-depth and homogeneity-based binning are provided as the paper's
+// suggested alternatives, and a categorical binner supports the
+// future-work extension of one categorical LHS attribute.
+package binning
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binner maps attribute values to bin numbers 0..NumBins-1 and back to
+// value ranges. Bins are half-open [lo, hi) except the last, which is
+// closed so the domain maximum maps to a valid bin.
+type Binner interface {
+	// NumBins reports the number of bins.
+	NumBins() int
+	// Bin maps a value to its bin, clamping values outside the fitted
+	// domain to the first or last bin.
+	Bin(v float64) int
+	// Bounds returns the value range covered by bin b.
+	Bounds(b int) (lo, hi float64)
+}
+
+// EquiWidth divides [lo, hi] into n bins of equal width — the paper's
+// default strategy.
+type EquiWidth struct {
+	lo, hi float64
+	n      int
+	width  float64
+}
+
+// NewEquiWidth constructs an equi-width binner over [lo, hi].
+func NewEquiWidth(lo, hi float64, n int) (*EquiWidth, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("binning: need at least one bin, got %d", n)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("binning: invalid domain [%g, %g]", lo, hi)
+	}
+	return &EquiWidth{lo: lo, hi: hi, n: n, width: (hi - lo) / float64(n)}, nil
+}
+
+// NewEquiWidthFromData fits an equi-width binner to the min/max of values.
+func NewEquiWidthFromData(values []float64, n int) (*EquiWidth, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("binning: no data to fit")
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo == hi {
+		// Degenerate domain: widen symmetrically so every value maps to
+		// a well-defined bin.
+		hi = lo + 1
+	}
+	return NewEquiWidth(lo, hi, n)
+}
+
+// NumBins implements Binner.
+func (e *EquiWidth) NumBins() int { return e.n }
+
+// Bin implements Binner.
+func (e *EquiWidth) Bin(v float64) int {
+	if v <= e.lo {
+		return 0
+	}
+	if v >= e.hi {
+		return e.n - 1
+	}
+	b := int((v - e.lo) / e.width)
+	if b >= e.n {
+		b = e.n - 1
+	}
+	return b
+}
+
+// Bounds implements Binner.
+func (e *EquiWidth) Bounds(b int) (lo, hi float64) {
+	return e.lo + float64(b)*e.width, e.lo + float64(b+1)*e.width
+}
+
+// EquiDepth divides the domain so each bin holds roughly the same number
+// of tuples, using quantile boundaries from a fitted sample (the strategy
+// of Srikant & Agrawal's quantitative rule mining, paper §1.1).
+type EquiDepth struct {
+	// boundaries[i] is the lower bound of bin i; boundaries has n+1
+	// entries, the last being the domain maximum.
+	boundaries []float64
+}
+
+// NewEquiDepth fits an equi-depth binner with n bins to values.
+// Heavily repeated values can make some quantile boundaries coincide; the
+// fitted binner may then have fewer than n distinct bins.
+func NewEquiDepth(values []float64, n int) (*EquiDepth, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("binning: need at least one bin, got %d", n)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("binning: no data to fit")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var bounds []float64
+	prev := math.Inf(-1)
+	for i := 0; i <= n; i++ {
+		pos := float64(i) / float64(n) * float64(len(sorted)-1)
+		v := sorted[int(math.Round(pos))]
+		if v > prev {
+			bounds = append(bounds, v)
+			prev = v
+		}
+	}
+	if len(bounds) < 2 {
+		// All values identical.
+		bounds = []float64{sorted[0], sorted[0] + 1}
+	}
+	return &EquiDepth{boundaries: bounds}, nil
+}
+
+// NumBins implements Binner.
+func (e *EquiDepth) NumBins() int { return len(e.boundaries) - 1 }
+
+// Bin implements Binner.
+func (e *EquiDepth) Bin(v float64) int {
+	n := e.NumBins()
+	if v <= e.boundaries[0] {
+		return 0
+	}
+	if v >= e.boundaries[n] {
+		return n - 1
+	}
+	// boundaries is sorted; find the right-most lower bound <= v.
+	b := sort.SearchFloat64s(e.boundaries, v)
+	if b > 0 && e.boundaries[b] != v {
+		b--
+	}
+	if b >= n {
+		b = n - 1
+	}
+	return b
+}
+
+// Bounds implements Binner.
+func (e *EquiDepth) Bounds(b int) (lo, hi float64) {
+	return e.boundaries[b], e.boundaries[b+1]
+}
+
+// Homogeneity sizes bins so the tuples within each bin are near-uniformly
+// distributed (paper references [14, 23]). It fits by building a fine
+// equi-width micro-histogram and recursively splitting: at each step the
+// segment whose micro-bin counts deviate most from uniform (largest
+// within-segment sum of squared errors) is split at the point minimizing
+// the children's summed SSE. On already-uniform data ties resolve to
+// splitting the longest segment at its midpoint, so the result degrades
+// gracefully to equi-width.
+type Homogeneity struct {
+	boundaries []float64
+}
+
+// NewHomogeneity fits a homogeneity-based binner with n bins to values.
+func NewHomogeneity(values []float64, n int) (*Homogeneity, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("binning: need at least one bin, got %d", n)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("binning: no data to fit")
+	}
+	micro := n * 8
+	ew, err := NewEquiWidthFromData(values, micro)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]float64, micro)
+	for _, v := range values {
+		counts[ew.Bin(v)]++
+	}
+	// Prefix sums give O(1) SSE of any micro-bin range [a, b).
+	prefix := make([]float64, micro+1)
+	prefixSq := make([]float64, micro+1)
+	for i, c := range counts {
+		prefix[i+1] = prefix[i] + c
+		prefixSq[i+1] = prefixSq[i] + c*c
+	}
+	sse := func(a, b int) float64 {
+		k := float64(b - a)
+		if k <= 1 {
+			return 0
+		}
+		sum := prefix[b] - prefix[a]
+		sumSq := prefixSq[b] - prefixSq[a]
+		return sumSq - sum*sum/k
+	}
+	type segment struct{ start, end int }
+	segs := []segment{{0, micro}}
+	for len(segs) < n {
+		// Pick the least homogeneous segment; ties go to the longest,
+		// then the lowest start, keeping the fit deterministic.
+		pick := -1
+		for i, s := range segs {
+			if s.end-s.start < 2 {
+				continue
+			}
+			if pick < 0 {
+				pick = i
+				continue
+			}
+			p := segs[pick]
+			si, sp := sse(s.start, s.end), sse(p.start, p.end)
+			switch {
+			case si > sp+1e-12:
+				pick = i
+			case math.Abs(si-sp) <= 1e-12 && (s.end-s.start) > (p.end-p.start):
+				pick = i
+			}
+		}
+		if pick < 0 {
+			break // every segment is a single micro-bin
+		}
+		s := segs[pick]
+		// Split at the cut minimizing the children's summed SSE; ties
+		// prefer the cut nearest the midpoint.
+		mid := (s.start + s.end) / 2
+		bestCut, bestCost := mid, math.Inf(1)
+		for cut := s.start + 1; cut < s.end; cut++ {
+			cost := sse(s.start, cut) + sse(cut, s.end)
+			better := cost < bestCost-1e-12
+			tie := math.Abs(cost-bestCost) <= 1e-12 && abs(cut-mid) < abs(bestCut-mid)
+			if better || tie {
+				bestCut, bestCost = cut, cost
+			}
+		}
+		segs[pick] = segment{s.start, bestCut}
+		segs = append(segs, segment{bestCut, s.end})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	bounds := make([]float64, 0, len(segs)+1)
+	for _, s := range segs {
+		lo, _ := ew.Bounds(s.start)
+		bounds = append(bounds, lo)
+	}
+	_, last := ew.Bounds(micro - 1)
+	bounds = append(bounds, last)
+	return &Homogeneity{boundaries: bounds}, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// NumBins implements Binner.
+func (h *Homogeneity) NumBins() int { return len(h.boundaries) - 1 }
+
+// Bin implements Binner.
+func (h *Homogeneity) Bin(v float64) int {
+	n := h.NumBins()
+	if v <= h.boundaries[0] {
+		return 0
+	}
+	if v >= h.boundaries[n] {
+		return n - 1
+	}
+	b := sort.SearchFloat64s(h.boundaries, v)
+	if b > 0 && h.boundaries[b] != v {
+		b--
+	}
+	if b >= n {
+		b = n - 1
+	}
+	return b
+}
+
+// Bounds implements Binner.
+func (h *Homogeneity) Bounds(b int) (lo, hi float64) {
+	return h.boundaries[b], h.boundaries[b+1]
+}
+
+// Categorical maps category codes to bins one-to-one, optionally through
+// a permutation. It supports the future-work extension of clustering with
+// one categorical LHS attribute: reordering categories changes adjacency
+// in the grid, and the densest ordering yields the best clusters.
+type Categorical struct {
+	n     int
+	perm  []int // category code -> bin, nil means identity
+	inv   []int // bin -> category code
+	ident bool
+}
+
+// NewCategorical constructs an identity categorical binner over n codes.
+func NewCategorical(n int) (*Categorical, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("binning: need at least one category, got %d", n)
+	}
+	return &Categorical{n: n, ident: true}, nil
+}
+
+// NewCategoricalOrdered constructs a categorical binner where category
+// code c maps to bin order[c]. order must be a permutation of 0..n-1.
+func NewCategoricalOrdered(order []int) (*Categorical, error) {
+	n := len(order)
+	if n == 0 {
+		return nil, fmt.Errorf("binning: empty ordering")
+	}
+	seen := make([]bool, n)
+	inv := make([]int, n)
+	for code, b := range order {
+		if b < 0 || b >= n || seen[b] {
+			return nil, fmt.Errorf("binning: order is not a permutation: %v", order)
+		}
+		seen[b] = true
+		inv[b] = code
+	}
+	return &Categorical{n: n, perm: append([]int(nil), order...), inv: inv}, nil
+}
+
+// NumBins implements Binner.
+func (c *Categorical) NumBins() int { return c.n }
+
+// Bin implements Binner. Codes outside [0, n) clamp to the edge bins.
+func (c *Categorical) Bin(v float64) int {
+	code := int(v)
+	if code < 0 {
+		code = 0
+	}
+	if code >= c.n {
+		code = c.n - 1
+	}
+	if c.ident {
+		return code
+	}
+	return c.perm[code]
+}
+
+// Bounds implements Binner. For categorical bins the "range" is the
+// single category code occupying the bin, returned as [code, code+1).
+func (c *Categorical) Bounds(b int) (lo, hi float64) {
+	code := b
+	if !c.ident {
+		code = c.inv[b]
+	}
+	return float64(code), float64(code + 1)
+}
+
+// Code returns the category code occupying bin b.
+func (c *Categorical) Code(b int) int {
+	if c.ident {
+		return b
+	}
+	return c.inv[b]
+}

@@ -1,0 +1,335 @@
+package bitop
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"arcs/internal/grid"
+)
+
+// mk builds a bitmap from ASCII rows (row 0 first), '#' = set.
+func mk(t *testing.T, rows ...string) *grid.Bitmap {
+	t.Helper()
+	bm, err := grid.New(len(rows), len(rows[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, line := range rows {
+		for c, ch := range line {
+			if ch == '#' {
+				bm.Set(r, c)
+			}
+		}
+	}
+	return bm
+}
+
+func TestEnumeratePaperExample(t *testing.T) {
+	// The worked example of §3.3.1:
+	//   row1: 0 1 1
+	//   row2: 1 1 0
+	//   row3: 1 0 0
+	// Anchors at row 0 produce a 1x2 run (cols 1-2, height 1) and a
+	// 2x1 run (col 1, height 2). Anchor row 1 produces runs (cols 0-1,
+	// h 1) and (col 0, h 2); anchor row 2 produces (col 0, h 1).
+	bm := mk(t,
+		".##",
+		"##.",
+		"#..",
+	)
+	cands := Enumerate(bm)
+	want := map[grid.Rect]bool{
+		{R0: 0, C0: 1, R1: 0, C1: 2}: true, // top row run
+		{R0: 0, C0: 1, R1: 1, C1: 1}: true, // the dashed-circle 1-by-2 cluster
+		{R0: 1, C0: 0, R1: 1, C1: 1}: true, // the solid-circle 2-by-1 cluster
+		{R0: 1, C0: 0, R1: 2, C1: 0}: true,
+		{R0: 2, C0: 0, R1: 2, C1: 0}: true,
+	}
+	got := map[grid.Rect]bool{}
+	for _, c := range cands {
+		got[c] = true
+	}
+	for r := range want {
+		if !got[r] {
+			t.Errorf("missing candidate %v; got %v", r, cands)
+		}
+	}
+}
+
+func TestEnumerateCandidatesAreAllSet(t *testing.T) {
+	bm := mk(t,
+		"##..#",
+		"###.#",
+		".##..",
+	)
+	for _, cand := range Enumerate(bm) {
+		for r := cand.R0; r <= cand.R1; r++ {
+			for c := cand.C0; c <= cand.C1; c++ {
+				if !bm.Get(r, c) {
+					t.Fatalf("candidate %v covers unset cell (%d,%d)", cand, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateEmpty(t *testing.T) {
+	bm, _ := grid.New(4, 4)
+	if cands := Enumerate(bm); len(cands) != 0 {
+		t.Errorf("empty bitmap produced candidates %v", cands)
+	}
+}
+
+func TestClusterSingleRectangle(t *testing.T) {
+	bm := mk(t,
+		".....",
+		".###.",
+		".###.",
+		".....",
+	)
+	clusters := Cluster(bm, Options{})
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %v, want one rectangle", clusters)
+	}
+	want := grid.Rect{R0: 1, C0: 1, R1: 2, C1: 3}
+	if clusters[0] != want {
+		t.Errorf("cluster = %v, want %v", clusters[0], want)
+	}
+}
+
+func TestClusterTwoRectangles(t *testing.T) {
+	// The Figure 5 shape: two overlapping-edge rectangles covered by two
+	// clusters.
+	bm := mk(t,
+		"####..",
+		"####..",
+		"..####",
+		"..####",
+	)
+	clusters := Cluster(bm, Options{})
+	if len(clusters) > 3 {
+		t.Fatalf("got %d clusters %v; expect near-optimal (2-3)", len(clusters), clusters)
+	}
+	// All set cells must be covered.
+	covered := func(r, c int) bool {
+		for _, cl := range clusters {
+			if cl.Contains(r, c) {
+				return true
+			}
+		}
+		return false
+	}
+	for r := 0; r < bm.Rows(); r++ {
+		for c := 0; c < bm.Cols(); c++ {
+			if bm.Get(r, c) && !covered(r, c) {
+				t.Errorf("cell (%d,%d) not covered by %v", r, c, clusters)
+			}
+		}
+	}
+}
+
+func TestClusterCoversExactlyWithMinArea1(t *testing.T) {
+	bm := mk(t,
+		"#.#",
+		".#.",
+		"#.#",
+	)
+	clusters := Cluster(bm, Options{})
+	// Five isolated cells -> five 1x1 clusters.
+	if len(clusters) != 5 {
+		t.Errorf("clusters = %v, want 5 singletons", clusters)
+	}
+}
+
+func TestClusterMinAreaPrunesNoise(t *testing.T) {
+	bm := mk(t,
+		"####.",
+		"####.",
+		"....#", // isolated noise cell
+	)
+	clusters := Cluster(bm, Options{MinArea: 2})
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %v, want the 4x2 block only", clusters)
+	}
+	if clusters[0].Area() != 8 {
+		t.Errorf("cluster area = %d, want 8", clusters[0].Area())
+	}
+}
+
+func TestClusterMaxClusters(t *testing.T) {
+	bm := mk(t,
+		"#.#.#",
+	)
+	clusters := Cluster(bm, Options{MaxClusters: 2})
+	if len(clusters) != 2 {
+		t.Errorf("MaxClusters ignored: %v", clusters)
+	}
+}
+
+func TestClusterInputUnmodified(t *testing.T) {
+	bm := mk(t,
+		"##",
+		"##",
+	)
+	before := bm.PopCount()
+	Cluster(bm, Options{})
+	if bm.PopCount() != before {
+		t.Error("Cluster modified its input bitmap")
+	}
+}
+
+func TestClusterGreedyPicksLargestFirst(t *testing.T) {
+	bm := mk(t,
+		"###....",
+		"###....",
+		"###....",
+		".....##",
+		".....##",
+	)
+	clusters := Cluster(bm, Options{})
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	if clusters[0].Area() != 9 || clusters[1].Area() != 4 {
+		t.Errorf("greedy order wrong: %v", clusters)
+	}
+}
+
+func TestClusterLShapeDecomposition(t *testing.T) {
+	// An L shape cannot be one rectangle; greedy should use exactly two.
+	bm := mk(t,
+		"#...",
+		"#...",
+		"####",
+	)
+	clusters := Cluster(bm, Options{})
+	if len(clusters) != 2 {
+		t.Fatalf("L-shape gave %v, want 2 clusters", clusters)
+	}
+	total := 0
+	for _, c := range clusters {
+		total += c.Area()
+	}
+	if total != 6 {
+		t.Errorf("total covered area = %d, want 6 (no overlap for this shape)", total)
+	}
+}
+
+func TestSortRects(t *testing.T) {
+	rects := []grid.Rect{
+		{R0: 2, C0: 0, R1: 2, C1: 0},
+		{R0: 0, C0: 3, R1: 1, C1: 4},
+		{R0: 0, C0: 1, R1: 0, C1: 1},
+	}
+	SortRects(rects)
+	if rects[0].C0 != 1 || rects[1].C0 != 3 || rects[2].R0 != 2 {
+		t.Errorf("sorted = %v", rects)
+	}
+}
+
+func toBools(bm *grid.Bitmap) [][]bool {
+	out := make([][]bool, bm.Rows())
+	for r := range out {
+		out[r] = make([]bool, bm.Cols())
+		for c := 0; c < bm.Cols(); c++ {
+			out[r][c] = bm.Get(r, c)
+		}
+	}
+	return out
+}
+
+func TestClusterMatchesNaiveOracle(t *testing.T) {
+	// Differential test: the word-packed implementation must agree with
+	// the straightforward bool-matrix implementation on random grids.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		rows := 1 + rng.Intn(12)
+		cols := 1 + rng.Intn(90) // crosses the 64-bit word boundary often
+		bm, _ := grid.New(rows, cols)
+		density := rng.Float64()
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if rng.Float64() < density {
+					bm.Set(r, c)
+				}
+			}
+		}
+		opts := Options{MinArea: 1 + rng.Intn(3)}
+		fast := Cluster(bm, opts)
+		slow := ClusterNaive(toBools(bm), opts)
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("trial %d (%dx%d, minArea %d):\nfast = %v\nslow = %v\ngrid:\n%s",
+				trial, rows, cols, opts.MinArea, fast, slow, bm)
+		}
+	}
+}
+
+func TestClusterCoverageInvariant(t *testing.T) {
+	// Property: with MinArea 1, the clusters cover every set cell and
+	// nothing but set cells.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		rows := 1 + rng.Intn(10)
+		cols := 1 + rng.Intn(70)
+		bm, _ := grid.New(rows, cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if rng.Float64() < 0.4 {
+					bm.Set(r, c)
+				}
+			}
+		}
+		clusters := Cluster(bm, Options{})
+		covered, _ := grid.New(rows, cols)
+		for _, cl := range clusters {
+			for r := cl.R0; r <= cl.R1; r++ {
+				for c := cl.C0; c <= cl.C1; c++ {
+					if !bm.Get(r, c) {
+						t.Fatalf("trial %d: cluster %v covers unset cell (%d,%d)", trial, cl, r, c)
+					}
+					covered.Set(r, c)
+				}
+			}
+		}
+		if covered.PopCount() != bm.PopCount() {
+			t.Fatalf("trial %d: covered %d of %d set cells", trial, covered.PopCount(), bm.PopCount())
+		}
+	}
+}
+
+func TestClusterNaiveEmpty(t *testing.T) {
+	if got := ClusterNaive(nil, Options{}); got != nil {
+		t.Errorf("nil grid gave %v", got)
+	}
+}
+
+func TestClusterDisjointProperty(t *testing.T) {
+	// Property: greedy selection clears chosen cells, so the final
+	// clusters are pairwise disjoint regardless of input.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		bm := randomBitmap(rng, 1+rng.Intn(15), 1+rng.Intn(80), rng.Float64())
+		clusters := Cluster(bm, Options{MinArea: 1 + rng.Intn(3)})
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if clusters[i].Intersects(clusters[j]) {
+					t.Fatalf("trial %d: clusters %v and %v overlap", trial, clusters[i], clusters[j])
+				}
+			}
+		}
+	}
+}
+
+func TestClusterDeterministicProperty(t *testing.T) {
+	// Property: clustering the same bitmap twice yields identical output.
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 50; trial++ {
+		bm := randomBitmap(rng, 1+rng.Intn(12), 1+rng.Intn(70), 0.5)
+		a := Cluster(bm, Options{})
+		b := Cluster(bm, Options{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: nondeterministic clustering", trial)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package bitop
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"arcs/internal/grid"
+)
+
+func randomBitmap(rng *rand.Rand, rows, cols int, density float64) *grid.Bitmap {
+	bm, _ := grid.New(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < density {
+				bm.Set(r, c)
+			}
+		}
+	}
+	return bm
+}
+
+func TestEnumerateParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		bm := randomBitmap(rng, 1+rng.Intn(40), 1+rng.Intn(120), rng.Float64())
+		serial := Enumerate(bm)
+		for _, workers := range []int{1, 2, 4, 8} {
+			parallel := EnumerateParallel(bm, workers)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("trial %d, workers %d: parallel enumeration differs\nserial:   %v\nparallel: %v",
+					trial, workers, serial, parallel)
+			}
+		}
+	}
+}
+
+func TestClusterParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		bm := randomBitmap(rng, 5+rng.Intn(30), 5+rng.Intn(100), 0.3+rng.Float64()*0.5)
+		opts := Options{MinArea: 1 + rng.Intn(4)}
+		serial := Cluster(bm, opts)
+		parallel := ClusterParallel(bm, opts, 4)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("trial %d: parallel clustering differs\nserial:   %v\nparallel: %v",
+				trial, serial, parallel)
+		}
+	}
+}
+
+func TestEnumerateParallelDefaults(t *testing.T) {
+	bm := randomBitmap(rand.New(rand.NewSource(7)), 20, 40, 0.4)
+	// workers <= 0 uses GOMAXPROCS; more workers than rows clamps.
+	a := EnumerateParallel(bm, 0)
+	b := EnumerateParallel(bm, 1000)
+	c := Enumerate(bm)
+	if !reflect.DeepEqual(a, c) || !reflect.DeepEqual(b, c) {
+		t.Error("default/overclamped worker counts changed results")
+	}
+}
+
+func TestClusterParallelEmpty(t *testing.T) {
+	bm, _ := grid.New(4, 4)
+	if got := ClusterParallel(bm, Options{}, 4); len(got) != 0 {
+		t.Errorf("empty bitmap clustered to %v", got)
+	}
+}
+
+func TestClusterParallelRespectsLimits(t *testing.T) {
+	bm := mk(t, "#.#.#.#")
+	got := ClusterParallel(bm, Options{MaxClusters: 2}, 2)
+	if len(got) != 2 {
+		t.Errorf("MaxClusters ignored: %v", got)
+	}
+	got = ClusterParallel(bm, Options{MinArea: 2}, 2)
+	if len(got) != 0 {
+		t.Errorf("MinArea ignored: %v", got)
+	}
+}

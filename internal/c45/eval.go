@@ -1,0 +1,150 @@
+package c45
+
+import (
+	"fmt"
+	"strings"
+
+	"arcs/internal/dataset"
+)
+
+// Classifier is anything that predicts a class code for a tuple — both
+// Tree and RuleSet satisfy it.
+type Classifier interface {
+	Classify(row dataset.Tuple) int
+}
+
+// ConfusionMatrix counts predictions versus actual classes.
+// Cell [actual][predicted] is the number of test tuples of class
+// `actual` predicted as `predicted`.
+type ConfusionMatrix struct {
+	Labels []string
+	Counts [][]int
+}
+
+// Confusion evaluates a classifier over a table and tallies the matrix.
+func Confusion(c Classifier, tb *dataset.Table, classAttr string) (*ConfusionMatrix, error) {
+	classIdx, err := tb.Schema().Index(classAttr)
+	if err != nil {
+		return nil, err
+	}
+	attr := tb.Schema().At(classIdx)
+	if attr.Kind != dataset.Categorical {
+		return nil, fmt.Errorf("c45: class attribute %q must be categorical", classAttr)
+	}
+	n := attr.NumCategories()
+	m := &ConfusionMatrix{Labels: attr.Categories(), Counts: make([][]int, n)}
+	for i := range m.Counts {
+		m.Counts[i] = make([]int, n)
+	}
+	for i := 0; i < tb.Len(); i++ {
+		row := tb.Row(i)
+		actual := int(row[classIdx])
+		pred := c.Classify(row)
+		if pred < 0 || pred >= n {
+			return nil, fmt.Errorf("c45: classifier predicted out-of-range class %d", pred)
+		}
+		m.Counts[actual][pred]++
+	}
+	return m, nil
+}
+
+// Total reports the number of evaluated tuples.
+func (m *ConfusionMatrix) Total() int {
+	t := 0
+	for _, row := range m.Counts {
+		for _, c := range row {
+			t += c
+		}
+	}
+	return t
+}
+
+// Accuracy reports the fraction of correct predictions.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	total := m.Total()
+	if total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range m.Counts {
+		correct += m.Counts[i][i]
+	}
+	return float64(correct) / float64(total)
+}
+
+// Precision reports TP / (TP + FP) for one class.
+func (m *ConfusionMatrix) Precision(class int) float64 {
+	var predicted int
+	for actual := range m.Counts {
+		predicted += m.Counts[actual][class]
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(m.Counts[class][class]) / float64(predicted)
+}
+
+// Recall reports TP / (TP + FN) for one class.
+func (m *ConfusionMatrix) Recall(class int) float64 {
+	var actual int
+	for _, c := range m.Counts[class] {
+		actual += c
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(m.Counts[class][class]) / float64(actual)
+}
+
+// String renders the matrix with labels.
+func (m *ConfusionMatrix) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s", "actual\\pred")
+	for _, l := range m.Labels {
+		fmt.Fprintf(&sb, "%12s", l)
+	}
+	sb.WriteByte('\n')
+	for i, row := range m.Counts {
+		fmt.Fprintf(&sb, "%-14s", m.Labels[i])
+		for _, c := range row {
+			fmt.Fprintf(&sb, "%12d", c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CrossValidate runs k-fold cross-validation of tree induction over the
+// table and returns the per-fold test error rates. Folds are contiguous
+// blocks; shuffle the table first if its order is meaningful.
+func CrossValidate(tb *dataset.Table, classAttr string, cfg Config, k int) ([]float64, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("c45: need at least 2 folds, got %d", k)
+	}
+	if tb.Len() < k {
+		return nil, fmt.Errorf("c45: %d tuples cannot fill %d folds", tb.Len(), k)
+	}
+	errs := make([]float64, 0, k)
+	foldSize := tb.Len() / k
+	for fold := 0; fold < k; fold++ {
+		lo := fold * foldSize
+		hi := lo + foldSize
+		if fold == k-1 {
+			hi = tb.Len()
+		}
+		var trainIdx []int
+		for i := 0; i < tb.Len(); i++ {
+			if i < lo || i >= hi {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		train := tb.Select(trainIdx)
+		test := tb.Slice(lo, hi)
+		tree, err := Train(train, classAttr, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("c45: fold %d: %w", fold, err)
+		}
+		errs = append(errs, tree.ErrorRate(test))
+	}
+	return errs, nil
+}

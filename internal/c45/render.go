@@ -1,0 +1,74 @@
+package c45
+
+import (
+	"fmt"
+	"io"
+)
+
+// Render writes the tree in C4.5's indented text form, e.g.
+//
+//	salary <= 50024.5:
+//	|   age <= 60: other (755.0)
+//	|   age > 60: A (394.0)
+//	salary > 50024.5: ...
+//
+// Leaves show the majority class and the training tuple count. maxDepth
+// truncates deep subtrees (rendered as "..."); zero means unlimited.
+func (t *Tree) Render(w io.Writer, maxDepth int) error {
+	return t.render(w, t.Root, "", maxDepth)
+}
+
+func (t *Tree) render(w io.Writer, nd *Node, indent string, depthLeft int) error {
+	if nd.IsLeaf() {
+		_, err := fmt.Fprintf(w, "%s%s (%.1f)\n",
+			indent, t.schema.At(t.classIdx).Category(nd.Class), nd.n())
+		return err
+	}
+	if depthLeft == 1 {
+		_, err := fmt.Fprintf(w, "%s...\n", indent)
+		return err
+	}
+	next := depthLeft
+	if next > 0 {
+		next--
+	}
+	attr := t.schema.At(nd.Attr)
+	if nd.Categorical {
+		for c, ch := range nd.Children {
+			if ch.IsLeaf() && ch.n() == 0 {
+				continue // empty branch, inherited class
+			}
+			if _, err := fmt.Fprintf(w, "%s%s = %s:", indent, attr.Name, attr.Category(c)); err != nil {
+				return err
+			}
+			if err := t.renderBranch(w, ch, indent, next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%s%s <= %g:", indent, attr.Name, nd.Threshold); err != nil {
+		return err
+	}
+	if err := t.renderBranch(w, nd.Children[0], indent, next); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s%s > %g:", indent, attr.Name, nd.Threshold); err != nil {
+		return err
+	}
+	return t.renderBranch(w, nd.Children[1], indent, next)
+}
+
+// renderBranch prints a leaf inline after the condition, or recurses
+// onto new lines for subtrees.
+func (t *Tree) renderBranch(w io.Writer, nd *Node, indent string, depthLeft int) error {
+	if nd.IsLeaf() {
+		_, err := fmt.Fprintf(w, " %s (%.1f)\n",
+			t.schema.At(t.classIdx).Category(nd.Class), nd.n())
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return t.render(w, nd, indent+"|   ", depthLeft)
+}

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"testing"
+
+	"arcs/internal/dataset"
+	"arcs/internal/rules"
+)
+
+func multiSchema() *dataset.Schema {
+	s := dataset.NewSchema(
+		dataset.Attribute{Name: "age", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "salary", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "loan", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "g", Kind: dataset.Categorical},
+	)
+	s.Attr("g").CategoryCode("A")
+	s.Attr("g").CategoryCode("other")
+	return s
+}
+
+func TestMatcher(t *testing.T) {
+	s := multiSchema()
+	m := MultiRule{
+		Ranges: []AttrRange{
+			{Attr: "age", Lo: 30, Hi: 50},
+			{Attr: "salary", Lo: 60_000, Hi: 100_000},
+		},
+		CritAttr: "g", CritValue: "A",
+	}
+	match, err := m.Matcher(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !match(dataset.Tuple{40, 80_000, 0, 0}) {
+		t.Error("interior point should match")
+	}
+	if match(dataset.Tuple{50, 80_000, 0, 0}) {
+		t.Error("upper bound is exclusive")
+	}
+	if !match(dataset.Tuple{30, 60_000, 0, 0}) {
+		t.Error("lower bound is inclusive")
+	}
+	if match(dataset.Tuple{40, 50_000, 0, 0}) {
+		t.Error("salary out of range should not match")
+	}
+	bad := MultiRule{Ranges: []AttrRange{{Attr: "nope", Lo: 0, Hi: 1}}}
+	if _, err := bad.Matcher(s); err == nil {
+		t.Error("unknown attribute should error")
+	}
+}
+
+func TestVerifyMultiRule(t *testing.T) {
+	s := multiSchema()
+	tb := dataset.NewTable(s)
+	// 4 tuples inside the box: 3 labeled A, 1 other. 2 outside.
+	tb.MustAppend(dataset.Tuple{40, 80_000, 0, 0})
+	tb.MustAppend(dataset.Tuple{41, 81_000, 0, 0})
+	tb.MustAppend(dataset.Tuple{42, 82_000, 0, 0})
+	tb.MustAppend(dataset.Tuple{43, 83_000, 0, 1})
+	tb.MustAppend(dataset.Tuple{70, 80_000, 0, 0})
+	tb.MustAppend(dataset.Tuple{40, 10_000, 0, 1})
+	m := MultiRule{
+		Ranges: []AttrRange{
+			{Attr: "age", Lo: 30, Hi: 50},
+			{Attr: "salary", Lo: 60_000, Hi: 100_000},
+		},
+		CritAttr: "g", CritValue: "A",
+	}
+	stats, err := VerifyMultiRule(m, tb, s.MustIndex("g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Covered != 4 || stats.Matching != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Support != 0.5 || stats.Confidence != 0.75 {
+		t.Errorf("support=%v confidence=%v", stats.Support, stats.Confidence)
+	}
+}
+
+func TestVerifyMultiRuleErrors(t *testing.T) {
+	s := multiSchema()
+	empty := dataset.NewTable(s)
+	m := MultiRule{CritAttr: "g", CritValue: "A"}
+	if _, err := VerifyMultiRule(m, empty, s.MustIndex("g")); err == nil {
+		t.Error("empty table should error")
+	}
+	tb := dataset.NewTable(s)
+	tb.MustAppend(dataset.Tuple{1, 1, 1, 0})
+	bad := MultiRule{CritAttr: "g", CritValue: "nonexistent"}
+	if _, err := VerifyMultiRule(bad, tb, s.MustIndex("g")); err == nil {
+		t.Error("unknown criterion value should error")
+	}
+	if _, err := VerifyMultiRule(m, tb, s.MustIndex("age")); err == nil {
+		t.Error("quantitative criterion index should error")
+	}
+}
+
+func TestToMulti(t *testing.T) {
+	r := rules.ClusteredRule{
+		XAttr: "salary", YAttr: "age", CritAttr: "g", CritValue: "A",
+		XLo: 50_000, XHi: 100_000, YLo: 20, YHi: 40,
+		Support: 0.2, Confidence: 0.9,
+	}
+	m := ToMulti(r)
+	if len(m.Ranges) != 2 || m.Ranges[0].Attr != "age" || m.Ranges[1].Attr != "salary" {
+		t.Errorf("ranges = %v (want sorted by attribute)", m.Ranges)
+	}
+	if m.Support != 0.2 || m.Confidence != 0.9 {
+		t.Error("measures not carried over")
+	}
+}
+
+func TestCombineChainThreeAttributes(t *testing.T) {
+	ab := []rules.ClusteredRule{{
+		XAttr: "age", YAttr: "salary", CritAttr: "g", CritValue: "A",
+		XLo: 30, XHi: 50, YLo: 50_000, YHi: 100_000, Support: 0.3, Confidence: 0.9,
+	}}
+	bc := []rules.ClusteredRule{{
+		XAttr: "salary", YAttr: "loan", CritAttr: "g", CritValue: "A",
+		XLo: 70_000, XHi: 120_000, YLo: 0, YHi: 200_000, Support: 0.2, Confidence: 0.8,
+	}}
+	got, err := CombineChain(ab, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("combined = %v", got)
+	}
+	m := got[0]
+	if len(m.Ranges) != 3 {
+		t.Fatalf("ranges = %v", m.Ranges)
+	}
+	// salary intersected to [70k, 100k).
+	for _, r := range m.Ranges {
+		if r.Attr == "salary" && (r.Lo != 70_000 || r.Hi != 100_000) {
+			t.Errorf("salary range = [%v, %v)", r.Lo, r.Hi)
+		}
+	}
+	if m.Support != 0.2 {
+		t.Errorf("support = %v (conservative min)", m.Support)
+	}
+}
+
+func TestCombineChainFourAttributes(t *testing.T) {
+	ab := []rules.ClusteredRule{{
+		XAttr: "a", YAttr: "b", CritAttr: "g", CritValue: "A",
+		XLo: 0, XHi: 10, YLo: 0, YHi: 10,
+	}}
+	bc := []rules.ClusteredRule{{
+		XAttr: "b", YAttr: "c", CritAttr: "g", CritValue: "A",
+		XLo: 5, XHi: 15, YLo: 0, YHi: 10,
+	}}
+	cd := []rules.ClusteredRule{{
+		XAttr: "c", YAttr: "d", CritAttr: "g", CritValue: "A",
+		XLo: 2, XHi: 8, YLo: 0, YHi: 10,
+	}}
+	got, err := CombineChain(ab, bc, cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Ranges) != 4 {
+		t.Fatalf("combined = %v", got)
+	}
+	for _, r := range got[0].Ranges {
+		switch r.Attr {
+		case "b":
+			if r.Lo != 5 || r.Hi != 10 {
+				t.Errorf("b range = [%v, %v)", r.Lo, r.Hi)
+			}
+		case "c":
+			if r.Lo != 2 || r.Hi != 8 {
+				t.Errorf("c range = [%v, %v)", r.Lo, r.Hi)
+			}
+		}
+	}
+}
+
+func TestCombineChainDisjointDropsOut(t *testing.T) {
+	ab := []rules.ClusteredRule{{
+		XAttr: "a", YAttr: "b", CritAttr: "g", CritValue: "A",
+		XLo: 0, XHi: 10, YLo: 0, YHi: 5,
+	}}
+	bc := []rules.ClusteredRule{{
+		XAttr: "b", YAttr: "c", CritAttr: "g", CritValue: "A",
+		XLo: 6, XHi: 15, YLo: 0, YHi: 10,
+	}}
+	got, err := CombineChain(ab, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("disjoint b ranges should not combine: %v", got)
+	}
+	if _, err := CombineChain(ab); err == nil {
+		t.Error("single rule set should error")
+	}
+}

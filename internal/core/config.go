@@ -1,0 +1,262 @@
+// Package core wires the ARCS components into the full system of paper
+// Figure 2: binner → association rule engine → grid → smoothing → BitOp
+// clustering → pruning → verifier → heuristic optimizer, with the
+// feedback loop that adjusts the support and confidence thresholds until
+// the MDL cost of the segmentation stops improving.
+package core
+
+import (
+	"fmt"
+
+	"arcs/internal/mdl"
+	"arcs/internal/optimizer"
+)
+
+// BinStrategy selects how quantitative attributes are partitioned.
+type BinStrategy int
+
+const (
+	// BinEquiWidth uses equal-width intervals (the paper's default).
+	BinEquiWidth BinStrategy = iota
+	// BinEquiDepth uses quantile boundaries so bins hold roughly equal
+	// tuple counts.
+	BinEquiDepth
+	// BinHomogeneity sizes bins so tuples within each bin are
+	// near-uniformly distributed.
+	BinHomogeneity
+	// BinSupervised places bin boundaries with the entropy-based MDL
+	// criterion of Fayyad & Irani against the criterion attribute, so
+	// boundaries align with class changes — the paper's §5 suggestion of
+	// applying information-gain measures to threshold determination.
+	// NumBins acts as a cap rather than an exact count.
+	//
+	// Caveat: the cuts are chosen on each attribute's MARGINAL class
+	// distribution. On interaction-driven data the marginal can be flat
+	// where the joint structure changes (Function 2's age axis entirely,
+	// and its salary boundary at 75k), so cuts are missed; axes with no
+	// accepted cut fall back to equi-width. Prefer this strategy when
+	// the criterion varies with each attribute individually.
+	BinSupervised
+)
+
+// String names the strategy.
+func (b BinStrategy) String() string {
+	switch b {
+	case BinEquiWidth:
+		return "equi-width"
+	case BinEquiDepth:
+		return "equi-depth"
+	case BinHomogeneity:
+		return "homogeneity"
+	case BinSupervised:
+		return "supervised"
+	default:
+		return fmt.Sprintf("BinStrategy(%d)", int(b))
+	}
+}
+
+// SmoothingMode selects the grid-smoothing preprocessing (paper §3.4, §5).
+type SmoothingMode int
+
+const (
+	// SmoothBinary applies the 3×3 binary low-pass filter (the paper's
+	// default in the main experiments).
+	SmoothBinary SmoothingMode = iota
+	// SmoothOff disables smoothing.
+	SmoothOff
+	// SmoothWeighted smooths rule support values instead of presence
+	// bits (paper §5 extension).
+	SmoothWeighted
+	// SmoothMorphological closes then opens the grid (fill pinholes,
+	// drop isolated noise) using the image-processing morphology
+	// operators — the "more advanced filters" direction of §5. Unlike
+	// the low-pass filter it is idempotent and never moves cluster
+	// boundaries by more than one cell.
+	SmoothMorphological
+)
+
+// String names the mode.
+func (s SmoothingMode) String() string {
+	switch s {
+	case SmoothBinary:
+		return "binary"
+	case SmoothOff:
+		return "off"
+	case SmoothWeighted:
+		return "support-weighted"
+	case SmoothMorphological:
+		return "morphological"
+	default:
+		return fmt.Sprintf("SmoothingMode(%d)", int(s))
+	}
+}
+
+// SearchStrategy selects the threshold optimizer.
+type SearchStrategy int
+
+const (
+	// SearchWalk is the paper's low-to-high threshold walk (§3.7).
+	SearchWalk SearchStrategy = iota
+	// SearchAnneal uses simulated annealing (§5).
+	SearchAnneal
+	// SearchFactorial uses iterated two-level factorial design (§5).
+	SearchFactorial
+	// SearchFixed skips the search and uses FixedMinSupport /
+	// FixedMinConfidence directly.
+	SearchFixed
+)
+
+// String names the strategy.
+func (s SearchStrategy) String() string {
+	switch s {
+	case SearchWalk:
+		return "threshold-walk"
+	case SearchAnneal:
+		return "simulated-annealing"
+	case SearchFactorial:
+		return "factorial-design"
+	case SearchFixed:
+		return "fixed"
+	default:
+		return fmt.Sprintf("SearchStrategy(%d)", int(s))
+	}
+}
+
+// Config parameterizes an ARCS run. Only the attribute names are
+// required; every other field has the paper's default.
+type Config struct {
+	// XAttr and YAttr are the two LHS attributes chosen by the user
+	// (or by attribute selection; see SelectAttributePair).
+	XAttr, YAttr string
+	// CritAttr is the categorical RHS criterion attribute; CritValue is
+	// the group being segmented (e.g. customer-rating = "excellent").
+	CritAttr, CritValue string
+
+	// NumBins is the per-axis bin count for quantitative attributes.
+	// The paper presets 50. Categorical LHS attributes always get one
+	// bin per category.
+	NumBins int
+	// XBins / YBins override NumBins per axis when non-zero.
+	XBins, YBins int
+	// BinStrategy selects the quantitative partitioning scheme.
+	BinStrategy BinStrategy
+	// XRange / YRange optionally fix a quantitative attribute's domain
+	// [lo, hi], avoiding the need to fit it from data.
+	XRange, YRange *[2]float64
+
+	// Smoothing selects the grid preprocessing; SmoothThreshold is the
+	// neighborhood fraction for the binary filter (default 0.5).
+	Smoothing       SmoothingMode
+	SmoothThreshold float64
+
+	// PruneFraction is the dynamic pruning threshold of §3.5: clusters
+	// smaller than this fraction of the grid are discarded and the
+	// clustering loop stops when no larger cluster remains. The paper
+	// uses 1%. Negative disables pruning.
+	PruneFraction float64
+
+	// InterestLift, when positive, additionally requires every mined
+	// cell to beat the criterion value's global prior by this factor —
+	// the "greater-than-expected-value" interest measure discussed in
+	// §1.1 (Srikant & Agrawal). It composes with the confidence
+	// threshold: the effective minimum confidence is
+	// max(minConfidence, InterestLift × prior).
+	InterestLift float64
+
+	// Weights biases the MDL cost (default wc = we = 1).
+	Weights mdl.Weights
+
+	// Search picks the optimizer; Walk/Anneal/Factorial carry the
+	// per-strategy knobs. With SearchFixed, FixedMinSupport and
+	// FixedMinConfidence are used verbatim.
+	Search             SearchStrategy
+	Walk               optimizer.ThresholdWalk
+	Anneal             optimizer.Anneal
+	Factorial          optimizer.Factorial
+	FixedMinSupport    float64
+	FixedMinConfidence float64
+
+	// SampleSize is the number of tuples reservoir-sampled for the
+	// verifier (default 2000). SampleRounds and SampleK configure the
+	// repeated k-out-of-n measurement (defaults 5 rounds of half the
+	// sample).
+	SampleSize   int
+	SampleRounds int
+	SampleK      int
+
+	// ReorderCategorical enables the densest-cluster category ordering
+	// for a categorical LHS attribute (default on; only relevant when an
+	// LHS attribute is categorical).
+	ReorderCategorical *bool
+
+	// Seed drives all sampling; runs are deterministic per seed.
+	Seed int64
+}
+
+// withDefaults fills the zero values with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.NumBins == 0 {
+		c.NumBins = 50
+	}
+	if c.XBins == 0 {
+		c.XBins = c.NumBins
+	}
+	if c.YBins == 0 {
+		c.YBins = c.NumBins
+	}
+	if c.SmoothThreshold == 0 {
+		c.SmoothThreshold = 0.5
+	}
+	if c.PruneFraction == 0 {
+		c.PruneFraction = 0.01
+	}
+	if c.Weights == (mdl.Weights{}) {
+		c.Weights = mdl.DefaultWeights()
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = 2000
+	}
+	if c.SampleRounds == 0 {
+		c.SampleRounds = 5
+	}
+	if c.SampleK == 0 {
+		c.SampleK = c.SampleSize / 2
+	}
+	if c.ReorderCategorical == nil {
+		t := true
+		c.ReorderCategorical = &t
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.XAttr == "" || c.YAttr == "" || c.CritAttr == "" {
+		return fmt.Errorf("core: XAttr, YAttr and CritAttr are required")
+	}
+	if c.XAttr == c.YAttr {
+		return fmt.Errorf("core: LHS attributes must differ, both are %q", c.XAttr)
+	}
+	if c.XAttr == c.CritAttr || c.YAttr == c.CritAttr {
+		return fmt.Errorf("core: criterion attribute %q cannot also be an LHS attribute", c.CritAttr)
+	}
+	if c.NumBins < 0 || c.XBins < 0 || c.YBins < 0 {
+		return fmt.Errorf("core: bin counts must be non-negative")
+	}
+	if c.SmoothThreshold < 0 || c.SmoothThreshold > 1 {
+		return fmt.Errorf("core: smooth threshold %g outside [0, 1]", c.SmoothThreshold)
+	}
+	if c.PruneFraction > 1 {
+		return fmt.Errorf("core: prune fraction %g exceeds 1", c.PruneFraction)
+	}
+	if c.InterestLift < 0 {
+		return fmt.Errorf("core: interest lift %g is negative", c.InterestLift)
+	}
+	if c.Search == SearchFixed {
+		if c.FixedMinSupport < 0 || c.FixedMinSupport > 1 ||
+			c.FixedMinConfidence < 0 || c.FixedMinConfidence > 1 {
+			return fmt.Errorf("core: fixed thresholds (%g, %g) outside [0, 1]",
+				c.FixedMinSupport, c.FixedMinConfidence)
+		}
+	}
+	return nil
+}

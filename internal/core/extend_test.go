@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"arcs/internal/dataset"
+	"arcs/internal/synth"
+)
+
+func extSystem(t *testing.T, n int) *System {
+	t.Helper()
+	gen, err := synth.New(synth.Config{Function: 2, N: n, Seed: 1, FracA: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(gen, Config{
+		XAttr: synth.AttrAge, YAttr: synth.AttrSalary,
+		CritAttr: synth.AttrGroup, CritValue: synth.GroupA,
+		NumBins: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestExtendAddsData(t *testing.T) {
+	sys := extSystem(t, 5_000)
+	before := sys.BinArray().N()
+
+	// A fresh generator has a structurally identical schema (different
+	// instance): Extend must remap category codes by label.
+	more, err := synth.New(synth.Config{Function: 2, N: 3_000, Seed: 2, FracA: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Extend(more); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.BinArray().N(); got != before+3_000 {
+		t.Errorf("N = %d, want %d", got, before+3_000)
+	}
+	rs, err := sys.MineAt(0.0001, 0.39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Error("no rules after Extend")
+	}
+	// Full feedback loop still works (threshold cache was invalidated).
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rules) == 0 {
+		t.Error("Run found no rules after Extend")
+	}
+	if res.Errors.Rate() > 0.15 {
+		t.Errorf("error rate after Extend = %.2f%%", 100*res.Errors.Rate())
+	}
+}
+
+func TestExtendSampleStaysBounded(t *testing.T) {
+	sys := extSystem(t, 5_000)
+	capacity := sys.Sample().Len()
+	more, _ := synth.New(synth.Config{Function: 2, N: 10_000, Seed: 3, FracA: 0.4})
+	if err := sys.Extend(more); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Sample().Len() > 5_000 {
+		t.Errorf("sample grew to %d", sys.Sample().Len())
+	}
+	if sys.Sample().Len() < capacity {
+		t.Errorf("sample shrank from %d to %d", capacity, sys.Sample().Len())
+	}
+}
+
+func TestExtendRejectsIncompatibleSchema(t *testing.T) {
+	sys := extSystem(t, 1_000)
+	// Wrong width.
+	narrow := dataset.NewTable(dataset.NewSchema(
+		dataset.Attribute{Name: "age", Kind: dataset.Quantitative},
+	))
+	narrow.MustAppend(dataset.Tuple{1})
+	if err := sys.Extend(narrow); err == nil {
+		t.Error("narrow schema should be rejected")
+	}
+	// Same width, wrong attribute name.
+	wrong := synth.NewSchema()
+	tb := dataset.NewTable(wrong)
+	// Build a schema with a renamed attribute by hand.
+	renamed := dataset.NewSchema(
+		dataset.Attribute{Name: "WRONG", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: synth.AttrCommission, Kind: dataset.Quantitative},
+		dataset.Attribute{Name: synth.AttrAge, Kind: dataset.Quantitative},
+		dataset.Attribute{Name: synth.AttrELevel, Kind: dataset.Categorical},
+		dataset.Attribute{Name: synth.AttrCar, Kind: dataset.Categorical},
+		dataset.Attribute{Name: synth.AttrZipcode, Kind: dataset.Categorical},
+		dataset.Attribute{Name: synth.AttrHValue, Kind: dataset.Quantitative},
+		dataset.Attribute{Name: synth.AttrHYears, Kind: dataset.Quantitative},
+		dataset.Attribute{Name: synth.AttrLoan, Kind: dataset.Quantitative},
+		dataset.Attribute{Name: synth.AttrGroup, Kind: dataset.Categorical},
+	)
+	tb2 := dataset.NewTable(renamed)
+	tb2.MustAppend(make(dataset.Tuple, renamed.Len()))
+	if err := sys.Extend(tb2); err == nil {
+		t.Error("renamed attribute should be rejected")
+	}
+	_ = tb
+}
+
+func TestExtendRejectsUnknownCriterionLabel(t *testing.T) {
+	sys := extSystem(t, 1_000)
+	// A structurally identical schema whose group dictionary holds an
+	// extra label unknown to the system.
+	schema := synth.NewSchema()
+	schema.Attr(synth.AttrGroup).CategoryCode("mystery")
+	tb := dataset.NewTable(schema)
+	row := make(dataset.Tuple, schema.Len())
+	code, _ := schema.Attr(synth.AttrGroup).LookupCategory("mystery")
+	row[schema.MustIndex(synth.AttrGroup)] = float64(code)
+	row[schema.MustIndex(synth.AttrAge)] = 30
+	row[schema.MustIndex(synth.AttrSalary)] = 50_000
+	tb.MustAppend(row)
+	if err := sys.Extend(tb); err == nil {
+		t.Error("unknown criterion label should be rejected")
+	}
+}
+
+func TestExtendDeterministic(t *testing.T) {
+	run := func() uint64 {
+		sys := extSystem(t, 2_000)
+		more, _ := synth.New(synth.Config{Function: 2, N: 1_000, Seed: 9, FracA: 0.4})
+		if err := sys.Extend(more); err != nil {
+			t.Fatal(err)
+		}
+		return sys.BinArray().N()
+	}
+	if run() != run() {
+		t.Error("Extend is not deterministic")
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"arcs/internal/bitop"
+	"arcs/internal/engine"
+	"arcs/internal/grid"
+	"arcs/internal/mdl"
+	"arcs/internal/optimizer"
+	"arcs/internal/rules"
+	"arcs/internal/verify"
+)
+
+// bitopCluster adapts the BitOp call for the pipeline, keeping the
+// presentation order stable.
+func bitopCluster(bm *grid.Bitmap, minArea int) []grid.Rect {
+	rects := bitop.Cluster(bm, bitop.Options{MinArea: minArea})
+	bitop.SortRects(rects)
+	return rects
+}
+
+// Result is the outcome of a full ARCS run for one criterion value.
+type Result struct {
+	// CritValue is the segmented group.
+	CritValue string
+	// Rules is the final segmentation.
+	Rules []rules.ClusteredRule
+	// MinSupport and MinConfidence are the thresholds the optimizer
+	// settled on.
+	MinSupport, MinConfidence float64
+	// Cost is the MDL cost of the segmentation.
+	Cost float64
+	// Errors are the verification counts over the full sample.
+	Errors verify.ErrorCounts
+	// Evaluations is the number of threshold probes the search spent.
+	Evaluations int
+	// Trace records every probe, for reports and debugging.
+	Trace []optimizer.Step
+}
+
+// resetThresholdCache drops the Figure 10 indexes, forcing recomputation
+// over the current BinArray counts (used after Extend).
+func (s *System) resetThresholdCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.thresholds = make(map[int]*engine.Thresholds)
+}
+
+// thresholdsFor caches the Figure 10 structure per criterion code.
+// The cache is guarded so concurrent RunValue calls (SegmentAll) can
+// share it.
+func (s *System) thresholdsFor(seg int) (*engine.Thresholds, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if th, ok := s.thresholds[seg]; ok {
+		return th, nil
+	}
+	th, err := engine.NewThresholds(s.ba, seg)
+	if err != nil {
+		return nil, err
+	}
+	s.thresholds[seg] = th
+	return th, nil
+}
+
+// Objective adapts the system to one criterion code so the optimizer
+// strategies can probe it. Objectives for different codes are
+// independent and safe to drive concurrently: every probe only reads the
+// BinArray and the verification sample.
+func (s *System) Objective(label string) (optimizer.Objective, error) {
+	seg, err := s.segCode(label)
+	if err != nil {
+		return nil, err
+	}
+	return &segObjective{sys: s, seg: seg}, nil
+}
+
+type segObjective struct {
+	sys *System
+	seg int
+}
+
+// SupportLevels implements optimizer.Objective.
+func (o *segObjective) SupportLevels() []float64 {
+	th, err := o.sys.thresholdsFor(o.seg)
+	if err != nil {
+		return nil
+	}
+	return th.Supports()
+}
+
+// ConfidenceLevels implements optimizer.Objective.
+func (o *segObjective) ConfidenceLevels(support float64) []float64 {
+	th, err := o.sys.thresholdsFor(o.seg)
+	if err != nil {
+		return nil
+	}
+	return th.ConfidencesAtOrAbove(support)
+}
+
+// Evaluate implements optimizer.Objective: it mines and clusters at the
+// thresholds, verifies against the sample with repeated k-of-n draws, and
+// returns the MDL cost. Each evaluation reseeds its sampler so probes are
+// compared on identical draws.
+func (o *segObjective) Evaluate(minSup, minConf float64) (float64, int, error) {
+	s := o.sys
+	rs, err := s.mineAtSeg(o.seg, minSup, minConf)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(rs) == 0 {
+		return 0, 0, nil
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 1))
+	meanErrors, _, err := verify.MeasureRepeated(rs, s.sample, rng,
+		s.cfg.SampleRounds, s.cfg.SampleK, s.xIdx, s.yIdx, s.critIdx, o.seg)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Scale the sampled error count up to the full sample so MDL costs
+	// are comparable across sample sizes.
+	scale := 1.0
+	if s.cfg.SampleK > 0 && s.sample.Len() > 0 {
+		k := s.cfg.SampleK
+		if k > s.sample.Len() {
+			k = s.sample.Len()
+		}
+		scale = float64(s.sample.Len()) / float64(k)
+	}
+	cost, err := mdl.Cost(len(rs), meanErrors*scale, s.cfg.Weights)
+	if err != nil {
+		return 0, 0, err
+	}
+	return cost, len(rs), nil
+}
+
+// Run executes the full feedback loop for the configured criterion value.
+func (s *System) Run() (*Result, error) {
+	if s.cfg.CritValue == "" {
+		return nil, fmt.Errorf("core: Config.CritValue is required for Run; use SegmentAll for every value")
+	}
+	return s.RunValue(s.cfg.CritValue)
+}
+
+// RunValue executes the full feedback loop for an arbitrary criterion
+// value, reusing the BinArray (no re-binning, §3.1). It is safe to call
+// concurrently for different values.
+func (s *System) RunValue(label string) (*Result, error) {
+	seg, err := s.segCode(label)
+	if err != nil {
+		return nil, err
+	}
+	obj := &segObjective{sys: s, seg: seg}
+
+	var best optimizer.Best
+	switch s.cfg.Search {
+	case SearchFixed:
+		cost, n, err := obj.Evaluate(s.cfg.FixedMinSupport, s.cfg.FixedMinConfidence)
+		if err != nil {
+			return nil, err
+		}
+		best = optimizer.Best{
+			Support:     s.cfg.FixedMinSupport,
+			Confidence:  s.cfg.FixedMinConfidence,
+			Cost:        cost,
+			NumRules:    n,
+			Evaluations: 1,
+			Trace: []optimizer.Step{{
+				Support: s.cfg.FixedMinSupport, Confidence: s.cfg.FixedMinConfidence,
+				Cost: cost, NumRules: n,
+			}},
+		}
+	case SearchWalk:
+		best, err = s.cfg.Walk.Optimize(obj)
+	case SearchAnneal:
+		best, err = s.cfg.Anneal.Optimize(obj)
+	case SearchFactorial:
+		best, err = s.cfg.Factorial.Optimize(obj)
+	default:
+		return nil, fmt.Errorf("core: unknown search strategy %v", s.cfg.Search)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: optimizing %q: %w", label, err)
+	}
+
+	finalRules, err := s.mineAtSeg(seg, best.Support, best.Confidence)
+	if err != nil {
+		return nil, err
+	}
+	errs := verify.Measure(finalRules, s.sample, s.xIdx, s.yIdx, s.critIdx, seg)
+	return &Result{
+		CritValue:     label,
+		Rules:         finalRules,
+		MinSupport:    best.Support,
+		MinConfidence: best.Confidence,
+		Cost:          best.Cost,
+		Errors:        errs,
+		Evaluations:   best.Evaluations,
+		Trace:         best.Trace,
+	}, nil
+}
+
+// SegmentAll runs the feedback loop for every value of the criterion
+// attribute, exploiting the BinArray's nseg+1 layout: no re-binning is
+// needed to segment a different group (§3.1). The per-value runs only
+// read shared state, so they execute concurrently (bounded by
+// GOMAXPROCS). Results are keyed by criterion label.
+func (s *System) SegmentAll() (map[string]*Result, error) {
+	labels := s.schema.At(s.critIdx).Categories()
+	sort.Strings(labels)
+	type outcome struct {
+		res *Result
+		err error
+	}
+	outcomes := make([]outcome, len(labels))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, label := range labels {
+		wg.Add(1)
+		go func(i int, label string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := s.RunValue(label)
+			if err != nil && isNoThresholds(err) {
+				// A group too small to support any rules is reported as
+				// an empty result rather than failing the segmentation.
+				res, err = &Result{CritValue: label}, nil
+			}
+			outcomes[i] = outcome{res: res, err: err}
+		}(i, label)
+	}
+	wg.Wait()
+	out := make(map[string]*Result, len(labels))
+	for i, label := range labels {
+		if outcomes[i].err != nil {
+			return nil, outcomes[i].err
+		}
+		out[label] = outcomes[i].res
+	}
+	return out, nil
+}
+
+func isNoThresholds(err error) bool {
+	return errors.Is(err, optimizer.ErrNoThresholds)
+}

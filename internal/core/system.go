@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"arcs/internal/binarray"
+	"arcs/internal/binning"
+	"arcs/internal/cluster"
+	"arcs/internal/dataset"
+	"arcs/internal/engine"
+	"arcs/internal/filter"
+	"arcs/internal/grid"
+	"arcs/internal/rules"
+	"arcs/internal/stats"
+)
+
+// System is a fully initialized ARCS instance: the data has been binned
+// into the in-memory BinArray and a verification sample drawn, so any
+// number of threshold probes, criterion values or full optimizer runs can
+// execute without touching the source again.
+type System struct {
+	cfg    Config
+	schema *dataset.Schema
+
+	xIdx, yIdx, critIdx int
+	xb, yb              binning.Binner
+	xCat, yCat          bool
+
+	ba     *binarray.BinArray
+	sample *dataset.Table
+
+	// mu guards the thresholds cache; everything else is read-only
+	// after New, so concurrent RunValue calls are safe.
+	mu sync.Mutex
+	// thresholds caches the Figure 10 structure per criterion code.
+	thresholds map[int]*engine.Thresholds
+}
+
+// New builds a System from a tuple source. It makes two passes over the
+// data: one to fit the binners and reservoir-sample the verifier's tuples
+// (skipped for the binning when both ranges are fixed and the strategy is
+// equi-width), and one to fill the BinArray.
+func New(src dataset.Source, cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	schema := src.Schema()
+	s := &System{cfg: cfg, schema: schema, thresholds: make(map[int]*engine.Thresholds)}
+
+	var err error
+	if s.xIdx, err = schema.Index(cfg.XAttr); err != nil {
+		return nil, err
+	}
+	if s.yIdx, err = schema.Index(cfg.YAttr); err != nil {
+		return nil, err
+	}
+	if s.critIdx, err = schema.Index(cfg.CritAttr); err != nil {
+		return nil, err
+	}
+	if schema.At(s.critIdx).Kind != dataset.Categorical {
+		return nil, fmt.Errorf("core: criterion attribute %q must be categorical", cfg.CritAttr)
+	}
+	s.xCat = schema.At(s.xIdx).Kind == dataset.Categorical
+	s.yCat = schema.At(s.yIdx).Kind == dataset.Categorical
+	if s.xCat && s.yCat {
+		return nil, fmt.Errorf("core: at most one LHS attribute may be categorical (got %q and %q)",
+			cfg.XAttr, cfg.YAttr)
+	}
+
+	if err := s.fitAndSample(src); err != nil {
+		return nil, err
+	}
+
+	nseg := schema.At(s.critIdx).NumCategories()
+	if nseg == 0 {
+		return nil, fmt.Errorf("core: criterion attribute %q has no categories", cfg.CritAttr)
+	}
+	s.ba, err = binarray.Build(src, s.xIdx, s.yIdx, s.critIdx, s.xb, s.yb, nseg)
+	if err != nil {
+		return nil, err
+	}
+	if s.ba.N() == 0 {
+		return nil, fmt.Errorf("core: source yielded no tuples")
+	}
+
+	if *cfg.ReorderCategorical && (s.xCat || s.yCat) {
+		if err := s.reorderCategorical(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// fitAndSample draws the verification sample and fits the binners.
+func (s *System) fitAndSample(src dataset.Source) error {
+	cfg := s.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fitSize := cfg.SampleSize
+	if fitSize < 4096 {
+		fitSize = 4096
+	}
+	res := stats.NewReservoir(rng, fitSize)
+	buf := make([]dataset.Tuple, 0, fitSize)
+	xLo, xHi := math.Inf(1), math.Inf(-1)
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	err := dataset.ForEach(src, func(t dataset.Tuple) error {
+		if v := t[s.xIdx]; v < xLo {
+			xLo = v
+		}
+		if v := t[s.xIdx]; v > xHi {
+			xHi = v
+		}
+		if v := t[s.yIdx]; v < yLo {
+			yLo = v
+		}
+		if v := t[s.yIdx]; v > yHi {
+			yHi = v
+		}
+		if slot, keep := res.Offer(); keep {
+			if slot == len(buf) {
+				buf = append(buf, t.Clone())
+			} else {
+				buf[slot] = t.Clone()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(buf) == 0 {
+		return fmt.Errorf("core: source yielded no tuples")
+	}
+
+	// The verifier's sample is a uniform subsample of the fit sample.
+	sample := dataset.NewTable(s.schema)
+	limit := cfg.SampleSize
+	if limit > len(buf) {
+		limit = len(buf)
+	}
+	for _, t := range buf[:limit] {
+		if err := sample.Append(t); err != nil {
+			return err
+		}
+	}
+	s.sample = sample
+
+	col := func(idx int) []float64 {
+		out := make([]float64, len(buf))
+		for i, t := range buf {
+			out[i] = t[idx]
+		}
+		return out
+	}
+	mkBinner := func(idx int, cat bool, bins int, fixed *[2]float64, lo, hi float64) (binning.Binner, error) {
+		if cat {
+			n := s.schema.At(idx).NumCategories()
+			return binning.NewCategorical(n)
+		}
+		switch cfg.BinStrategy {
+		case BinEquiWidth:
+			if fixed != nil {
+				return binning.NewEquiWidth(fixed[0], fixed[1], bins)
+			}
+			if lo == hi {
+				hi = lo + 1
+			}
+			return binning.NewEquiWidth(lo, hi, bins)
+		case BinEquiDepth:
+			return binning.NewEquiDepth(col(idx), bins)
+		case BinHomogeneity:
+			return binning.NewHomogeneity(col(idx), bins)
+		case BinSupervised:
+			classes := make([]int, len(buf))
+			for i, t := range buf {
+				classes[i] = int(t[s.critIdx])
+			}
+			sb, err := binning.NewSupervised(col(idx), classes, bins)
+			if err != nil {
+				return nil, err
+			}
+			// Supervised cuts only exist where the attribute's marginal
+			// class distribution changes. On interaction-driven data
+			// (e.g. Function 2, where P(group | age) is flat although
+			// age matters jointly with salary) no cut passes the MDL
+			// test and the axis would collapse to one bin; fall back to
+			// the unsupervised default there.
+			if sb.NumBins() < 3 {
+				if lo == hi {
+					hi = lo + 1
+				}
+				return binning.NewEquiWidth(lo, hi, bins)
+			}
+			return sb, nil
+		default:
+			return nil, fmt.Errorf("core: unknown bin strategy %v", cfg.BinStrategy)
+		}
+	}
+	if s.xb, err = mkBinner(s.xIdx, s.xCat, cfg.XBins, cfg.XRange, xLo, xHi); err != nil {
+		return err
+	}
+	if s.yb, err = mkBinner(s.yIdx, s.yCat, cfg.YBins, cfg.YRange, yLo, yHi); err != nil {
+		return err
+	}
+	return nil
+}
+
+// reorderCategorical computes the densest-cluster ordering for the
+// categorical LHS attribute (paper §5) from a zero-threshold rule grid
+// and permutes the BinArray in memory.
+func (s *System) reorderCategorical() error {
+	seg, err := s.segCode(s.cfg.CritValue)
+	if err != nil {
+		// No criterion value chosen yet (e.g. SegmentAll); reorder by
+		// the first category.
+		seg = 0
+	}
+	cellRules, err := engine.GenAssociationRules(s.ba, seg, 0, 0)
+	if err != nil {
+		return err
+	}
+	if len(cellRules) == 0 {
+		return nil
+	}
+	bm, err := grid.FromRules(cellRules, s.ba.NX(), s.ba.NY())
+	if err != nil {
+		return err
+	}
+	if s.xCat {
+		order := cluster.OrderCategories(bm)
+		ordered, err := binning.NewCategoricalOrdered(order)
+		if err != nil {
+			return err
+		}
+		if s.ba, err = binarray.PermuteX(s.ba, order); err != nil {
+			return err
+		}
+		s.xb = ordered
+	} else {
+		// Column-order the transpose so OrderCategories sees the y
+		// categories as columns.
+		order := cluster.OrderCategories(bm.Transpose())
+		ordered, err := binning.NewCategoricalOrdered(order)
+		if err != nil {
+			return err
+		}
+		if s.ba, err = binarray.PermuteY(s.ba, order); err != nil {
+			return err
+		}
+		s.yb = ordered
+	}
+	// Any cached thresholds refer to the old layout's cells; supports
+	// and confidences are permutation-invariant, but rebuild for safety.
+	s.thresholds = make(map[int]*engine.Thresholds)
+	return nil
+}
+
+// segCode resolves a criterion label to its category code.
+func (s *System) segCode(label string) (int, error) {
+	code, ok := s.schema.At(s.critIdx).LookupCategory(label)
+	if !ok {
+		return 0, fmt.Errorf("core: criterion attribute %q has no value %q (have %v)",
+			s.cfg.CritAttr, label, s.schema.At(s.critIdx).Categories())
+	}
+	return code, nil
+}
+
+// BinArray exposes the count structure (read-only by convention).
+func (s *System) BinArray() *binarray.BinArray { return s.ba }
+
+// Sample exposes the verification sample.
+func (s *System) Sample() *dataset.Table { return s.sample }
+
+// Binners exposes the fitted binners for the two LHS attributes.
+func (s *System) Binners() (x, y binning.Binner) { return s.xb, s.yb }
+
+// Grid builds the (optionally smoothed) rule bitmap at the given
+// thresholds for a criterion label — the exact input BitOp sees. Useful
+// for visualization (paper Figures 1, 7).
+func (s *System) Grid(label string, minSup, minConf float64) (*grid.Bitmap, error) {
+	seg, err := s.segCode(label)
+	if err != nil {
+		return nil, err
+	}
+	return s.buildGrid(seg, minSup, minConf)
+}
+
+// effectiveMinConf applies the interest-measure extension: when
+// InterestLift is configured, the confidence bar is raised to
+// lift × prior of the criterion value if that exceeds minConf.
+func (s *System) effectiveMinConf(seg int, minConf float64) float64 {
+	if s.cfg.InterestLift > 0 && s.ba.N() > 0 {
+		prior := float64(s.ba.SegmentTotal(seg)) / float64(s.ba.N())
+		if bar := s.cfg.InterestLift * prior; bar > minConf {
+			return bar
+		}
+	}
+	return minConf
+}
+
+func (s *System) buildGrid(seg int, minSup, minConf float64) (*grid.Bitmap, error) {
+	minConf = s.effectiveMinConf(seg, minConf)
+	switch s.cfg.Smoothing {
+	case SmoothWeighted:
+		// Smooth support values of confidence-passing cells, then
+		// threshold at the support minimum.
+		dense, err := grid.NewDense(s.ba.NY(), s.ba.NX())
+		if err != nil {
+			return nil, err
+		}
+		s.ba.Occupied(seg, func(x, y int, segCount, cellTotal uint32) {
+			conf := float64(segCount) / float64(cellTotal)
+			if conf >= minConf {
+				dense.Set(y, x, float64(segCount)/float64(s.ba.N()))
+			}
+		})
+		return filter.LowPassWeighted(dense, minSup)
+	default:
+		cellRules, err := engine.GenAssociationRules(s.ba, seg, minSup, minConf)
+		if err != nil {
+			return nil, err
+		}
+		bm, err := grid.FromRules(cellRules, s.ba.NX(), s.ba.NY())
+		if err != nil {
+			return nil, err
+		}
+		switch s.cfg.Smoothing {
+		case SmoothBinary:
+			return filter.LowPass(bm, s.cfg.SmoothThreshold)
+		case SmoothMorphological:
+			return filter.Open(filter.Close(bm)), nil
+		default:
+			return bm, nil
+		}
+	}
+}
+
+// MineAt runs the full clustering pipeline at fixed thresholds for the
+// configured criterion value: mine cell rules, build and smooth the grid,
+// run BitOp with dynamic pruning, and convert the rectangles to clustered
+// association rules.
+func (s *System) MineAt(minSup, minConf float64) ([]rules.ClusteredRule, error) {
+	seg, err := s.segCode(s.cfg.CritValue)
+	if err != nil {
+		return nil, err
+	}
+	return s.mineAtSeg(seg, minSup, minConf)
+}
+
+func (s *System) mineAtSeg(seg int, minSup, minConf float64) ([]rules.ClusteredRule, error) {
+	minConf = s.effectiveMinConf(seg, minConf)
+	bm, err := s.buildGrid(seg, minSup, minConf)
+	if err != nil {
+		return nil, err
+	}
+	gridArea := s.ba.NX() * s.ba.NY()
+	minArea := 1
+	if s.cfg.PruneFraction > 0 {
+		minArea = int(math.Ceil(s.cfg.PruneFraction * float64(gridArea)))
+		if minArea < 1 {
+			minArea = 1
+		}
+	}
+	rects := bitopCluster(bm, minArea)
+	meta := cluster.Meta{
+		XAttr: s.cfg.XAttr, YAttr: s.cfg.YAttr,
+		CritAttr:  s.cfg.CritAttr,
+		CritValue: s.schema.At(s.critIdx).Category(seg),
+	}
+	rs, err := cluster.FromRects(rects, s.ba, seg, s.xb, s.yb, meta)
+	if err != nil {
+		return nil, err
+	}
+	// §2.1 invariant: clustered rules always meet the minimum thresholds.
+	// Smoothing can pull cells into a cluster that were never rules, so
+	// clusters whose aggregate confidence fell below the minimum — noise
+	// fragments, mostly — are discarded here.
+	kept := rs[:0]
+	for _, r := range rs {
+		if r.Confidence >= minConf {
+			kept = append(kept, r)
+		}
+	}
+	return kept, nil
+}

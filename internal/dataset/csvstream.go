@@ -1,0 +1,161 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// CSVStream is a tuple source that reads a CSV file from disk on every
+// pass instead of materializing it, preserving ARCS's constant-memory
+// property for data sets that do not fit in RAM (the regime of the
+// paper's Figure 15, where C4.5 dies of virtual-memory depletion and
+// ARCS keeps streaming). Reset reopens the file.
+//
+// The schema must be known up front — either supplied by the caller or
+// inferred by InferCSVSchema from a bounded prefix of the file — because
+// a streaming pass cannot look ahead. Categorical labels not seen during
+// inference are registered on the fly.
+type CSVStream struct {
+	path   string
+	schema *Schema
+
+	file *os.File
+	cr   *csv.Reader
+	buf  Tuple
+	row  int
+}
+
+// OpenCSVStream opens path for streaming with the given schema. The
+// header row is validated against the schema on every pass.
+func OpenCSVStream(path string, schema *Schema) (*CSVStream, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("dataset: OpenCSVStream requires a schema; use InferCSVSchema first")
+	}
+	s := &CSVStream{path: path, schema: schema, buf: make(Tuple, schema.Len())}
+	if err := s.Reset(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// InferCSVSchema reads up to sampleRows data rows from the file and
+// infers a schema the same way ReadCSV does (numeric columns become
+// quantitative). Pass the result to OpenCSVStream.
+func InferCSVSchema(path string, sampleRows int) (*Schema, error) {
+	if sampleRows <= 0 {
+		sampleRows = 1000
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(bufio.NewReaderSize(f, 1<<20))
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	headerCopy := append([]string(nil), header...)
+	var records [][]string
+	for len(records) < sampleRows {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, append([]string(nil), rec...))
+	}
+	return inferSchema(headerCopy, records), nil
+}
+
+// Schema implements Source.
+func (s *CSVStream) Schema() *Schema { return s.schema }
+
+// Reset implements Source: it reopens the file and re-validates the
+// header.
+func (s *CSVStream) Reset() error {
+	if s.file != nil {
+		s.file.Close()
+		s.file = nil
+	}
+	f, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	cr := csv.NewReader(bufio.NewReaderSize(f, 1<<20))
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) != s.schema.Len() {
+		f.Close()
+		return fmt.Errorf("dataset: CSV has %d columns, schema has %d attributes", len(header), s.schema.Len())
+	}
+	for i, name := range header {
+		if s.schema.At(i).Name != name {
+			f.Close()
+			return fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, name, s.schema.At(i).Name)
+		}
+	}
+	s.file = f
+	s.cr = cr
+	s.row = 1
+	return nil
+}
+
+// Next implements Source. The returned tuple is reused between calls.
+func (s *CSVStream) Next() (Tuple, error) {
+	if s.cr == nil {
+		return nil, io.EOF
+	}
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dataset: CSV row %d: %w", s.row+1, err)
+	}
+	s.row++
+	if len(rec) != s.schema.Len() {
+		return nil, fmt.Errorf("dataset: CSV row %d has %d fields, want %d", s.row, len(rec), s.schema.Len())
+	}
+	for i, field := range rec {
+		a := s.schema.At(i)
+		switch a.Kind {
+		case Quantitative:
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV row %d, attribute %q: %w", s.row, a.Name, err)
+			}
+			s.buf[i] = v
+		case Categorical:
+			code, err := a.CategoryCode(field)
+			if err != nil {
+				return nil, err
+			}
+			s.buf[i] = float64(code)
+		}
+	}
+	return s.buf, nil
+}
+
+// Close releases the underlying file. The stream is unusable afterwards
+// except via Reset, which reopens it.
+func (s *CSVStream) Close() error {
+	if s.file == nil {
+		return nil
+	}
+	err := s.file.Close()
+	s.file = nil
+	s.cr = nil
+	return err
+}

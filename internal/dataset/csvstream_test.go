@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTempCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCSVStreamBasic(t *testing.T) {
+	path := writeTempCSV(t, sampleCSV)
+	schema, err := InferCSVSchema(path, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Attr("age").Kind != Quantitative || schema.Attr("group").Kind != Categorical {
+		t.Fatal("schema inference wrong")
+	}
+	stream, err := OpenCSVStream(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	n, err := Count(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("Count = %d", n)
+	}
+	// Second pass after Reset sees the same tuples.
+	var ages []float64
+	if err := ForEach(stream, func(tp Tuple) error {
+		ages = append(ages, tp[0])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ages) != 3 || ages[0] != 30 || ages[2] != 62 {
+		t.Errorf("ages = %v", ages)
+	}
+}
+
+func TestCSVStreamHeaderMismatch(t *testing.T) {
+	path := writeTempCSV(t, sampleCSV)
+	wrong := NewSchema(
+		Attribute{Name: "WRONG", Kind: Quantitative},
+		Attribute{Name: "salary", Kind: Quantitative},
+		Attribute{Name: "group", Kind: Categorical},
+	)
+	if _, err := OpenCSVStream(path, wrong); err == nil {
+		t.Error("header mismatch should error")
+	}
+	short := NewSchema(Attribute{Name: "age", Kind: Quantitative})
+	if _, err := OpenCSVStream(path, short); err == nil {
+		t.Error("column-count mismatch should error")
+	}
+	if _, err := OpenCSVStream(path, nil); err == nil {
+		t.Error("nil schema should error")
+	}
+}
+
+func TestCSVStreamBadData(t *testing.T) {
+	path := writeTempCSV(t, "age,group\nnotanumber,A\n")
+	schema := NewSchema(
+		Attribute{Name: "age", Kind: Quantitative},
+		Attribute{Name: "group", Kind: Categorical},
+	)
+	stream, err := OpenCSVStream(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	if _, err := stream.Next(); err == nil {
+		t.Error("unparsable value should error")
+	}
+}
+
+func TestCSVStreamMissingFile(t *testing.T) {
+	schema := NewSchema(Attribute{Name: "x", Kind: Quantitative})
+	if _, err := OpenCSVStream("/nonexistent/file.csv", schema); err == nil {
+		t.Error("missing file should error")
+	}
+	if _, err := InferCSVSchema("/nonexistent/file.csv", 10); err == nil {
+		t.Error("missing file should error on inference")
+	}
+}
+
+func TestCSVStreamNewCategoriesOnTheFly(t *testing.T) {
+	// Inference sees only the first row; a later row introduces a new
+	// label, which must be registered rather than rejected.
+	path := writeTempCSV(t, "g\nA\nB\nC\n")
+	schema, err := InferCSVSchema(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := OpenCSVStream(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	n, err := Count(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("Count = %d", n)
+	}
+	if schema.Attr("g").NumCategories() != 3 {
+		t.Errorf("categories = %d, want 3", schema.Attr("g").NumCategories())
+	}
+}
+
+func TestCSVStreamCloseThenReset(t *testing.T) {
+	path := writeTempCSV(t, sampleCSV)
+	schema, _ := InferCSVSchema(path, 10)
+	stream, err := OpenCSVStream(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close, Next returns EOF; Reset revives the stream.
+	if _, err := stream.Next(); err == nil {
+		t.Error("Next after Close should not succeed")
+	}
+	if err := stream.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.Next(); err != nil {
+		t.Errorf("Next after Reset: %v", err)
+	}
+	stream.Close()
+}

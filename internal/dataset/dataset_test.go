@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemaAddAndIndex(t *testing.T) {
+	s := NewSchema(
+		Attribute{Name: "age", Kind: Quantitative},
+		Attribute{Name: "group", Kind: Categorical},
+	)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if i := s.MustIndex("group"); i != 1 {
+		t.Errorf("MustIndex(group) = %d, want 1", i)
+	}
+	if _, err := s.Index("nope"); err == nil {
+		t.Error("Index of unknown attribute should error")
+	}
+	if a := s.Attr("age"); a == nil || a.Kind != Quantitative {
+		t.Errorf("Attr(age) = %+v, want quantitative attribute", a)
+	}
+	if a := s.Attr("missing"); a != nil {
+		t.Errorf("Attr(missing) = %+v, want nil", a)
+	}
+}
+
+func TestSchemaDuplicateRejected(t *testing.T) {
+	s := &Schema{}
+	if _, err := s.Add("x", Quantitative); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add("x", Categorical); err == nil {
+		t.Error("duplicate Add should error")
+	}
+}
+
+func TestCategoryDictionary(t *testing.T) {
+	s := &Schema{}
+	a := s.MustAdd("color", Categorical)
+	red, err := a.CategoryCode("red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blue, _ := a.CategoryCode("blue")
+	again, _ := a.CategoryCode("red")
+	if red != again {
+		t.Errorf("re-encoding red gave %d, first gave %d", again, red)
+	}
+	if red == blue {
+		t.Error("distinct labels got the same code")
+	}
+	if got := a.Category(blue); got != "blue" {
+		t.Errorf("Category(%d) = %q, want blue", blue, got)
+	}
+	if a.NumCategories() != 2 {
+		t.Errorf("NumCategories = %d, want 2", a.NumCategories())
+	}
+	if _, ok := a.LookupCategory("green"); ok {
+		t.Error("LookupCategory of unseen label should report !ok")
+	}
+}
+
+func TestCategoryCodeOnQuantitative(t *testing.T) {
+	s := &Schema{}
+	a := s.MustAdd("age", Quantitative)
+	if _, err := a.CategoryCode("x"); err == nil {
+		t.Error("CategoryCode on quantitative attribute should error")
+	}
+}
+
+func TestSchemaClone(t *testing.T) {
+	s := &Schema{}
+	a := s.MustAdd("g", Categorical)
+	a.CategoryCode("A")
+	c := s.Clone()
+	// Mutating the clone must not affect the original.
+	c.Attr("g").CategoryCode("B")
+	if s.Attr("g").NumCategories() != 1 {
+		t.Errorf("original schema gained categories after clone mutation")
+	}
+	if code, ok := c.Attr("g").LookupCategory("A"); !ok || code != 0 {
+		t.Errorf("clone lost category A: code=%d ok=%v", code, ok)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Quantitative.String() != "quantitative" || Categorical.String() != "categorical" {
+		t.Error("Kind.String mismatch")
+	}
+	if got := Kind(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown kind string %q", got)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	s := &Schema{}
+	s.MustAdd("age", Quantitative)
+	g := s.MustAdd("grp", Categorical)
+	g.CategoryCode("A")
+	if got := s.FormatValue(0, 41.5); got != "41.5" {
+		t.Errorf("FormatValue quantitative = %q", got)
+	}
+	if got := s.FormatValue(1, 0); got != "A" {
+		t.Errorf("FormatValue categorical = %q", got)
+	}
+	if got := s.FormatValue(1, 9); !strings.Contains(got, "9") {
+		t.Errorf("FormatValue out-of-range = %q", got)
+	}
+}
+
+func TestQuantitativeAndCategoricalNames(t *testing.T) {
+	s := NewSchema(
+		Attribute{Name: "a", Kind: Quantitative},
+		Attribute{Name: "b", Kind: Categorical},
+		Attribute{Name: "c", Kind: Quantitative},
+	)
+	q := s.QuantitativeNames()
+	if len(q) != 2 || q[0] != "a" || q[1] != "c" {
+		t.Errorf("QuantitativeNames = %v", q)
+	}
+	c := s.CategoricalNames()
+	if len(c) != 1 || c[0] != "b" {
+		t.Errorf("CategoricalNames = %v", c)
+	}
+}
+
+func TestSortedCategories(t *testing.T) {
+	s := &Schema{}
+	a := s.MustAdd("g", Categorical)
+	a.CategoryCode("zebra")
+	a.CategoryCode("ant")
+	got := a.SortedCategories()
+	if len(got) != 2 || got[0] != "ant" || got[1] != "zebra" {
+		t.Errorf("SortedCategories = %v", got)
+	}
+	// Categories (code order) must be unaffected.
+	if cats := a.Categories(); cats[0] != "zebra" {
+		t.Errorf("Categories = %v, want code order", cats)
+	}
+}

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// stubBinner is a fixed 3-bin equi-width binner over [0, 30).
+type stubBinner struct{}
+
+func (stubBinner) NumBins() int { return 3 }
+func (stubBinner) Bin(v float64) int {
+	switch {
+	case v < 10:
+		return 0
+	case v < 20:
+		return 1
+	default:
+		return 2
+	}
+}
+func (stubBinner) Bounds(b int) (float64, float64) {
+	return float64(b * 10), float64((b + 1) * 10)
+}
+
+type oneBinner struct{ stubBinner }
+
+func (oneBinner) NumBins() int { return 1 }
+
+func TestDiscretize(t *testing.T) {
+	tb, err := ReadCSV(strings.NewReader("sales,region\n5,east\n15,west\n25,east\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Discretize(tb, "sales", stubBinner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := src.Schema()
+	a := schema.Attr("sales")
+	if a == nil || a.Kind != Categorical {
+		t.Fatal("sales should become categorical")
+	}
+	if a.NumCategories() != 3 {
+		t.Fatalf("categories = %d", a.NumCategories())
+	}
+	if got := a.Category(1); got != "sales[10,20)" {
+		t.Errorf("bin 1 label = %q", got)
+	}
+	// Region dictionary must be carried over.
+	if schema.Attr("region").NumCategories() != 2 {
+		t.Error("region categories lost")
+	}
+	var codes []int
+	if err := ForEach(src, func(tp Tuple) error {
+		codes = append(codes, int(tp[0]))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+	// Sized passthrough.
+	ss, ok := src.(SizedSource)
+	if !ok || ss.Len() != 3 {
+		t.Error("sized source not preserved")
+	}
+	// Second pass after Reset.
+	n, err := Count(src)
+	if err != nil || n != 3 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+}
+
+func TestDiscretizeErrors(t *testing.T) {
+	tb, _ := ReadCSV(strings.NewReader("sales,region\n5,east\n"), nil)
+	if _, err := Discretize(tb, "nope", stubBinner{}); err == nil {
+		t.Error("unknown attribute should error")
+	}
+	if _, err := Discretize(tb, "region", stubBinner{}); err == nil {
+		t.Error("categorical attribute should error")
+	}
+	if _, err := Discretize(tb, "sales", oneBinner{}); err == nil {
+		t.Error("single bin should error")
+	}
+}
+
+func TestDiscretizeUnsizedSource(t *testing.T) {
+	schema := NewSchema(Attribute{Name: "x", Kind: Quantitative})
+	fs := NewFuncSource(schema, 4, func(i int, out Tuple) { out[0] = float64(i * 9) })
+	// Hide the size by wrapping.
+	src, err := Discretize(unsized{fs}, "x", stubBinner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.(SizedSource); ok {
+		t.Error("unsized source should stay unsized")
+	}
+	n, err := Count(src)
+	if err != nil || n != 4 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+}
+
+// unsized hides a source's Len.
+type unsized struct{ s Source }
+
+func (u unsized) Schema() *Schema      { return u.s.Schema() }
+func (u unsized) Next() (Tuple, error) { return u.s.Next() }
+func (u unsized) Reset() error         { return u.s.Reset() }

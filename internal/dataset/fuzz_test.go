@@ -1,0 +1,47 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary CSV-ish input never panics the
+// reader and that successful parses round-trip structurally.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n")
+	f.Add("age,salary,group\n30,50000,A\n45,80000,B\n")
+	f.Add("x\n")
+	f.Add("")
+	f.Add("a,a\n1,2\n")
+	f.Add("a,b\n\"quoted,comma\",3\n")
+	f.Add("a\n1\nnotanumber\n")
+	f.Add("héllo,wörld\n1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tb, err := ReadCSV(strings.NewReader(input), nil)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Parsed tables must be internally consistent.
+		schema := tb.Schema()
+		for i := 0; i < tb.Len(); i++ {
+			row := tb.Row(i)
+			if len(row) != schema.Len() {
+				t.Fatalf("row %d width %d != schema %d", i, len(row), schema.Len())
+			}
+			for j, v := range row {
+				a := schema.At(j)
+				if a.Kind == Categorical {
+					code := int(v)
+					if code < 0 || code >= a.NumCategories() {
+						t.Fatalf("row %d col %d: category code %d out of range", i, j, code)
+					}
+				}
+			}
+		}
+		// Writing back must succeed for any successfully parsed table.
+		var sb strings.Builder
+		if err := WriteCSV(&sb, tb); err != nil {
+			t.Fatalf("WriteCSV of parsed table failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Tuple is a single record: one encoded float64 per schema attribute.
+// Quantitative attributes hold their value, categorical attributes hold
+// their dictionary code.
+type Tuple []float64
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Source is a resettable stream of tuples. Next returns io.EOF after the
+// last tuple. ARCS performs a single pass per mining run but the feedback
+// loop may Reset the source to verify candidate segmentations against
+// fresh samples.
+//
+// Implementations are not required to be safe for concurrent use.
+type Source interface {
+	// Schema describes the tuples produced by Next.
+	Schema() *Schema
+	// Next returns the next tuple or io.EOF. The returned slice may be
+	// reused by subsequent calls; callers that retain tuples must Clone.
+	Next() (Tuple, error)
+	// Reset rewinds the source to the first tuple.
+	Reset() error
+}
+
+// SizedSource is implemented by sources that know their tuple count in
+// advance, letting consumers preallocate.
+type SizedSource interface {
+	Source
+	// Len reports the total number of tuples the source yields per pass.
+	Len() int
+}
+
+// ErrSchemaMismatch is returned when a tuple's width does not match the
+// schema it is being used with.
+var ErrSchemaMismatch = errors.New("dataset: tuple width does not match schema")
+
+// ForEach streams src from the beginning and invokes fn for every tuple.
+// It resets the source first, so the caller always sees a full pass.
+// Iteration stops at the first error from fn.
+func ForEach(src Source, fn func(Tuple) error) error {
+	if err := src.Reset(); err != nil {
+		return fmt.Errorf("dataset: reset: %w", err)
+	}
+	for {
+		t, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+}
+
+// Count consumes the source and reports the number of tuples in one pass.
+func Count(src Source) (int, error) {
+	if ss, ok := src.(SizedSource); ok {
+		return ss.Len(), nil
+	}
+	n := 0
+	err := ForEach(src, func(Tuple) error { n++; return nil })
+	return n, err
+}
+
+// Materialize drains the source into an in-memory Table sharing the
+// source's schema.
+func Materialize(src Source) (*Table, error) {
+	tb := NewTable(src.Schema())
+	if ss, ok := src.(SizedSource); ok {
+		tb.rows = make([]Tuple, 0, ss.Len())
+	}
+	err := ForEach(src, func(t Tuple) error {
+		tb.rows = append(tb.rows, t.Clone())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
+// Limit wraps a source, yielding at most n tuples per pass.
+func Limit(src Source, n int) Source { return &limitSource{src: src, limit: n} }
+
+type limitSource struct {
+	src   Source
+	limit int
+	seen  int
+}
+
+func (l *limitSource) Schema() *Schema { return l.src.Schema() }
+
+func (l *limitSource) Next() (Tuple, error) {
+	if l.seen >= l.limit {
+		return nil, io.EOF
+	}
+	t, err := l.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	l.seen++
+	return t, nil
+}
+
+func (l *limitSource) Reset() error {
+	l.seen = 0
+	return l.src.Reset()
+}
+
+func (l *limitSource) Len() int {
+	if ss, ok := l.src.(SizedSource); ok {
+		if n := ss.Len(); n < l.limit {
+			return n
+		}
+	}
+	return l.limit
+}
+
+// FuncSource adapts a generator function into a Source. The function is
+// called with the zero-based position of the tuple to produce; it must be
+// deterministic with respect to that position so Reset replays identically.
+type FuncSource struct {
+	schema *Schema
+	n      int
+	gen    func(i int, out Tuple)
+	pos    int
+	buf    Tuple
+}
+
+// NewFuncSource builds a deterministic source of n tuples over schema,
+// produced by gen writing into the provided buffer.
+func NewFuncSource(schema *Schema, n int, gen func(i int, out Tuple)) *FuncSource {
+	return &FuncSource{schema: schema, n: n, gen: gen, buf: make(Tuple, schema.Len())}
+}
+
+// Schema implements Source.
+func (f *FuncSource) Schema() *Schema { return f.schema }
+
+// Len implements SizedSource.
+func (f *FuncSource) Len() int { return f.n }
+
+// Next implements Source. The returned tuple is reused across calls.
+func (f *FuncSource) Next() (Tuple, error) {
+	if f.pos >= f.n {
+		return nil, io.EOF
+	}
+	f.gen(f.pos, f.buf)
+	f.pos++
+	return f.buf, nil
+}
+
+// Reset implements Source.
+func (f *FuncSource) Reset() error {
+	f.pos = 0
+	return nil
+}

@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// AttributeSummary describes one attribute of a table.
+type AttributeSummary struct {
+	Name string
+	Kind Kind
+
+	// Quantitative statistics (zero for categorical attributes).
+	Min, Max, Mean, StdDev float64
+
+	// Categorical statistics (nil for quantitative attributes): label
+	// counts in descending frequency order.
+	TopValues []ValueCount
+	// DistinctValues is the number of distinct categories.
+	DistinctValues int
+}
+
+// ValueCount is one categorical label with its occurrence count.
+type ValueCount struct {
+	Label string
+	Count int
+}
+
+// Summarize computes per-attribute descriptive statistics for a table —
+// the quick profile a user reads before choosing the LHS attribute pair
+// and the criterion.
+func Summarize(tb *Table) []AttributeSummary {
+	schema := tb.Schema()
+	out := make([]AttributeSummary, schema.Len())
+	for i := 0; i < schema.Len(); i++ {
+		a := schema.At(i)
+		s := AttributeSummary{Name: a.Name, Kind: a.Kind}
+		if a.Kind == Quantitative {
+			s.Min, s.Max = math.Inf(1), math.Inf(-1)
+			var sum, sumSq float64
+			for r := 0; r < tb.Len(); r++ {
+				v := tb.Row(r)[i]
+				if v < s.Min {
+					s.Min = v
+				}
+				if v > s.Max {
+					s.Max = v
+				}
+				sum += v
+				sumSq += v * v
+			}
+			if n := float64(tb.Len()); n > 0 {
+				s.Mean = sum / n
+				variance := sumSq/n - s.Mean*s.Mean
+				if variance > 0 {
+					s.StdDev = math.Sqrt(variance)
+				}
+			} else {
+				s.Min, s.Max = 0, 0
+			}
+		} else {
+			counts := make(map[int]int)
+			for r := 0; r < tb.Len(); r++ {
+				counts[int(tb.Row(r)[i])]++
+			}
+			s.DistinctValues = len(counts)
+			for code, n := range counts {
+				s.TopValues = append(s.TopValues, ValueCount{Label: a.Category(code), Count: n})
+			}
+			sort.Slice(s.TopValues, func(x, y int) bool {
+				if s.TopValues[x].Count != s.TopValues[y].Count {
+					return s.TopValues[x].Count > s.TopValues[y].Count
+				}
+				return s.TopValues[x].Label < s.TopValues[y].Label
+			})
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// RenderSummary formats summaries as an aligned table, truncating the
+// categorical value list at maxValues entries (0 means 5).
+func RenderSummary(summaries []AttributeSummary, maxValues int) string {
+	if maxValues <= 0 {
+		maxValues = 5
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-13s %s\n", "attribute", "kind", "statistics")
+	for _, s := range summaries {
+		if s.Kind == Quantitative {
+			fmt.Fprintf(&b, "%-16s %-13s min %.4g  max %.4g  mean %.4g  stddev %.4g\n",
+				s.Name, s.Kind, s.Min, s.Max, s.Mean, s.StdDev)
+			continue
+		}
+		var parts []string
+		for i, vc := range s.TopValues {
+			if i == maxValues {
+				parts = append(parts, fmt.Sprintf("… %d more", s.DistinctValues-maxValues))
+				break
+			}
+			parts = append(parts, fmt.Sprintf("%s×%d", vc.Label, vc.Count))
+		}
+		fmt.Fprintf(&b, "%-16s %-13s %d values: %s\n",
+			s.Name, s.Kind, s.DistinctValues, strings.Join(parts, ", "))
+	}
+	return b.String()
+}

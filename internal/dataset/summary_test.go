@@ -1,0 +1,65 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	tb, err := ReadCSV(strings.NewReader(sampleCSV), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := Summarize(tb)
+	if len(sums) != 3 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	age := sums[0]
+	if age.Name != "age" || age.Kind != Quantitative {
+		t.Fatalf("first summary = %+v", age)
+	}
+	if age.Min != 30 || age.Max != 62 {
+		t.Errorf("age range [%v, %v]", age.Min, age.Max)
+	}
+	wantMean := (30.0 + 45 + 62) / 3
+	if math.Abs(age.Mean-wantMean) > 1e-9 {
+		t.Errorf("age mean = %v, want %v", age.Mean, wantMean)
+	}
+	if age.StdDev <= 0 {
+		t.Errorf("age stddev = %v", age.StdDev)
+	}
+	grp := sums[2]
+	if grp.Kind != Categorical || grp.DistinctValues != 2 {
+		t.Fatalf("group summary = %+v", grp)
+	}
+	// A appears twice, B once; descending order.
+	if grp.TopValues[0].Label != "A" || grp.TopValues[0].Count != 2 {
+		t.Errorf("top value = %+v", grp.TopValues[0])
+	}
+}
+
+func TestSummarizeEmptyTable(t *testing.T) {
+	tb := NewTable(demoSchema())
+	sums := Summarize(tb)
+	if sums[0].Min != 0 || sums[0].Max != 0 {
+		t.Errorf("empty quantitative summary = %+v", sums[0])
+	}
+	if sums[2].DistinctValues != 0 {
+		t.Errorf("empty categorical summary = %+v", sums[2])
+	}
+}
+
+func TestRenderSummary(t *testing.T) {
+	tb, _ := ReadCSV(strings.NewReader(sampleCSV), nil)
+	out := RenderSummary(Summarize(tb), 1)
+	if !strings.Contains(out, "age") || !strings.Contains(out, "quantitative") {
+		t.Errorf("render missing quantitative row:\n%s", out)
+	}
+	if !strings.Contains(out, "A×2") {
+		t.Errorf("render missing categorical counts:\n%s", out)
+	}
+	if !strings.Contains(out, "… 1 more") {
+		t.Errorf("render missing truncation marker:\n%s", out)
+	}
+}

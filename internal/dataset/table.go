@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table is an in-memory, row-major collection of tuples with a schema.
+// It implements SizedSource, so it can be used anywhere a stream is
+// expected, and supports random access for sampling and classification.
+type Table struct {
+	schema *Schema
+	rows   []Tuple
+	cursor int
+}
+
+// NewTable creates an empty table over schema.
+func NewTable(schema *Schema) *Table {
+	return &Table{schema: schema}
+}
+
+// Schema implements Source.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len implements SizedSource.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Row returns the i-th tuple. The tuple is not copied; callers must not
+// modify it unless they own the table.
+func (t *Table) Row(i int) Tuple { return t.rows[i] }
+
+// Append adds a tuple to the table. The tuple is stored directly (not
+// copied); pass Clone()d tuples when the buffer is reused.
+func (t *Table) Append(tp Tuple) error {
+	if len(tp) != t.schema.Len() {
+		return fmt.Errorf("%w: tuple has %d values, schema has %d attributes",
+			ErrSchemaMismatch, len(tp), t.schema.Len())
+	}
+	t.rows = append(t.rows, tp)
+	return nil
+}
+
+// MustAppend is Append but panics on width mismatch.
+func (t *Table) MustAppend(tp Tuple) {
+	if err := t.Append(tp); err != nil {
+		panic(err)
+	}
+}
+
+// AppendValues encodes a record given in schema order, where categorical
+// attributes are passed as labels and quantitative attributes as float64,
+// int or string parsable values are NOT supported — use the CSV reader for
+// textual input. Accepted types per attribute: float64/int for
+// quantitative, string for categorical.
+func (t *Table) AppendValues(values ...interface{}) error {
+	if len(values) != t.schema.Len() {
+		return fmt.Errorf("%w: %d values for %d attributes", ErrSchemaMismatch, len(values), t.schema.Len())
+	}
+	tp := make(Tuple, len(values))
+	for i, v := range values {
+		a := t.schema.At(i)
+		switch a.Kind {
+		case Quantitative:
+			switch x := v.(type) {
+			case float64:
+				tp[i] = x
+			case int:
+				tp[i] = float64(x)
+			default:
+				return fmt.Errorf("dataset: attribute %q is quantitative; got %T", a.Name, v)
+			}
+		case Categorical:
+			label, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("dataset: attribute %q is categorical; got %T", a.Name, v)
+			}
+			code, err := a.CategoryCode(label)
+			if err != nil {
+				return err
+			}
+			tp[i] = float64(code)
+		}
+	}
+	t.rows = append(t.rows, tp)
+	return nil
+}
+
+// Next implements Source.
+func (t *Table) Next() (Tuple, error) {
+	if t.cursor >= len(t.rows) {
+		return nil, io.EOF
+	}
+	r := t.rows[t.cursor]
+	t.cursor++
+	return r, nil
+}
+
+// Reset implements Source.
+func (t *Table) Reset() error {
+	t.cursor = 0
+	return nil
+}
+
+// Column extracts attribute i of every row into a fresh slice.
+func (t *Table) Column(i int) []float64 {
+	out := make([]float64, len(t.rows))
+	for r, row := range t.rows {
+		out[r] = row[i]
+	}
+	return out
+}
+
+// Slice returns a new table that shares rows[lo:hi] with t. The tables
+// share underlying tuples; mutations are visible through both.
+func (t *Table) Slice(lo, hi int) *Table {
+	return &Table{schema: t.schema, rows: t.rows[lo:hi]}
+}
+
+// Select returns a new table containing the rows at the given indices,
+// sharing tuple storage with t.
+func (t *Table) Select(idx []int) *Table {
+	rows := make([]Tuple, len(idx))
+	for i, j := range idx {
+		rows[i] = t.rows[j]
+	}
+	return &Table{schema: t.schema, rows: rows}
+}
+
+// Filter returns a new table with the rows for which keep returns true,
+// sharing tuple storage with t.
+func (t *Table) Filter(keep func(Tuple) bool) *Table {
+	var rows []Tuple
+	for _, r := range t.rows {
+		if keep(r) {
+			rows = append(rows, r)
+		}
+	}
+	return &Table{schema: t.schema, rows: rows}
+}

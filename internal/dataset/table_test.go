@@ -1,0 +1,174 @@
+package dataset
+
+import (
+	"io"
+	"testing"
+)
+
+func demoSchema() *Schema {
+	return NewSchema(
+		Attribute{Name: "age", Kind: Quantitative},
+		Attribute{Name: "salary", Kind: Quantitative},
+		Attribute{Name: "group", Kind: Categorical},
+	)
+}
+
+func demoTable(t *testing.T) *Table {
+	t.Helper()
+	tb := NewTable(demoSchema())
+	rows := [][]interface{}{
+		{30, 50000.0, "A"},
+		{45, 80000.0, "B"},
+		{62, 30000.0, "A"},
+	}
+	for _, r := range rows {
+		if err := tb.AppendValues(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestTableAppendAndIterate(t *testing.T) {
+	tb := demoTable(t)
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tb.Len())
+	}
+	var ages []float64
+	if err := ForEach(tb, func(tp Tuple) error {
+		ages = append(ages, tp[0])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{30, 45, 62}
+	for i := range want {
+		if ages[i] != want[i] {
+			t.Errorf("age[%d] = %v, want %v", i, ages[i], want[i])
+		}
+	}
+	// A second full pass must see the same data (Reset inside ForEach).
+	n := 0
+	if err := ForEach(tb, func(Tuple) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("second pass saw %d tuples, want 3", n)
+	}
+}
+
+func TestTableAppendErrors(t *testing.T) {
+	tb := NewTable(demoSchema())
+	if err := tb.Append(Tuple{1}); err == nil {
+		t.Error("Append with wrong width should error")
+	}
+	if err := tb.AppendValues(1.0, 2.0); err == nil {
+		t.Error("AppendValues with wrong arity should error")
+	}
+	if err := tb.AppendValues("not a number", 2.0, "A"); err == nil {
+		t.Error("AppendValues with string for quantitative should error")
+	}
+	if err := tb.AppendValues(1.0, 2.0, 3.0); err == nil {
+		t.Error("AppendValues with float for categorical should error")
+	}
+}
+
+func TestTableColumnSliceSelectFilter(t *testing.T) {
+	tb := demoTable(t)
+	col := tb.Column(1)
+	if len(col) != 3 || col[1] != 80000 {
+		t.Errorf("Column(1) = %v", col)
+	}
+	sl := tb.Slice(1, 3)
+	if sl.Len() != 2 || sl.Row(0)[0] != 45 {
+		t.Errorf("Slice(1,3) first row = %v", sl.Row(0))
+	}
+	sel := tb.Select([]int{2, 0})
+	if sel.Len() != 2 || sel.Row(0)[0] != 62 || sel.Row(1)[0] != 30 {
+		t.Errorf("Select rows = %v, %v", sel.Row(0), sel.Row(1))
+	}
+	groupIdx := tb.Schema().MustIndex("group")
+	codeA, _ := tb.Schema().Attr("group").LookupCategory("A")
+	fil := tb.Filter(func(tp Tuple) bool { return int(tp[groupIdx]) == codeA })
+	if fil.Len() != 2 {
+		t.Errorf("Filter group=A kept %d rows, want 2", fil.Len())
+	}
+}
+
+func TestLimitSource(t *testing.T) {
+	tb := demoTable(t)
+	lim := Limit(tb, 2)
+	n, err := Count(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("Count(Limit 2) = %d", n)
+	}
+	// Limit larger than the source yields the source length.
+	lim5 := Limit(demoTable(t), 5)
+	if got := lim5.(SizedSource).Len(); got != 3 {
+		t.Errorf("Limit(5).Len() = %d, want 3", got)
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	s := NewSchema(Attribute{Name: "i", Kind: Quantitative})
+	fs := NewFuncSource(s, 4, func(i int, out Tuple) { out[0] = float64(i * i) })
+	if fs.Len() != 4 {
+		t.Fatalf("Len = %d", fs.Len())
+	}
+	var got []float64
+	if err := ForEach(fs, func(tp Tuple) error {
+		got = append(got, tp[0])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 4, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Exhausted source keeps returning EOF.
+	if _, err := fs.Next(); err != io.EOF {
+		t.Errorf("Next after EOF = %v, want io.EOF", err)
+	}
+	// Reset replays deterministically.
+	if err := fs.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	tp, err := fs.Next()
+	if err != nil || tp[0] != 0 {
+		t.Errorf("after Reset Next = %v, %v", tp, err)
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	s := NewSchema(Attribute{Name: "i", Kind: Quantitative})
+	fs := NewFuncSource(s, 3, func(i int, out Tuple) { out[0] = float64(i) })
+	tb, err := Materialize(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("materialized %d rows", tb.Len())
+	}
+	// FuncSource reuses its buffer; Materialize must have cloned.
+	if tb.Row(0)[0] == tb.Row(2)[0] {
+		t.Error("rows alias the same buffer; Materialize failed to clone")
+	}
+}
+
+func TestCountSizedFastPath(t *testing.T) {
+	tb := demoTable(t)
+	// Move the cursor; Count must not be affected by it.
+	if _, err := tb.Next(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Count(tb)
+	if err != nil || n != 3 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,244 @@
+package filter
+
+import (
+	"math"
+	"testing"
+
+	"arcs/internal/grid"
+)
+
+func mk(t *testing.T, rows ...string) *grid.Bitmap {
+	t.Helper()
+	bm, err := grid.New(len(rows), len(rows[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, line := range rows {
+		for c, ch := range line {
+			if ch == '#' {
+				bm.Set(r, c)
+			}
+		}
+	}
+	return bm
+}
+
+func TestLowPassFillsHole(t *testing.T) {
+	// A dense block with a single hole: the hole's neighborhood is 8/9
+	// set, so a 0.5 threshold fills it (the Figure 7 effect).
+	bm := mk(t,
+		"#####",
+		"##.##",
+		"#####",
+	)
+	out, err := LowPass(bm, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Get(1, 2) {
+		t.Error("hole not filled")
+	}
+}
+
+func TestLowPassRemovesIsolatedNoise(t *testing.T) {
+	bm := mk(t,
+		".....",
+		"..#..",
+		".....",
+	)
+	out, err := LowPass(bm, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Any() {
+		t.Errorf("isolated cell survived smoothing:\n%s", out)
+	}
+}
+
+func TestLowPassPreservesSolidBlock(t *testing.T) {
+	bm := mk(t,
+		"....",
+		".##.",
+		".##.",
+		"....",
+	)
+	out, err := LowPass(bm, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= 2; r++ {
+		for c := 1; c <= 2; c++ {
+			if !out.Get(r, c) {
+				t.Errorf("block cell (%d,%d) lost", r, c)
+			}
+		}
+	}
+}
+
+func TestLowPassThresholdValidation(t *testing.T) {
+	bm := mk(t, "#")
+	if _, err := LowPass(bm, 0); err == nil {
+		t.Error("threshold 0 should error")
+	}
+	if _, err := LowPass(bm, 1.5); err == nil {
+		t.Error("threshold > 1 should error")
+	}
+}
+
+func TestLowPassInputUnmodified(t *testing.T) {
+	bm := mk(t, "#..", "...", "...")
+	LowPass(bm, 0.5)
+	if !bm.Get(0, 0) {
+		t.Error("LowPass modified its input")
+	}
+}
+
+func TestLowPassEdgeNeighborhoods(t *testing.T) {
+	// A corner cell has a 4-cell neighborhood; 3 of 4 set >= 0.5 keeps it.
+	bm := mk(t,
+		"##..",
+		"#...",
+		"....",
+	)
+	out, err := LowPass(bm, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Get(0, 0) {
+		t.Error("corner with 3/4 set neighborhood should survive")
+	}
+}
+
+func TestKernelValidation(t *testing.T) {
+	d, _ := grid.NewDense(3, 3)
+	if _, err := Convolve(d, Kernel{Size: 2, Weights: make([]float64, 4)}); err == nil {
+		t.Error("even kernel size should error")
+	}
+	if _, err := Convolve(d, Kernel{Size: 3, Weights: make([]float64, 4)}); err == nil {
+		t.Error("wrong weight count should error")
+	}
+}
+
+func TestConvolveBoxUniformField(t *testing.T) {
+	// A constant field must be unchanged by a normalized smoothing kernel
+	// (including at the edges, thanks to renormalization).
+	d, _ := grid.NewDense(4, 5)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			d.Set(r, c, 2.5)
+		}
+	}
+	for _, k := range []Kernel{Box3(), Gauss3()} {
+		out, err := Convolve(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 5; c++ {
+				if math.Abs(out.At(r, c)-2.5) > 1e-9 {
+					t.Fatalf("constant field changed at (%d,%d): %v", r, c, out.At(r, c))
+				}
+			}
+		}
+	}
+}
+
+func TestConvolveBoxAveragesSpike(t *testing.T) {
+	d, _ := grid.NewDense(3, 3)
+	d.Set(1, 1, 9)
+	out, err := Convolve(d, Box3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.At(1, 1)-1) > 1e-9 {
+		t.Errorf("center = %v, want 1 (9/9)", out.At(1, 1))
+	}
+	// Corner neighborhood holds 4 in-bounds cells incl. the spike;
+	// renormalized box average = 9/4... no: weights are 1/9 each, used
+	// sum = 4/9, acc = 9/9 = 1, renormalized = 1 * 1 / (4/9) = 9/4.
+	if math.Abs(out.At(0, 0)-2.25) > 1e-9 {
+		t.Errorf("corner = %v, want 2.25", out.At(0, 0))
+	}
+}
+
+func TestSobelDetectsVerticalEdge(t *testing.T) {
+	// Left half 0, right half 1: SobelX fires along the boundary,
+	// SobelY stays ~0 in the interior.
+	d, _ := grid.NewDense(5, 6)
+	for r := 0; r < 5; r++ {
+		for c := 3; c < 6; c++ {
+			d.Set(r, c, 1)
+		}
+	}
+	gx, err := Convolve(d, SobelX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gy, err := Convolve(d, SobelY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gx.At(2, 2)) < 1 {
+		t.Errorf("SobelX at edge = %v, want strong response", gx.At(2, 2))
+	}
+	if math.Abs(gy.At(2, 2)) > 1e-9 {
+		t.Errorf("SobelY in interior = %v, want 0", gy.At(2, 2))
+	}
+	mag, err := EdgeMagnitude(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mag.At(2, 2) < 1 {
+		t.Errorf("edge magnitude = %v, want strong", mag.At(2, 2))
+	}
+	if mag.At(2, 0) > 1e-9 {
+		t.Errorf("edge magnitude far from edge = %v, want 0", mag.At(2, 0))
+	}
+}
+
+func TestLowPassWeightedRescuesBoundaryCell(t *testing.T) {
+	// A cell just below the support threshold surrounded by strong cells
+	// is rescued; an isolated weak cell is not.
+	sup, _ := grid.NewDense(3, 5)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			sup.Set(r, c, 0.10)
+		}
+	}
+	sup.Set(1, 1, 0.04) // weak interior cell among strong neighbors
+	sup.Set(1, 4, 0.04) // isolated weak cell
+	bm, err := LowPassWeighted(sup, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bm.Get(1, 1) {
+		t.Error("interior weak cell should be rescued by strong neighbors")
+	}
+	if bm.Get(1, 4) {
+		t.Error("isolated weak cell should not survive")
+	}
+	if _, err := LowPassWeighted(sup, -1); err == nil {
+		t.Error("negative threshold should error")
+	}
+}
+
+func TestSmoothingImprovesClusterability(t *testing.T) {
+	// The Figure 7 scenario: a ragged blob with holes becomes a compact
+	// block after smoothing, reducing the number of set-cell "islands".
+	bm := mk(t,
+		"######",
+		"##.###",
+		"###.##",
+		"######",
+	)
+	out, err := LowPass(bm, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PopCount() < bm.PopCount() {
+		t.Errorf("smoothing lost cells: %d -> %d", bm.PopCount(), out.PopCount())
+	}
+	if !out.Get(1, 2) || !out.Get(2, 3) {
+		t.Error("holes not filled")
+	}
+}

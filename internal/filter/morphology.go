@@ -1,0 +1,109 @@
+package filter
+
+import (
+	"sort"
+
+	"arcs/internal/grid"
+)
+
+// Morphological operators on rule grids — the classical image-processing
+// toolbox the paper's §5 points at for detecting cluster edges and
+// corners. Erosion/dilation use the 3×3 cross (von Neumann) structuring
+// element: a cell survives erosion when it and its four axis neighbors
+// are set (edges treat out-of-bounds as set, so clusters touching the
+// border are not eaten), and dilation sets every neighbor of a set cell.
+//
+// Opening (erode then dilate) removes isolated cells and thin spurs
+// without growing the remaining clusters; closing (dilate then erode)
+// fills pinholes and hairline gaps without shrinking them. Both are
+// idempotent, which makes them predictable preprocessing steps compared
+// to repeated low-pass smoothing.
+
+// Erode returns the erosion of the bitmap by the 3×3 cross.
+func Erode(bm *grid.Bitmap) *grid.Bitmap {
+	rows, cols := bm.Rows(), bm.Cols()
+	out, _ := grid.New(rows, cols)
+	get := func(r, c int) bool {
+		if r < 0 || r >= rows || c < 0 || c >= cols {
+			return true // border padding: set
+		}
+		return bm.Get(r, c)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if get(r, c) && get(r-1, c) && get(r+1, c) && get(r, c-1) && get(r, c+1) {
+				if bm.Get(r, c) {
+					out.Set(r, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Dilate returns the dilation of the bitmap by the 3×3 cross.
+func Dilate(bm *grid.Bitmap) *grid.Bitmap {
+	rows, cols := bm.Rows(), bm.Cols()
+	out, _ := grid.New(rows, cols)
+	set := func(r, c int) {
+		if r >= 0 && r < rows && c >= 0 && c < cols {
+			out.Set(r, c)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if bm.Get(r, c) {
+				set(r, c)
+				set(r-1, c)
+				set(r+1, c)
+				set(r, c-1)
+				set(r, c+1)
+			}
+		}
+	}
+	return out
+}
+
+// Open erodes then dilates: isolated cells and one-cell-wide spurs
+// disappear, solid clusters survive unchanged.
+func Open(bm *grid.Bitmap) *grid.Bitmap { return Dilate(Erode(bm)) }
+
+// Close dilates then erodes: single-cell holes and hairline gaps inside
+// clusters are filled, the outline is preserved.
+func Close(bm *grid.Bitmap) *grid.Bitmap { return Erode(Dilate(bm)) }
+
+// MedianDense applies a 3×3 median filter to a dense grid: each cell
+// becomes the median of its in-bounds neighborhood. Unlike the mean
+// (box) filter, the median is robust to isolated extreme values, so a
+// single high-support noise cell cannot drag its neighborhood above a
+// threshold.
+func MedianDense(d *grid.Dense) *grid.Dense {
+	rows, cols := d.Rows(), d.Cols()
+	out, _ := grid.NewDense(rows, cols)
+	var window [9]float64
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			n := 0
+			for dr := -1; dr <= 1; dr++ {
+				for dc := -1; dc <= 1; dc++ {
+					rr, cc := r+dr, c+dc
+					if rr < 0 || rr >= rows || cc < 0 || cc >= cols {
+						continue
+					}
+					window[n] = d.At(rr, cc)
+					n++
+				}
+			}
+			vals := window[:n]
+			sort.Float64s(vals)
+			var med float64
+			if n%2 == 1 {
+				med = vals[n/2]
+			} else {
+				med = (vals[n/2-1] + vals[n/2]) / 2
+			}
+			out.Set(r, c, med)
+		}
+	}
+	return out
+}

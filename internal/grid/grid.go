@@ -1,0 +1,317 @@
+// Package grid provides the two-dimensional bitmap the BitOp algorithm
+// operates on (paper §3.2–3.3): rows of word-packed bits supporting the
+// bitwise AND and shift operations BitOp is built from, plus the
+// axis-aligned rectangle type shared by the clustering packages and a
+// dense float grid used by support-weighted smoothing.
+//
+// Convention: columns index the x attribute's bins, rows index the y
+// attribute's bins. Cell (row r, col c) is set when the association rule
+// X=c ∧ Y=r ⇒ Gk was mined.
+package grid
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"arcs/internal/rules"
+)
+
+const wordBits = 64
+
+// Bitmap is a rows × cols bit matrix with word-packed rows.
+type Bitmap struct {
+	rows, cols int
+	wpr        int // words per row
+	words      []uint64
+}
+
+// New allocates an all-zero bitmap.
+func New(rows, cols int) (*Bitmap, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("grid: invalid dimensions %d×%d", rows, cols)
+	}
+	wpr := (cols + wordBits - 1) / wordBits
+	return &Bitmap{rows: rows, cols: cols, wpr: wpr, words: make([]uint64, rows*wpr)}, nil
+}
+
+// FromRules builds a bitmap from mined cell rules on an nx × ny grid.
+// Rule (X, Y) sets cell (row Y, col X).
+func FromRules(cellRules []rules.CellRule, nx, ny int) (*Bitmap, error) {
+	bm, err := New(ny, nx)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range cellRules {
+		if r.X < 0 || r.X >= nx || r.Y < 0 || r.Y >= ny {
+			return nil, fmt.Errorf("grid: rule cell (%d, %d) outside %d×%d grid", r.X, r.Y, nx, ny)
+		}
+		bm.Set(r.Y, r.X)
+	}
+	return bm, nil
+}
+
+// Rows reports the number of rows.
+func (b *Bitmap) Rows() int { return b.rows }
+
+// Cols reports the number of columns.
+func (b *Bitmap) Cols() int { return b.cols }
+
+func (b *Bitmap) check(r, c int) {
+	if r < 0 || r >= b.rows || c < 0 || c >= b.cols {
+		panic(fmt.Sprintf("grid: cell (%d, %d) outside %d×%d bitmap", r, c, b.rows, b.cols))
+	}
+}
+
+// Set turns on cell (r, c).
+func (b *Bitmap) Set(r, c int) {
+	b.check(r, c)
+	b.words[r*b.wpr+c/wordBits] |= 1 << uint(c%wordBits)
+}
+
+// Clear turns off cell (r, c).
+func (b *Bitmap) Clear(r, c int) {
+	b.check(r, c)
+	b.words[r*b.wpr+c/wordBits] &^= 1 << uint(c%wordBits)
+}
+
+// Get reports cell (r, c).
+func (b *Bitmap) Get(r, c int) bool {
+	b.check(r, c)
+	return b.words[r*b.wpr+c/wordBits]&(1<<uint(c%wordBits)) != 0
+}
+
+// Row returns the packed words of row r. The slice aliases the bitmap;
+// callers must not modify it.
+func (b *Bitmap) Row(r int) []uint64 {
+	return b.words[r*b.wpr : (r+1)*b.wpr]
+}
+
+// CopyRow copies row r into dst, which must have length WordsPerRow.
+func (b *Bitmap) CopyRow(dst []uint64, r int) {
+	copy(dst, b.Row(r))
+}
+
+// AndRow computes dst &= row r in place.
+func (b *Bitmap) AndRow(dst []uint64, r int) {
+	row := b.Row(r)
+	for i := range dst {
+		dst[i] &= row[i]
+	}
+}
+
+// WordsPerRow reports the packed row width in words.
+func (b *Bitmap) WordsPerRow() int { return b.wpr }
+
+// PopCount reports the number of set cells.
+func (b *Bitmap) PopCount() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether any cell is set.
+func (b *Bitmap) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy.
+func (b *Bitmap) Clone() *Bitmap {
+	c := *b
+	c.words = append([]uint64(nil), b.words...)
+	return &c
+}
+
+// ClearRect zeroes the inclusive rectangle.
+func (b *Bitmap) ClearRect(rect Rect) {
+	for r := rect.R0; r <= rect.R1; r++ {
+		for c := rect.C0; c <= rect.C1; c++ {
+			b.Clear(r, c)
+		}
+	}
+}
+
+// FillRect sets the inclusive rectangle.
+func (b *Bitmap) FillRect(rect Rect) {
+	for r := rect.R0; r <= rect.R1; r++ {
+		for c := rect.C0; c <= rect.C1; c++ {
+			b.Set(r, c)
+		}
+	}
+}
+
+// String renders the bitmap as ASCII art, row 0 at the bottom (matching
+// the paper's figures where the y attribute grows upward): '#' for set
+// cells, '.' for clear.
+func (b *Bitmap) String() string {
+	var sb strings.Builder
+	for r := b.rows - 1; r >= 0; r-- {
+		for c := 0; c < b.cols; c++ {
+			if b.Get(r, c) {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Transpose returns a new bitmap with rows and columns swapped.
+func (b *Bitmap) Transpose() *Bitmap {
+	out, _ := New(b.cols, b.rows)
+	for r := 0; r < b.rows; r++ {
+		for c := 0; c < b.cols; c++ {
+			if b.Get(r, c) {
+				out.Set(c, r)
+			}
+		}
+	}
+	return out
+}
+
+// MaskEmpty reports whether a packed row mask has no set bits.
+func MaskEmpty(mask []uint64) bool {
+	for _, w := range mask {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MasksEqual reports whether two packed row masks are identical.
+func MasksEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaskRuns invokes fn for every maximal run of consecutive set bits in a
+// packed row mask of the given logical width, passing the inclusive
+// column range [c0, c1].
+func MaskRuns(mask []uint64, cols int, fn func(c0, c1 int)) {
+	inRun := false
+	start := 0
+	for c := 0; c < cols; c++ {
+		set := mask[c/wordBits]&(1<<uint(c%wordBits)) != 0
+		if set && !inRun {
+			inRun = true
+			start = c
+		} else if !set && inRun {
+			inRun = false
+			fn(start, c-1)
+		}
+	}
+	if inRun {
+		fn(start, cols-1)
+	}
+}
+
+// Rect is an axis-aligned rectangle of grid cells with inclusive bounds.
+type Rect struct {
+	R0, C0 int // top-left (lowest row/col indices)
+	R1, C1 int // bottom-right (highest row/col indices)
+}
+
+// Area reports the number of cells the rectangle covers.
+func (r Rect) Area() int { return (r.R1 - r.R0 + 1) * (r.C1 - r.C0 + 1) }
+
+// Width reports the number of columns spanned.
+func (r Rect) Width() int { return r.C1 - r.C0 + 1 }
+
+// Height reports the number of rows spanned.
+func (r Rect) Height() int { return r.R1 - r.R0 + 1 }
+
+// Contains reports whether cell (row, col) lies inside the rectangle.
+func (r Rect) Contains(row, col int) bool {
+	return r.R0 <= row && row <= r.R1 && r.C0 <= col && col <= r.C1
+}
+
+// Intersects reports whether two rectangles share any cell.
+func (r Rect) Intersects(o Rect) bool {
+	return r.R0 <= o.R1 && o.R0 <= r.R1 && r.C0 <= o.C1 && o.C0 <= r.C1
+}
+
+// Union returns the smallest rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	out := r
+	if o.R0 < out.R0 {
+		out.R0 = o.R0
+	}
+	if o.C0 < out.C0 {
+		out.C0 = o.C0
+	}
+	if o.R1 > out.R1 {
+		out.R1 = o.R1
+	}
+	if o.C1 > out.C1 {
+		out.C1 = o.C1
+	}
+	return out
+}
+
+// String renders the rectangle for diagnostics.
+func (r Rect) String() string {
+	return fmt.Sprintf("rows %d-%d, cols %d-%d", r.R0, r.R1, r.C0, r.C1)
+}
+
+// Dense is a rows × cols float64 grid used by the support-weighted
+// smoothing filter, which operates on rule support values rather than
+// binary presence (paper §5).
+type Dense struct {
+	rows, cols int
+	vals       []float64
+}
+
+// NewDense allocates a zero-valued dense grid.
+func NewDense(rows, cols int) (*Dense, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("grid: invalid dimensions %d×%d", rows, cols)
+	}
+	return &Dense{rows: rows, cols: cols, vals: make([]float64, rows*cols)}, nil
+}
+
+// Rows reports the number of rows.
+func (d *Dense) Rows() int { return d.rows }
+
+// Cols reports the number of columns.
+func (d *Dense) Cols() int { return d.cols }
+
+// At returns cell (r, c).
+func (d *Dense) At(r, c int) float64 { return d.vals[r*d.cols+c] }
+
+// Set assigns cell (r, c).
+func (d *Dense) Set(r, c int, v float64) { d.vals[r*d.cols+c] = v }
+
+// Clone returns an independent copy.
+func (d *Dense) Clone() *Dense {
+	c := *d
+	c.vals = append([]float64(nil), d.vals...)
+	return &c
+}
+
+// Threshold converts the dense grid to a bitmap: cells with value >= t
+// are set.
+func (d *Dense) Threshold(t float64) *Bitmap {
+	bm, _ := New(d.rows, d.cols)
+	for r := 0; r < d.rows; r++ {
+		for c := 0; c < d.cols; c++ {
+			if d.At(r, c) >= t {
+				bm.Set(r, c)
+			}
+		}
+	}
+	return bm
+}

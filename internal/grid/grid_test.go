@@ -1,0 +1,272 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"arcs/internal/rules"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 5); err == nil {
+		t.Error("zero rows should error")
+	}
+	if _, err := New(5, 0); err == nil {
+		t.Error("zero cols should error")
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	bm, _ := New(3, 130) // spans three words per row
+	cells := [][2]int{{0, 0}, {1, 63}, {1, 64}, {2, 129}}
+	for _, c := range cells {
+		bm.Set(c[0], c[1])
+	}
+	for _, c := range cells {
+		if !bm.Get(c[0], c[1]) {
+			t.Errorf("cell %v should be set", c)
+		}
+	}
+	if bm.PopCount() != 4 {
+		t.Errorf("PopCount = %d", bm.PopCount())
+	}
+	bm.Clear(1, 64)
+	if bm.Get(1, 64) {
+		t.Error("cell (1,64) should be cleared")
+	}
+	if bm.Get(1, 63) != true {
+		t.Error("clearing one bit must not disturb neighbors")
+	}
+}
+
+func TestGetPanicsOutOfRange(t *testing.T) {
+	bm, _ := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Get should panic")
+		}
+	}()
+	bm.Get(2, 0)
+}
+
+func TestAnyAndClone(t *testing.T) {
+	bm, _ := New(4, 4)
+	if bm.Any() {
+		t.Error("fresh bitmap should be empty")
+	}
+	bm.Set(2, 3)
+	clone := bm.Clone()
+	bm.Clear(2, 3)
+	if !clone.Get(2, 3) {
+		t.Error("clone should be independent")
+	}
+	if bm.Any() {
+		t.Error("original should be empty after clear")
+	}
+}
+
+func TestClearAndFillRect(t *testing.T) {
+	bm, _ := New(5, 5)
+	rect := Rect{R0: 1, C0: 1, R1: 3, C1: 2}
+	bm.FillRect(rect)
+	if bm.PopCount() != rect.Area() {
+		t.Errorf("PopCount = %d, want %d", bm.PopCount(), rect.Area())
+	}
+	bm.ClearRect(rect)
+	if bm.Any() {
+		t.Error("bitmap should be empty after ClearRect")
+	}
+}
+
+func TestRowOps(t *testing.T) {
+	bm, _ := New(2, 70)
+	bm.Set(0, 5)
+	bm.Set(0, 65)
+	bm.Set(1, 5)
+	mask := make([]uint64, bm.WordsPerRow())
+	bm.CopyRow(mask, 0)
+	if MaskEmpty(mask) {
+		t.Error("copied row should not be empty")
+	}
+	bm.AndRow(mask, 1)
+	// Only column 5 survives the AND.
+	var cols []int
+	MaskRuns(mask, 70, func(c0, c1 int) {
+		for c := c0; c <= c1; c++ {
+			cols = append(cols, c)
+		}
+	})
+	if len(cols) != 1 || cols[0] != 5 {
+		t.Errorf("AND result columns = %v, want [5]", cols)
+	}
+	empty := make([]uint64, bm.WordsPerRow())
+	if !MaskEmpty(empty) {
+		t.Error("zero mask should be empty")
+	}
+	if MasksEqual(mask, empty) {
+		t.Error("masks should differ")
+	}
+	same := append([]uint64(nil), mask...)
+	if !MasksEqual(mask, same) {
+		t.Error("identical masks should be equal")
+	}
+}
+
+func TestMaskRuns(t *testing.T) {
+	bm, _ := New(1, 10)
+	for _, c := range []int{0, 1, 2, 4, 7, 8, 9} {
+		bm.Set(0, c)
+	}
+	var runs [][2]int
+	MaskRuns(bm.Row(0), 10, func(c0, c1 int) {
+		runs = append(runs, [2]int{c0, c1})
+	})
+	want := [][2]int{{0, 2}, {4, 4}, {7, 9}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs = %v, want %v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Errorf("runs = %v, want %v", runs, want)
+			break
+		}
+	}
+}
+
+func TestMaskRunsAcrossWordBoundary(t *testing.T) {
+	bm, _ := New(1, 130)
+	for c := 60; c < 70; c++ {
+		bm.Set(0, c)
+	}
+	var runs [][2]int
+	MaskRuns(bm.Row(0), 130, func(c0, c1 int) {
+		runs = append(runs, [2]int{c0, c1})
+	})
+	if len(runs) != 1 || runs[0] != [2]int{60, 69} {
+		t.Errorf("runs = %v, want [[60 69]]", runs)
+	}
+}
+
+func TestFromRules(t *testing.T) {
+	cellRules := []rules.CellRule{{X: 1, Y: 2}, {X: 0, Y: 0}}
+	bm, err := FromRules(cellRules, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bm.Get(2, 1) || !bm.Get(0, 0) {
+		t.Error("rule cells not set")
+	}
+	if bm.PopCount() != 2 {
+		t.Errorf("PopCount = %d", bm.PopCount())
+	}
+	if _, err := FromRules([]rules.CellRule{{X: 5, Y: 0}}, 3, 3); err == nil {
+		t.Error("out-of-grid rule should error")
+	}
+}
+
+func TestBitmapString(t *testing.T) {
+	bm, _ := New(2, 3)
+	bm.Set(0, 0) // bottom-left in rendering
+	bm.Set(1, 2) // top-right
+	got := bm.String()
+	want := "..#\n#..\n"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if !strings.Contains(got, "#") {
+		t.Error("rendering missing set cells")
+	}
+}
+
+func TestRectGeometry(t *testing.T) {
+	r := Rect{R0: 1, C0: 2, R1: 3, C1: 5}
+	if r.Area() != 12 || r.Width() != 4 || r.Height() != 3 {
+		t.Errorf("Area/Width/Height = %d/%d/%d", r.Area(), r.Width(), r.Height())
+	}
+	if !r.Contains(1, 2) || !r.Contains(3, 5) || r.Contains(0, 2) || r.Contains(1, 6) {
+		t.Error("Contains wrong")
+	}
+	if !r.Intersects(Rect{R0: 3, C0: 5, R1: 9, C1: 9}) {
+		t.Error("corner-touching rectangles intersect")
+	}
+	if r.Intersects(Rect{R0: 4, C0: 0, R1: 5, C1: 9}) {
+		t.Error("disjoint rows should not intersect")
+	}
+	u := r.Union(Rect{R0: 0, C0: 4, R1: 2, C1: 7})
+	if u != (Rect{R0: 0, C0: 2, R1: 3, C1: 7}) {
+		t.Errorf("Union = %v", u)
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestPopCountMatchesGets(t *testing.T) {
+	f := func(cells []uint16) bool {
+		bm, _ := New(16, 100)
+		want := map[[2]int]bool{}
+		for _, raw := range cells {
+			r := int(raw) % 16
+			c := int(raw>>4) % 100
+			bm.Set(r, c)
+			want[[2]int{r, c}] = true
+		}
+		return bm.PopCount() == len(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenseGrid(t *testing.T) {
+	d, err := NewDense(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDense(0, 1); err == nil {
+		t.Error("zero rows should error")
+	}
+	d.Set(1, 2, 0.7)
+	d.Set(2, 3, 0.2)
+	if d.At(1, 2) != 0.7 {
+		t.Errorf("At = %v", d.At(1, 2))
+	}
+	clone := d.Clone()
+	d.Set(1, 2, 0)
+	if clone.At(1, 2) != 0.7 {
+		t.Error("Dense clone should be independent")
+	}
+	bm := clone.Threshold(0.5)
+	if !bm.Get(1, 2) || bm.Get(2, 3) {
+		t.Error("Threshold wrong")
+	}
+	if bm.Rows() != 3 || bm.Cols() != 4 {
+		t.Errorf("Threshold dims = %d×%d", bm.Rows(), bm.Cols())
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	bm, _ := New(2, 3)
+	bm.Set(0, 2)
+	bm.Set(1, 0)
+	tr := bm.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("dims = %dx%d", tr.Rows(), tr.Cols())
+	}
+	if !tr.Get(2, 0) || !tr.Get(0, 1) {
+		t.Error("cells not transposed")
+	}
+	if tr.PopCount() != bm.PopCount() {
+		t.Error("pop count changed")
+	}
+	// Double transpose is identity.
+	back := tr.Transpose()
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			if back.Get(r, c) != bm.Get(r, c) {
+				t.Fatalf("double transpose differs at (%d,%d)", r, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package mdl implements the Minimum Description Length cost model of
+// paper §3.6, used to score candidate segmentations. The best model for
+// encoding data minimizes the cost of describing the model (the clusters)
+// plus the cost of describing the data using the model (the tuples the
+// clusters misclassify):
+//
+//	cost = wc·log2(|C|) + we·log2(errors)
+//
+// where |C| is the number of clusters and errors is the summed
+// false-positives + false-negatives over a sample. The logarithms give a
+// favorable non-linear separation between close and near-optimal
+// solutions; the weights let the user bias the search toward fewer
+// clusters (wc) or lower error (we).
+package mdl
+
+import (
+	"fmt"
+
+	"arcs/internal/stats"
+)
+
+// Weights biases the cost function. The paper's default is wc = we = 1.
+type Weights struct {
+	Clusters float64 // wc: penalty weight on the number of clusters
+	Errors   float64 // we: penalty weight on the error count
+}
+
+// DefaultWeights returns the unbiased wc = we = 1 configuration.
+func DefaultWeights() Weights { return Weights{Clusters: 1, Errors: 1} }
+
+func (w Weights) validate() error {
+	if w.Clusters < 0 || w.Errors < 0 {
+		return fmt.Errorf("mdl: weights must be non-negative, got %+v", w)
+	}
+	return nil
+}
+
+// Cost computes the MDL cost of a segmentation with numClusters clusters
+// and the given summed error count. Zero clusters or zero errors
+// contribute zero bits (log2 is guarded), so a perfect one-cluster
+// segmentation costs 0.
+func Cost(numClusters int, errors float64, w Weights) (float64, error) {
+	if err := w.validate(); err != nil {
+		return 0, err
+	}
+	if numClusters < 0 {
+		return 0, fmt.Errorf("mdl: negative cluster count %d", numClusters)
+	}
+	if errors < 0 {
+		return 0, fmt.Errorf("mdl: negative error count %g", errors)
+	}
+	return w.Clusters*stats.Log2(float64(numClusters)) + w.Errors*stats.Log2(errors), nil
+}
+
+// Better reports whether cost a improves on cost b by more than epsilon —
+// the convergence test the heuristic optimizer uses ("until there is no
+// improvement of the clustered association rules within some ε", §3.7).
+func Better(a, b, epsilon float64) bool {
+	return a < b-epsilon
+}

@@ -1,0 +1,86 @@
+package mdl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCostBasics(t *testing.T) {
+	w := DefaultWeights()
+	c, err := Cost(4, 8, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-(2+3)) > 1e-12 {
+		t.Errorf("Cost(4, 8) = %v, want 5", c)
+	}
+}
+
+func TestCostGuardedZeros(t *testing.T) {
+	w := DefaultWeights()
+	if c, _ := Cost(0, 0, w); c != 0 {
+		t.Errorf("Cost(0,0) = %v", c)
+	}
+	if c, _ := Cost(1, 0, w); c != 0 {
+		t.Errorf("Cost(1,0) = %v, want 0 (log2(1)=0, log2(0) guarded)", c)
+	}
+}
+
+func TestCostWeights(t *testing.T) {
+	// Heavier cluster weight penalizes many-cluster segmentations more.
+	many, _ := Cost(16, 2, Weights{Clusters: 3, Errors: 1})
+	few, _ := Cost(2, 2, Weights{Clusters: 3, Errors: 1})
+	if many <= few {
+		t.Errorf("wc bias broken: many=%v few=%v", many, few)
+	}
+	// Heavier error weight penalizes high error more.
+	hiErr, _ := Cost(2, 64, Weights{Clusters: 1, Errors: 5})
+	loErr, _ := Cost(2, 2, Weights{Clusters: 1, Errors: 5})
+	if hiErr <= loErr {
+		t.Errorf("we bias broken: hi=%v lo=%v", hiErr, loErr)
+	}
+}
+
+func TestCostValidation(t *testing.T) {
+	if _, err := Cost(-1, 0, DefaultWeights()); err == nil {
+		t.Error("negative cluster count should error")
+	}
+	if _, err := Cost(1, -1, DefaultWeights()); err == nil {
+		t.Error("negative errors should error")
+	}
+	if _, err := Cost(1, 1, Weights{Clusters: -1, Errors: 1}); err == nil {
+		t.Error("negative weight should error")
+	}
+}
+
+func TestBetter(t *testing.T) {
+	if !Better(1.0, 2.0, 0.5) {
+		t.Error("1.0 improves 2.0 by more than 0.5")
+	}
+	if Better(1.8, 2.0, 0.5) {
+		t.Error("improvement of 0.2 is within epsilon 0.5")
+	}
+	if Better(2.0, 2.0, 0) {
+		t.Error("equal costs are not an improvement")
+	}
+}
+
+func TestCostMonotonicity(t *testing.T) {
+	w := DefaultWeights()
+	prev := -1.0
+	for clusters := 1; clusters <= 64; clusters *= 2 {
+		c, _ := Cost(clusters, 10, w)
+		if c <= prev {
+			t.Errorf("cost not increasing in clusters: %v after %v", c, prev)
+		}
+		prev = c
+	}
+	prev = -1
+	for errs := 1.0; errs <= 1024; errs *= 4 {
+		c, _ := Cost(3, errs, w)
+		if c <= prev {
+			t.Errorf("cost not increasing in errors: %v after %v", c, prev)
+		}
+		prev = c
+	}
+}

@@ -1,0 +1,394 @@
+// Package optimizer implements the heuristic parameter search of paper
+// §3.7: finding the minimum-support and minimum-confidence thresholds
+// whose segmentation minimizes the MDL cost. The search space is the set
+// of threshold values that actually occur in the binned data (Figure 10);
+// because ARCS re-mines from the in-memory BinArray, each probe is cheap.
+//
+// Three strategies are provided: the paper's low-to-high threshold walk,
+// and the two future-work alternatives it names — simulated annealing and
+// two-level factorial design.
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Objective is the feedback loop the optimizer drives: evaluating a
+// threshold pair re-mines the rules, clusters them, verifies the
+// segmentation against samples and returns its MDL cost. Implemented by
+// the core ARCS system.
+type Objective interface {
+	// SupportLevels returns the unique support thresholds occurring in
+	// the data, ascending.
+	SupportLevels() []float64
+	// ConfidenceLevels returns candidate confidence thresholds for a
+	// given support threshold, ascending.
+	ConfidenceLevels(support float64) []float64
+	// Evaluate runs the pipeline at the thresholds and returns the MDL
+	// cost and the number of clustered rules produced.
+	Evaluate(support, confidence float64) (cost float64, numRules int, err error)
+}
+
+// Step records one probe of the search, for traces and reports.
+type Step struct {
+	Support, Confidence float64
+	Cost                float64
+	NumRules            int
+}
+
+// Best is the outcome of a search.
+type Best struct {
+	Support, Confidence float64
+	Cost                float64
+	NumRules            int
+	Evaluations         int
+	Trace               []Step
+}
+
+// ErrNoThresholds is returned when the data admits no rules at all.
+var ErrNoThresholds = errors.New("optimizer: no candidate thresholds (no occupied cells)")
+
+// Strategy is a search procedure over the objective.
+type Strategy interface {
+	Optimize(obj Objective) (Best, error)
+}
+
+// ThresholdWalk is the paper's search: begin with a low minimum support
+// so dynamic pruning can remove unnecessary rules, then gradually
+// increase it to shed background noise and outliers, stopping when the
+// cost stops improving (within Epsilon) for Patience consecutive support
+// levels. At each support level a bounded set of candidate confidences is
+// probed.
+type ThresholdWalk struct {
+	// Epsilon is the minimum cost improvement (in MDL bits) that counts
+	// as progress: a later probe replaces the incumbent only when it is
+	// more than Epsilon cheaper. This both implements the paper's
+	// "no improvement within some ε" convergence test and realizes its
+	// preference for low-support solutions — marginal wins discovered
+	// deep into the walk (typically degenerate near-empty segmentations
+	// at extreme thresholds, which the flat log2(|C|) model term prices
+	// too cheaply) do not displace an established low-threshold
+	// segmentation. Zero means 0.25 bits; negative means exact
+	// comparison.
+	Epsilon float64
+	// Patience is how many non-improving support levels to tolerate
+	// before stopping. Zero means 3.
+	Patience int
+	// MaxSupportLevels caps how many distinct support thresholds are
+	// visited (even sub-sampling when the data has more). Zero means 48.
+	MaxSupportLevels int
+	// MaxConfLevels caps the confidence candidates probed per support
+	// level (even sub-sampling). Zero means 8.
+	MaxConfLevels int
+	// MaxEvals bounds total objective evaluations — the deterministic
+	// stand-in for the paper's "budgeted time". Zero means 512.
+	MaxEvals int
+	// TimeBudget, when positive, stops the walk once the wall-clock
+	// budget is spent (checked between evaluations) — the literal form
+	// of §2.2's "the verifier determines that the budgeted time has
+	// expired". Prefer MaxEvals in tests; it is deterministic.
+	TimeBudget time.Duration
+}
+
+func (w ThresholdWalk) defaults() ThresholdWalk {
+	if w.Epsilon == 0 {
+		w.Epsilon = 0.25
+	} else if w.Epsilon < 0 {
+		w.Epsilon = 0
+	}
+	if w.Patience == 0 {
+		w.Patience = 3
+	}
+	if w.MaxSupportLevels == 0 {
+		w.MaxSupportLevels = 48
+	}
+	if w.MaxConfLevels == 0 {
+		w.MaxConfLevels = 8
+	}
+	if w.MaxEvals == 0 {
+		w.MaxEvals = 512
+	}
+	return w
+}
+
+// Optimize implements Strategy.
+func (w ThresholdWalk) Optimize(obj Objective) (Best, error) {
+	w = w.defaults()
+	supports := subsample(obj.SupportLevels(), w.MaxSupportLevels)
+	if len(supports) == 0 {
+		return Best{}, ErrNoThresholds
+	}
+	var deadline time.Time
+	if w.TimeBudget > 0 {
+		deadline = time.Now().Add(w.TimeBudget)
+	}
+	expired := func() bool {
+		return !deadline.IsZero() && !time.Now().Before(deadline)
+	}
+	best := Best{Cost: math.Inf(1)}
+	sinceImprove := 0
+	for _, sup := range supports {
+		if best.Evaluations >= w.MaxEvals || expired() {
+			break
+		}
+		confs := subsample(obj.ConfidenceLevels(sup), w.MaxConfLevels)
+		if len(confs) == 0 {
+			continue
+		}
+		levelBest := math.Inf(1)
+		for _, conf := range confs {
+			if best.Evaluations >= w.MaxEvals || expired() {
+				break
+			}
+			cost, n, err := obj.Evaluate(sup, conf)
+			if err != nil {
+				return best, fmt.Errorf("optimizer: evaluating (%g, %g): %w", sup, conf, err)
+			}
+			best.Evaluations++
+			best.Trace = append(best.Trace, Step{Support: sup, Confidence: conf, Cost: cost, NumRules: n})
+			// Segmentations with zero rules are useless regardless of
+			// cost; they count neither as the level's best nor as the
+			// overall winner.
+			if n > 0 && cost < levelBest {
+				levelBest = cost
+			}
+			if n > 0 && cost < best.Cost-w.Epsilon {
+				best.Support, best.Confidence = sup, conf
+				best.Cost = cost
+				best.NumRules = n
+				sinceImprove = -1 // reset below after the level finishes
+			}
+		}
+		if levelBest >= best.Cost-w.Epsilon {
+			sinceImprove++
+			if sinceImprove >= w.Patience {
+				break
+			}
+		} else {
+			sinceImprove = 0
+		}
+	}
+	if math.IsInf(best.Cost, 1) {
+		return best, ErrNoThresholds
+	}
+	return best, nil
+}
+
+// subsample returns up to max values of xs, evenly spaced, always
+// including the first and last.
+func subsample(xs []float64, max int) []float64 {
+	if len(xs) <= max || max <= 0 {
+		return xs
+	}
+	out := make([]float64, 0, max)
+	for i := 0; i < max; i++ {
+		pos := float64(i) / float64(max-1) * float64(len(xs)-1)
+		out = append(out, xs[int(math.Round(pos))])
+	}
+	// Deduplicate adjacent picks caused by rounding.
+	dedup := out[:1]
+	for _, v := range out[1:] {
+		if v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+// Anneal searches by simulated annealing over the indices of the
+// threshold lists (paper §5 suggests annealing as an alternative search).
+// It is useful when the cost surface has local minima the walk gets stuck
+// in.
+type Anneal struct {
+	// Seed drives the random walk; runs are deterministic per seed.
+	Seed int64
+	// Iterations is the number of proposals. Zero means 200.
+	Iterations int
+	// InitialTemp scales early acceptance of worse moves. Zero means 2.
+	InitialTemp float64
+	// Cooling is the geometric cooling factor per iteration. Zero means
+	// 0.97.
+	Cooling float64
+}
+
+func (a Anneal) defaults() Anneal {
+	if a.Iterations == 0 {
+		a.Iterations = 200
+	}
+	if a.InitialTemp == 0 {
+		a.InitialTemp = 2
+	}
+	if a.Cooling == 0 {
+		a.Cooling = 0.97
+	}
+	return a
+}
+
+// Optimize implements Strategy.
+func (a Anneal) Optimize(obj Objective) (Best, error) {
+	a = a.defaults()
+	supports := obj.SupportLevels()
+	if len(supports) == 0 {
+		return Best{}, ErrNoThresholds
+	}
+	rng := rand.New(rand.NewSource(a.Seed))
+	best := Best{Cost: math.Inf(1)}
+
+	eval := func(si int, conf float64) (float64, int, error) {
+		cost, n, err := obj.Evaluate(supports[si], conf)
+		if err != nil {
+			return 0, 0, err
+		}
+		best.Evaluations++
+		best.Trace = append(best.Trace, Step{Support: supports[si], Confidence: conf, Cost: cost, NumRules: n})
+		if n > 0 && cost < best.Cost {
+			best.Support, best.Confidence = supports[si], conf
+			best.Cost, best.NumRules = cost, n
+		}
+		return cost, n, nil
+	}
+
+	// Start at the lowest support with its median confidence, matching
+	// the paper's low-support starting point.
+	si := 0
+	confs := obj.ConfidenceLevels(supports[si])
+	if len(confs) == 0 {
+		return Best{}, ErrNoThresholds
+	}
+	conf := confs[len(confs)/2]
+	cur, _, err := eval(si, conf)
+	if err != nil {
+		return best, err
+	}
+	temp := a.InitialTemp
+	for it := 0; it < a.Iterations; it++ {
+		// Propose a neighboring state: jitter the support index and pick
+		// a random candidate confidence for it.
+		nsi := si + rng.Intn(5) - 2
+		if nsi < 0 {
+			nsi = 0
+		}
+		if nsi >= len(supports) {
+			nsi = len(supports) - 1
+		}
+		nconfs := obj.ConfidenceLevels(supports[nsi])
+		if len(nconfs) == 0 {
+			continue
+		}
+		nconf := nconfs[rng.Intn(len(nconfs))]
+		cost, _, err := eval(nsi, nconf)
+		if err != nil {
+			return best, err
+		}
+		if cost <= cur || rng.Float64() < math.Exp((cur-cost)/temp) {
+			si, conf, cur = nsi, nconf, cost
+		}
+		temp *= a.Cooling
+	}
+	_ = conf
+	if math.IsInf(best.Cost, 1) {
+		return best, ErrNoThresholds
+	}
+	return best, nil
+}
+
+// Factorial searches with iterated two-level factorial design (Fisher;
+// paper §5): it evaluates the corners and center of the current
+// (support, confidence) box, recenters on the best probe, halves the box
+// and repeats. This greatly reduces the number of runs compared to an
+// exhaustive sweep.
+type Factorial struct {
+	// Rounds of box halving. Zero means 6.
+	Rounds int
+}
+
+func (f Factorial) defaults() Factorial {
+	if f.Rounds == 0 {
+		f.Rounds = 6
+	}
+	return f
+}
+
+// Optimize implements Strategy.
+func (f Factorial) Optimize(obj Objective) (Best, error) {
+	f = f.defaults()
+	supports := obj.SupportLevels()
+	if len(supports) == 0 {
+		return Best{}, ErrNoThresholds
+	}
+	confsAll := obj.ConfidenceLevels(supports[0])
+	if len(confsAll) == 0 {
+		return Best{}, ErrNoThresholds
+	}
+	supLo, supHi := supports[0], supports[len(supports)-1]
+	confLo, confHi := confsAll[0], confsAll[len(confsAll)-1]
+
+	best := Best{Cost: math.Inf(1)}
+	seen := map[[2]float64]bool{}
+	eval := func(sup, conf float64) error {
+		key := [2]float64{sup, conf}
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		cost, n, err := obj.Evaluate(sup, conf)
+		if err != nil {
+			return err
+		}
+		best.Evaluations++
+		best.Trace = append(best.Trace, Step{Support: sup, Confidence: conf, Cost: cost, NumRules: n})
+		if n > 0 && cost < best.Cost {
+			best.Support, best.Confidence = sup, conf
+			best.Cost, best.NumRules = cost, n
+		}
+		return nil
+	}
+
+	cs, cc := (supLo+supHi)/2, (confLo+confHi)/2 // box center
+	hs, hc := (supHi-supLo)/2, (confHi-confLo)/2 // half-widths
+	for round := 0; round < f.Rounds; round++ {
+		probes := [][2]float64{
+			{cs - hs, cc - hc}, {cs - hs, cc + hc},
+			{cs + hs, cc - hc}, {cs + hs, cc + hc},
+			{cs, cc},
+		}
+		roundBest := math.Inf(1)
+		var rbs, rbc float64
+		for _, p := range probes {
+			sup := clamp(p[0], supLo, supHi)
+			conf := clamp(p[1], confLo, confHi)
+			if err := eval(sup, conf); err != nil {
+				return best, err
+			}
+			// Re-read the last trace entry for this probe's cost.
+			last := best.Trace[len(best.Trace)-1]
+			if last.Support == sup && last.Confidence == conf && last.Cost < roundBest {
+				roundBest = last.Cost
+				rbs, rbc = sup, conf
+			}
+		}
+		if !math.IsInf(roundBest, 1) {
+			cs, cc = rbs, rbc
+		}
+		hs /= 2
+		hc /= 2
+	}
+	if math.IsInf(best.Cost, 1) {
+		return best, ErrNoThresholds
+	}
+	return best, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

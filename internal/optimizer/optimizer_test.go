@@ -1,0 +1,226 @@
+package optimizer
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// quadObjective is a synthetic objective with a unique optimum at
+// (optSup, optConf) and a smooth quadratic bowl around it.
+type quadObjective struct {
+	supports []float64
+	confs    []float64
+	optSup   float64
+	optConf  float64
+	evals    int
+	failAt   int // evaluation number to fail at; 0 = never
+}
+
+func (q *quadObjective) SupportLevels() []float64 { return q.supports }
+
+func (q *quadObjective) ConfidenceLevels(sup float64) []float64 { return q.confs }
+
+func (q *quadObjective) Evaluate(sup, conf float64) (float64, int, error) {
+	q.evals++
+	if q.failAt > 0 && q.evals >= q.failAt {
+		return 0, 0, errors.New("objective failure")
+	}
+	ds, dc := sup-q.optSup, conf-q.optConf
+	return 10 + 100*ds*ds + 100*dc*dc, 3, nil
+}
+
+func levels(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+func newQuad() *quadObjective {
+	return &quadObjective{
+		supports: levels(0.01, 0.2, 20),
+		confs:    levels(0.1, 0.9, 9),
+		optSup:   0.05,
+		optConf:  0.5,
+	}
+}
+
+func TestThresholdWalkFindsOptimum(t *testing.T) {
+	q := newQuad()
+	// Epsilon -1 requests exact comparison so the walk tracks the true
+	// optimum; the default 0.25-bit hysteresis intentionally favors
+	// earlier low-support solutions.
+	best, err := ThresholdWalk{Epsilon: -1}.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(best.Support-q.optSup) > 0.02 {
+		t.Errorf("support = %v, want near %v", best.Support, q.optSup)
+	}
+	if math.Abs(best.Confidence-q.optConf) > 0.11 {
+		t.Errorf("confidence = %v, want near %v", best.Confidence, q.optConf)
+	}
+	if best.Evaluations == 0 || len(best.Trace) != best.Evaluations {
+		t.Errorf("evaluations=%d trace=%d", best.Evaluations, len(best.Trace))
+	}
+}
+
+func TestThresholdWalkStopsEarly(t *testing.T) {
+	// With a bowl at the low end and sharp patience, the walk must not
+	// probe every support level.
+	q := newQuad()
+	q.optSup = 0.01
+	best, err := ThresholdWalk{Patience: 2}.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Evaluations >= 20*9 {
+		t.Errorf("walk did not stop early: %d evaluations", best.Evaluations)
+	}
+}
+
+func TestThresholdWalkRespectsMaxEvals(t *testing.T) {
+	q := newQuad()
+	best, err := ThresholdWalk{MaxEvals: 7, Patience: 100}.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Evaluations > 7 {
+		t.Errorf("MaxEvals exceeded: %d", best.Evaluations)
+	}
+}
+
+func TestThresholdWalkEmpty(t *testing.T) {
+	q := &quadObjective{}
+	if _, err := (ThresholdWalk{}).Optimize(q); !errors.Is(err, ErrNoThresholds) {
+		t.Errorf("err = %v, want ErrNoThresholds", err)
+	}
+}
+
+func TestThresholdWalkPropagatesError(t *testing.T) {
+	q := newQuad()
+	q.failAt = 3
+	if _, err := (ThresholdWalk{}).Optimize(q); err == nil {
+		t.Error("objective error should propagate")
+	}
+}
+
+func TestAnnealFindsGoodSolution(t *testing.T) {
+	q := newQuad()
+	best, err := Anneal{Seed: 1, Iterations: 300}.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Annealing is stochastic; require it to get close.
+	if math.Abs(best.Support-q.optSup) > 0.05 || math.Abs(best.Confidence-q.optConf) > 0.2 {
+		t.Errorf("anneal best = (%v, %v), want near (%v, %v)",
+			best.Support, best.Confidence, q.optSup, q.optConf)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	a, err := Anneal{Seed: 7}.Optimize(newQuad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal{Seed: 7}.Optimize(newQuad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Support != b.Support || a.Confidence != b.Confidence || a.Cost != b.Cost {
+		t.Error("same seed should give identical results")
+	}
+}
+
+func TestAnnealEmpty(t *testing.T) {
+	if _, err := (Anneal{Seed: 1}).Optimize(&quadObjective{}); !errors.Is(err, ErrNoThresholds) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFactorialConverges(t *testing.T) {
+	q := newQuad()
+	best, err := Factorial{Rounds: 8}.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(best.Support-q.optSup) > 0.03 || math.Abs(best.Confidence-q.optConf) > 0.1 {
+		t.Errorf("factorial best = (%v, %v), want near (%v, %v)",
+			best.Support, best.Confidence, q.optSup, q.optConf)
+	}
+	// Factorial should be frugal: 5 probes per round minus dedup.
+	if best.Evaluations > 8*5 {
+		t.Errorf("too many evaluations: %d", best.Evaluations)
+	}
+}
+
+func TestFactorialEmpty(t *testing.T) {
+	if _, err := (Factorial{}).Optimize(&quadObjective{}); !errors.Is(err, ErrNoThresholds) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	xs := levels(0, 1, 100)
+	got := subsample(xs, 10)
+	if len(got) > 10 {
+		t.Errorf("len = %d", len(got))
+	}
+	if got[0] != 0 || got[len(got)-1] != 1 {
+		t.Errorf("endpoints missing: %v", got)
+	}
+	// Short inputs pass through.
+	short := []float64{1, 2}
+	if len(subsample(short, 10)) != 2 {
+		t.Error("short input should pass through")
+	}
+}
+
+func TestZeroRuleEvaluationsNeverWin(t *testing.T) {
+	// An objective that reports zero rules at its cheapest point: the
+	// optimizer must pick a point with rules instead.
+	q := &zeroRuleObjective{}
+	best, err := ThresholdWalk{}.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.NumRules == 0 {
+		t.Error("optimizer selected a zero-rule segmentation")
+	}
+}
+
+type zeroRuleObjective struct{}
+
+func (z *zeroRuleObjective) SupportLevels() []float64           { return []float64{0.1, 0.2} }
+func (z *zeroRuleObjective) ConfidenceLevels(float64) []float64 { return []float64{0.5} }
+func (z *zeroRuleObjective) Evaluate(sup, conf float64) (float64, int, error) {
+	if sup > 0.15 {
+		return 0, 0, nil // cheap but useless: no rules survive
+	}
+	return 5, 2, nil
+}
+
+func TestThresholdWalkTimeBudget(t *testing.T) {
+	// A pre-expired budget stops the walk after at most one support
+	// level's worth of evaluations.
+	q := newQuad()
+	best, err := ThresholdWalk{TimeBudget: 1, Patience: 100}.Optimize(q)
+	if err != nil && !errors.Is(err, ErrNoThresholds) {
+		t.Fatal(err)
+	}
+	if best.Evaluations > len(q.confs) {
+		t.Errorf("expired budget still ran %d evaluations", best.Evaluations)
+	}
+	// A generous budget changes nothing.
+	q2 := newQuad()
+	full, err := ThresholdWalk{Epsilon: -1, TimeBudget: time.Hour}.Optimize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.Support-q2.optSup) > 0.02 {
+		t.Errorf("generous budget changed the outcome: %v", full.Support)
+	}
+}

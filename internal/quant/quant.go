@@ -1,0 +1,400 @@
+// Package quant implements quantitative association rule mining in the
+// style of Srikant & Agrawal (SIGMOD 1996) — the system the ARCS paper
+// contrasts itself with in §1.1. Attributes are partitioned into base
+// bins; adjacent bins are merged into candidate intervals up to a
+// maximum-support cap (merging past it would only produce trivially
+// general items); frequent itemsets of intervals are mined levelwise;
+// and rules are pruned with the "greater-than-expected-value" interest
+// measure against their generalizations.
+//
+// The package exists both as a usable miner and as the experimental
+// counterpart that motivates ARCS: on the paper's Function 2 data it
+// produces the hundreds of overlapping interval rules that clustering
+// condenses into three rectangles (see the WhyClustering experiment).
+package quant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"arcs/internal/dataset"
+)
+
+// Interval is one item: attribute attr restricted to bins [Lo, Hi]
+// (inclusive). Categorical attributes use Lo == Hi.
+type Interval struct {
+	Attr   int
+	Lo, Hi int
+}
+
+// Contains reports whether the interval contains o (same attribute,
+// wider or equal range).
+func (iv Interval) Contains(o Interval) bool {
+	return iv.Attr == o.Attr && iv.Lo <= o.Lo && o.Hi <= iv.Hi
+}
+
+// matches reports whether a binned tuple falls in the interval.
+func (iv Interval) matches(t dataset.Tuple) bool {
+	v := int(t[iv.Attr])
+	return iv.Lo <= v && v <= iv.Hi
+}
+
+// Rule is a quantitative association rule X => Y.
+type Rule struct {
+	X          []Interval
+	Y          Interval
+	Support    float64
+	Confidence float64
+}
+
+// Render formats the rule against a schema and per-attribute bin bounds
+// lookup (bin index -> value range), e.g.
+//
+//	age[30,40) AND salary[50000,75000) => group = A
+func (r Rule) Render(schema *dataset.Schema, bounds func(attr, bin int) (float64, float64)) string {
+	part := func(iv Interval) string {
+		a := schema.At(iv.Attr)
+		if a.Kind == dataset.Categorical {
+			return fmt.Sprintf("%s = %s", a.Name, a.Category(iv.Lo))
+		}
+		lo, _ := bounds(iv.Attr, iv.Lo)
+		_, hi := bounds(iv.Attr, iv.Hi)
+		return fmt.Sprintf("%s[%g,%g)", a.Name, lo, hi)
+	}
+	parts := make([]string, len(r.X))
+	for i, iv := range r.X {
+		parts[i] = part(iv)
+	}
+	return fmt.Sprintf("%s => %s", strings.Join(parts, " AND "), part(r.Y))
+}
+
+// Config controls mining. The table must already be binned: every cell
+// an integer bin index or category code.
+type Config struct {
+	// MinSupport and MinConfidence are the usual thresholds.
+	MinSupport    float64
+	MinConfidence float64
+	// MaxSupport caps interval merging (Srikant & Agrawal's maxsup): a
+	// merged interval whose support exceeds it is not a candidate item,
+	// preventing trivially general ranges. Zero means 0.25.
+	MaxSupport float64
+	// Interest is the greater-than-expected factor R: a rule must have
+	// support or confidence at least R times what its generalizations
+	// predict. Zero disables interest pruning; the SIGMOD paper suggests
+	// R ≈ 1.1–2.
+	Interest float64
+	// RHSAttr restricts rule consequents to one attribute (schema
+	// index), the segmentation use case. Negative allows any attribute.
+	RHSAttr int
+	// MaxLHS bounds the number of LHS intervals. Zero means 2 (the 2D
+	// segmentation shape).
+	MaxLHS int
+	// Bins gives the bin count per attribute index (categorical
+	// attributes: category count). Required.
+	Bins []int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSupport == 0 {
+		c.MaxSupport = 0.25
+	}
+	if c.MaxLHS == 0 {
+		c.MaxLHS = 2
+	}
+	return c
+}
+
+func (c Config) validate(schema *dataset.Schema) error {
+	if c.MinSupport < 0 || c.MinSupport > 1 {
+		return fmt.Errorf("quant: min support %g outside [0, 1]", c.MinSupport)
+	}
+	if c.MinConfidence < 0 || c.MinConfidence > 1 {
+		return fmt.Errorf("quant: min confidence %g outside [0, 1]", c.MinConfidence)
+	}
+	if c.MaxSupport < c.MinSupport {
+		return fmt.Errorf("quant: max support %g below min support %g", c.MaxSupport, c.MinSupport)
+	}
+	if c.Interest < 0 {
+		return fmt.Errorf("quant: negative interest factor %g", c.Interest)
+	}
+	if len(c.Bins) != schema.Len() {
+		return fmt.Errorf("quant: Bins has %d entries for %d attributes", len(c.Bins), schema.Len())
+	}
+	for i, b := range c.Bins {
+		if b <= 0 {
+			return fmt.Errorf("quant: attribute %d has %d bins", i, b)
+		}
+	}
+	return nil
+}
+
+// Mine runs the full pipeline over a binned table.
+func Mine(tb *dataset.Table, cfg Config) ([]Rule, error) {
+	cfg = cfg.withDefaults()
+	schema := tb.Schema()
+	if err := cfg.validate(schema); err != nil {
+		return nil, err
+	}
+	n := tb.Len()
+	if n == 0 {
+		return nil, nil
+	}
+
+	// Fast path: with at most three attributes, a prefix-summed joint
+	// histogram answers every candidate's support in O(1) instead of a
+	// table scan per level.
+	var cb *cube
+	if schema.Len() <= 3 {
+		cb = newCube(tb, cfg.Bins)
+	}
+
+	items := candidateItems(tb, cfg)
+	supports := map[Interval]float64{}
+	for _, it := range items {
+		supports[it.iv] = it.sup
+	}
+
+	// Levelwise itemsets: level 1 = items; join items on distinct
+	// attributes. An itemset is a sorted slice of intervals with unique
+	// attributes.
+	type itemset struct {
+		ivs []Interval
+		sup float64
+	}
+	level := make([]itemset, len(items))
+	for i, it := range items {
+		level[i] = itemset{ivs: []Interval{it.iv}, sup: it.sup}
+	}
+	setSupport := map[string]float64{}
+	keyOf := func(ivs []Interval) string {
+		var sb strings.Builder
+		for _, iv := range ivs {
+			fmt.Fprintf(&sb, "%d:%d-%d;", iv.Attr, iv.Lo, iv.Hi)
+		}
+		return sb.String()
+	}
+	for _, it := range level {
+		setSupport[keyOf(it.ivs)] = it.sup
+	}
+	frequent := append([]itemset(nil), level...)
+
+	maxSize := cfg.MaxLHS + 1
+	for size := 2; size <= maxSize && len(level) > 0; size++ {
+		// Candidates: extend each (size-1)-itemset with a single item on
+		// a new attribute, canonical order by attribute.
+		seen := map[string]bool{}
+		var cands [][]Interval
+		for _, base := range level {
+			lastAttr := base.ivs[len(base.ivs)-1].Attr
+			for _, it := range items {
+				if it.iv.Attr <= lastAttr {
+					continue
+				}
+				cand := append(append([]Interval(nil), base.ivs...), it.iv)
+				k := keyOf(cand)
+				if !seen[k] {
+					seen[k] = true
+					cands = append(cands, cand)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		counts := make([]int, len(cands))
+		if cb != nil {
+			for ci, cand := range cands {
+				counts[ci] = cb.count(cand)
+			}
+		} else {
+			for r := 0; r < n; r++ {
+				row := tb.Row(r)
+			cand:
+				for ci, cand := range cands {
+					for _, iv := range cand {
+						if !iv.matches(row) {
+							continue cand
+						}
+					}
+					counts[ci]++
+				}
+			}
+		}
+		level = level[:0]
+		for ci, cand := range cands {
+			sup := float64(counts[ci]) / float64(n)
+			if sup >= cfg.MinSupport {
+				is := itemset{ivs: cand, sup: sup}
+				level = append(level, is)
+				setSupport[keyOf(cand)] = sup
+				frequent = append(frequent, is)
+			}
+		}
+	}
+
+	// Rule generation: one consequent item, the rest LHS.
+	var out []Rule
+	for _, is := range frequent {
+		if len(is.ivs) < 2 {
+			continue
+		}
+		for yi, y := range is.ivs {
+			if cfg.RHSAttr >= 0 && y.Attr != cfg.RHSAttr {
+				continue
+			}
+			x := make([]Interval, 0, len(is.ivs)-1)
+			for i, iv := range is.ivs {
+				if i != yi {
+					x = append(x, iv)
+				}
+			}
+			supX, ok := setSupport[keyOf(x)]
+			if !ok || supX == 0 {
+				continue
+			}
+			conf := is.sup / supX
+			if conf < cfg.MinConfidence {
+				continue
+			}
+			out = append(out, Rule{X: x, Y: y, Support: is.sup, Confidence: conf})
+		}
+	}
+
+	if cfg.Interest > 0 {
+		out = pruneUninteresting(out, supports, cfg.Interest)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Confidence > out[j].Confidence
+	})
+	return out, nil
+}
+
+type scoredItem struct {
+	iv  Interval
+	sup float64
+}
+
+// candidateItems enumerates the interval items: per quantitative
+// attribute, every run of adjacent bins whose support is at least
+// MinSupport and (for merged runs) at most MaxSupport; per categorical
+// attribute, every value with support at least MinSupport.
+func candidateItems(tb *dataset.Table, cfg Config) []scoredItem {
+	schema := tb.Schema()
+	n := tb.Len()
+	var out []scoredItem
+	for attr := 0; attr < schema.Len(); attr++ {
+		bins := cfg.Bins[attr]
+		counts := make([]int, bins)
+		for r := 0; r < n; r++ {
+			b := int(tb.Row(r)[attr])
+			if b >= 0 && b < bins {
+				counts[b]++
+			}
+		}
+		prefix := make([]int, bins+1)
+		for b, c := range counts {
+			prefix[b+1] = prefix[b] + c
+		}
+		rangeSup := func(lo, hi int) float64 {
+			return float64(prefix[hi+1]-prefix[lo]) / float64(n)
+		}
+		if schema.At(attr).Kind == dataset.Categorical {
+			for b := 0; b < bins; b++ {
+				if sup := rangeSup(b, b); sup >= cfg.MinSupport {
+					out = append(out, scoredItem{iv: Interval{Attr: attr, Lo: b, Hi: b}, sup: sup})
+				}
+			}
+			continue
+		}
+		for lo := 0; lo < bins; lo++ {
+			for hi := lo; hi < bins; hi++ {
+				sup := rangeSup(lo, hi)
+				if sup < cfg.MinSupport {
+					continue
+				}
+				if hi > lo && sup > cfg.MaxSupport {
+					break // growing further only increases support
+				}
+				out = append(out, scoredItem{iv: Interval{Attr: attr, Lo: lo, Hi: hi}, sup: sup})
+			}
+		}
+	}
+	return out
+}
+
+// pruneUninteresting drops rules that are within factor R of what a
+// strict generalization predicts (Srikant & Agrawal's interest measure):
+// rule r with generalization g (same attributes, every interval of g
+// containing r's) predicts
+//
+//	E[sup(r)] = sup(g) × ∏ sup(r_i)/sup(g_i)
+//
+// and r survives only if sup(r) >= R·E[sup(r)] or
+// conf(r) >= R·conf(g).
+func pruneUninteresting(rulesIn []Rule, itemSup map[Interval]float64, r float64) []Rule {
+	var out []Rule
+	for _, cand := range rulesIn {
+		interesting := true
+		for _, gen := range rulesIn {
+			if !strictGeneralization(gen, cand) {
+				continue
+			}
+			expected := gen.Support
+			ok := true
+			for i, iv := range cand.X {
+				gSup := itemSup[gen.X[i]]
+				iSup := itemSup[iv]
+				if gSup <= 0 {
+					ok = false
+					break
+				}
+				expected *= iSup / gSup
+			}
+			gy := itemSup[gen.Y]
+			iy := itemSup[cand.Y]
+			if gy > 0 {
+				expected *= iy / gy
+			}
+			if !ok {
+				continue
+			}
+			if cand.Support < r*expected && cand.Confidence < r*gen.Confidence {
+				interesting = false
+				break
+			}
+		}
+		if interesting {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// strictGeneralization reports whether g generalizes cand: identical
+// attribute signature, every interval of g contains cand's, and at least
+// one containment is strict.
+func strictGeneralization(g, cand Rule) bool {
+	if len(g.X) != len(cand.X) {
+		return false
+	}
+	strict := false
+	for i := range g.X {
+		if !g.X[i].Contains(cand.X[i]) {
+			return false
+		}
+		if g.X[i] != cand.X[i] {
+			strict = true
+		}
+	}
+	if !g.Y.Contains(cand.Y) {
+		return false
+	}
+	if g.Y != cand.Y {
+		strict = true
+	}
+	return strict
+}

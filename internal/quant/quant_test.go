@@ -1,0 +1,277 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"arcs/internal/dataset"
+)
+
+// binnedTable builds a pre-binned table: x (4 bins), y (4 bins),
+// g categorical (2 values).
+func binnedTable(t *testing.T, rows [][3]float64) *dataset.Table {
+	t.Helper()
+	s := dataset.NewSchema(
+		dataset.Attribute{Name: "x", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "y", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "g", Kind: dataset.Categorical},
+	)
+	s.Attr("g").CategoryCode("A")
+	s.Attr("g").CategoryCode("B")
+	tb := dataset.NewTable(s)
+	for _, r := range rows {
+		tb.MustAppend(dataset.Tuple{r[0], r[1], r[2]})
+	}
+	return tb
+}
+
+func cfg() Config {
+	return Config{
+		MinSupport:    0.1,
+		MinConfidence: 0.6,
+		MaxSupport:    0.6,
+		RHSAttr:       2,
+		Bins:          []int{4, 4, 2},
+	}
+}
+
+func TestMineFindsIntervalRule(t *testing.T) {
+	// x in bins {1,2} strongly implies g=A.
+	var rows [][3]float64
+	for i := 0; i < 10; i++ {
+		rows = append(rows, [3]float64{1, float64(i % 4), 0})
+		rows = append(rows, [3]float64{2, float64(i % 4), 0})
+	}
+	for i := 0; i < 10; i++ {
+		rows = append(rows, [3]float64{0, float64(i % 4), 1})
+		rows = append(rows, [3]float64{3, float64(i % 4), 1})
+	}
+	tb := binnedTable(t, rows)
+	c := cfg()
+	c.MaxLHS = 1
+	rs, err := Mine(tb, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged interval x∈[1,2] => A with confidence 1 must appear.
+	found := false
+	for _, r := range rs {
+		if len(r.X) == 1 && r.X[0] == (Interval{Attr: 0, Lo: 1, Hi: 2}) &&
+			r.Y == (Interval{Attr: 2, Lo: 0, Hi: 0}) {
+			found = true
+			if math.Abs(r.Confidence-1) > 1e-12 {
+				t.Errorf("confidence = %v", r.Confidence)
+			}
+			if math.Abs(r.Support-0.5) > 1e-12 {
+				t.Errorf("support = %v", r.Support)
+			}
+		}
+	}
+	if !found {
+		for _, r := range rs {
+			t.Logf("rule: %+v", r)
+		}
+		t.Fatal("merged interval rule x[1,2] => A not mined")
+	}
+	// Every rule's consequent must be the criterion attribute.
+	for _, r := range rs {
+		if r.Y.Attr != 2 {
+			t.Errorf("RHS restriction violated: %+v", r)
+		}
+	}
+}
+
+func TestMaxSupportCapsMerging(t *testing.T) {
+	// Uniform x over 4 bins: the full range [0,3] has support 1 and must
+	// not be a candidate when MaxSupport = 0.6.
+	var rows [][3]float64
+	for i := 0; i < 40; i++ {
+		rows = append(rows, [3]float64{float64(i % 4), 0, float64(i % 2)})
+	}
+	tb := binnedTable(t, rows)
+	items := candidateItems(tb, cfg().withDefaults())
+	for _, it := range items {
+		if it.iv.Attr == 0 && it.iv.Lo == 0 && it.iv.Hi == 3 {
+			t.Error("full-range interval should be capped by MaxSupport")
+		}
+	}
+	// Single bins above MinSupport survive regardless of the cap.
+	single := 0
+	for _, it := range items {
+		if it.iv.Attr == 0 && it.iv.Lo == it.iv.Hi {
+			single++
+		}
+	}
+	if single != 4 {
+		t.Errorf("single-bin items = %d, want 4", single)
+	}
+}
+
+func TestTwoAttributeLHS(t *testing.T) {
+	// g=A exactly when x=1 and y in {2,3}.
+	var rows [][3]float64
+	for i := 0; i < 20; i++ {
+		x := float64(i % 4)
+		y := float64((i / 4) % 4)
+		g := 1.0
+		if x == 1 && y >= 2 {
+			g = 0
+		}
+		rows = append(rows, [3]float64{x, y, g})
+		rows = append(rows, [3]float64{x, y, g})
+	}
+	tb := binnedTable(t, rows)
+	c := cfg()
+	c.MinSupport = 0.05
+	rs, err := Mine(tb, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rs {
+		if len(r.X) != 2 {
+			continue
+		}
+		if r.X[0] == (Interval{Attr: 0, Lo: 1, Hi: 1}) &&
+			r.X[1] == (Interval{Attr: 1, Lo: 2, Hi: 3}) &&
+			r.Y.Attr == 2 && r.Y.Lo == 0 && r.Confidence == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("joint rule x=1 AND y[2,3] => A not found")
+	}
+}
+
+func TestInterestPruning(t *testing.T) {
+	// x's sub-intervals carry no extra information over the merged
+	// interval: with interest pruning the specializations disappear.
+	var rows [][3]float64
+	for b := 0; b < 2; b++ {
+		for i := 0; i < 10; i++ {
+			rows = append(rows, [3]float64{float64(b), 0, 0}) // bins 0,1 -> A
+		}
+	}
+	for i := 0; i < 20; i++ {
+		rows = append(rows, [3]float64{2 + float64(i%2), 0, 1}) // bins 2,3 -> B
+	}
+	tb := binnedTable(t, rows)
+	c := cfg()
+	c.MaxLHS = 1
+	c.MinSupport = 0.05
+	c.MaxSupport = 0.55
+	base, err := Mine(tb, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Interest = 1.1
+	pruned, err := Mine(tb, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) >= len(base) {
+		t.Errorf("interest pruning did not reduce rules: %d -> %d", len(base), len(pruned))
+	}
+	// The general rule x[0,1] => A must survive.
+	foundGeneral := false
+	for _, r := range pruned {
+		if len(r.X) == 1 && r.X[0] == (Interval{Attr: 0, Lo: 0, Hi: 1}) && r.Y.Lo == 0 {
+			foundGeneral = true
+		}
+	}
+	if !foundGeneral {
+		for _, r := range pruned {
+			t.Logf("rule: %+v", r)
+		}
+		t.Error("general rule pruned; only specializations should go")
+	}
+}
+
+func TestRender(t *testing.T) {
+	tb := binnedTable(t, [][3]float64{{0, 0, 0}})
+	r := Rule{
+		X: []Interval{{Attr: 0, Lo: 1, Hi: 2}},
+		Y: Interval{Attr: 2, Lo: 0, Hi: 0},
+	}
+	bounds := func(attr, bin int) (float64, float64) {
+		return float64(bin * 10), float64((bin + 1) * 10)
+	}
+	got := r.Render(tb.Schema(), bounds)
+	want := "x[10,30) => g = A"
+	if got != want {
+		t.Errorf("Render = %q, want %q", got, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tb := binnedTable(t, [][3]float64{{0, 0, 0}})
+	bad := []Config{
+		{MinSupport: -1, Bins: []int{4, 4, 2}},
+		{MinConfidence: 2, Bins: []int{4, 4, 2}},
+		{MinSupport: 0.5, MaxSupport: 0.1, Bins: []int{4, 4, 2}},
+		{Interest: -1, Bins: []int{4, 4, 2}},
+		{Bins: []int{4}},
+		{Bins: []int{4, 0, 2}},
+	}
+	for i, c := range bad {
+		if _, err := Mine(tb, c); err == nil {
+			t.Errorf("case %d should be rejected", i)
+		}
+	}
+	// Empty table mines nothing.
+	empty := binnedTable(t, nil)
+	rs, err := Mine(empty, cfg())
+	if err != nil || rs != nil {
+		t.Errorf("empty: %v, %v", rs, err)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	a := Interval{Attr: 0, Lo: 1, Hi: 3}
+	if !a.Contains(Interval{Attr: 0, Lo: 2, Hi: 3}) {
+		t.Error("should contain sub-interval")
+	}
+	if a.Contains(Interval{Attr: 1, Lo: 2, Hi: 3}) {
+		t.Error("different attribute should not be contained")
+	}
+	if a.Contains(Interval{Attr: 0, Lo: 0, Hi: 2}) {
+		t.Error("overlapping-but-not-contained should fail")
+	}
+}
+
+func TestCubeMatchesScan(t *testing.T) {
+	// Differential: cube counts must equal naive scans on random data.
+	var rows [][3]float64
+	for i := 0; i < 200; i++ {
+		rows = append(rows, [3]float64{float64(i % 4), float64((i / 3) % 4), float64(i % 2)})
+	}
+	tb := binnedTable(t, rows)
+	cb := newCube(tb, []int{4, 4, 2})
+	cases := [][]Interval{
+		{{Attr: 0, Lo: 1, Hi: 2}},
+		{{Attr: 1, Lo: 0, Hi: 3}},
+		{{Attr: 2, Lo: 1, Hi: 1}},
+		{{Attr: 0, Lo: 0, Hi: 1}, {Attr: 1, Lo: 2, Hi: 3}},
+		{{Attr: 0, Lo: 2, Hi: 2}, {Attr: 1, Lo: 1, Hi: 1}, {Attr: 2, Lo: 0, Hi: 0}},
+		{{Attr: 0, Lo: 3, Hi: 3}, {Attr: 2, Lo: 1, Hi: 1}},
+	}
+	for _, ivs := range cases {
+		want := 0
+	row:
+		for r := 0; r < tb.Len(); r++ {
+			for _, iv := range ivs {
+				if !iv.matches(tb.Row(r)) {
+					continue row
+				}
+			}
+			want++
+		}
+		if got := cb.count(ivs); got != want {
+			t.Errorf("cube count %v = %d, scan = %d", ivs, got, want)
+		}
+	}
+	// Conflicting intervals on the same attribute count zero.
+	if got := cb.count([]Interval{{Attr: 0, Lo: 0, Hi: 0}, {Attr: 0, Lo: 3, Hi: 3}}); got != 0 {
+		t.Errorf("conflicting intervals counted %d", got)
+	}
+}

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"arcs/internal/grid"
+	"arcs/internal/rules"
+)
+
+// RenderGrid draws the rule grid with cluster overlays in the style of
+// the paper's Figures 1, 4 and 5: '#' marks a rule cell, digits mark
+// cells belonging to a cluster (the digit is the cluster's index mod 10,
+// so adjacent clusters are visually distinct), and '+' marks a cluster
+// cell that holds no rule (filled by smoothing). Row 0 renders at the
+// bottom so the y attribute grows upward as in the paper.
+func RenderGrid(bm *grid.Bitmap, clusters []rules.ClusteredRule) string {
+	var sb strings.Builder
+	for r := bm.Rows() - 1; r >= 0; r-- {
+		for c := 0; c < bm.Cols(); c++ {
+			cluster := -1
+			for i, cl := range clusters {
+				if r >= cl.YLoBin && r <= cl.YHiBin && c >= cl.XLoBin && c <= cl.XHiBin {
+					cluster = i
+					break
+				}
+			}
+			switch {
+			case cluster >= 0 && bm.Get(r, c):
+				sb.WriteByte(byte('0' + cluster%10))
+			case cluster >= 0:
+				sb.WriteByte('+')
+			case bm.Get(r, c):
+				sb.WriteByte('#')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderGridLegend lists the clusters under the grid, keyed by the digit
+// used in RenderGrid.
+func RenderGridLegend(clusters []rules.ClusteredRule) string {
+	var sb strings.Builder
+	for i, cl := range clusters {
+		fmt.Fprintf(&sb, "%d: %s\n", i%10, cl)
+	}
+	return sb.String()
+}

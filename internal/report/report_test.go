@@ -1,0 +1,182 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"arcs/internal/core"
+	"arcs/internal/grid"
+	"arcs/internal/rules"
+	"arcs/internal/verify"
+)
+
+func demoResult() *core.Result {
+	return &core.Result{
+		CritValue: "A",
+		Rules: []rules.ClusteredRule{{
+			XAttr: "age", YAttr: "salary", CritAttr: "group", CritValue: "A",
+			XLo: 20, XHi: 40, YLo: 50_000, YHi: 100_000,
+			Support: 0.12, Confidence: 0.91,
+		}},
+		MinSupport:    0.0001,
+		MinConfidence: 0.39,
+		Cost:          9.2,
+		Evaluations:   32,
+		Errors:        verify.ErrorCounts{FalsePositives: 10, FalseNegatives: 20, Total: 1000},
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{
+		"": Text, "text": Text, "markdown": Markdown, "md": Markdown, "json": JSON, "JSON": JSON,
+	}
+	for in, want := range cases {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+func TestWriteResultText(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteResult(&sb, demoResult(), Text); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"age", "=> group = A", "support 0.1200", "verification:", "3.00%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Empty result.
+	sb.Reset()
+	if err := WriteResult(&sb, &core.Result{}, Text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no clustered rules") {
+		t.Error("empty result should say so")
+	}
+}
+
+func TestWriteResultMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteResult(&sb, demoResult(), Markdown); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "| rule | support | confidence |") {
+		t.Errorf("markdown missing table header:\n%s", out)
+	}
+	if !strings.Contains(out, "### Segmentation for A") {
+		t.Error("markdown missing heading")
+	}
+}
+
+func TestWriteResultJSONRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteResult(&sb, demoResult(), JSON); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if doc["criterion_value"] != "A" {
+		t.Errorf("criterion_value = %v", doc["criterion_value"])
+	}
+	rs, ok := doc["rules"].([]interface{})
+	if !ok || len(rs) != 1 {
+		t.Fatalf("rules = %v", doc["rules"])
+	}
+	rule := rs[0].(map[string]interface{})
+	if rule["x_attr"] != "age" || rule["support"].(float64) != 0.12 {
+		t.Errorf("rule = %v", rule)
+	}
+	if doc["error_rate_pct"].(float64) != 3 {
+		t.Errorf("error_rate_pct = %v", doc["error_rate_pct"])
+	}
+}
+
+func TestWriteAll(t *testing.T) {
+	results := map[string]*core.Result{
+		"A": demoResult(),
+		"B": {CritValue: "B"},
+	}
+	labels := []string{"A", "B"}
+	var sb strings.Builder
+	if err := WriteAll(&sb, results, labels, Text); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "segmentation for A") || !strings.Contains(out, "segmentation for B") {
+		t.Errorf("WriteAll text missing sections:\n%s", out)
+	}
+	sb.Reset()
+	if err := WriteAll(&sb, results, labels, JSON); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc) != 2 {
+		t.Errorf("JSON map has %d entries", len(doc))
+	}
+	sb.Reset()
+	if err := WriteAll(&sb, results, labels, Markdown); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "### Segmentation for A") {
+		t.Error("markdown WriteAll missing heading")
+	}
+}
+
+func TestRenderGrid(t *testing.T) {
+	bm, err := grid.New(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rule cells: a 2x2 block and one stray.
+	bm.Set(0, 0)
+	bm.Set(0, 1)
+	bm.Set(1, 0)
+	bm.Set(1, 1)
+	bm.Set(2, 4)
+	clusters := []rules.ClusteredRule{{
+		XLoBin: 0, XHiBin: 1, YLoBin: 0, YHiBin: 1,
+		XAttr: "x", YAttr: "y", CritAttr: "g", CritValue: "A",
+	}}
+	out := RenderGrid(bm, clusters)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	// Row 0 renders last (bottom). Cluster cells show '0', stray '#'.
+	if lines[2] != "00..." {
+		t.Errorf("bottom row = %q, want 00...", lines[2])
+	}
+	if lines[0] != "....#" {
+		t.Errorf("top row = %q, want ....#", lines[0])
+	}
+	legend := RenderGridLegend(clusters)
+	if !strings.Contains(legend, "0: ") || !strings.Contains(legend, "=> g = A") {
+		t.Errorf("legend = %q", legend)
+	}
+}
+
+func TestRenderGridSmoothedCell(t *testing.T) {
+	bm, _ := grid.New(2, 2)
+	bm.Set(0, 0)
+	// Cluster covers (0,0)-(0,1) but only (0,0) holds a rule.
+	clusters := []rules.ClusteredRule{{XLoBin: 0, XHiBin: 1, YLoBin: 0, YHiBin: 0}}
+	out := RenderGrid(bm, clusters)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[1] != "0+" {
+		t.Errorf("bottom row = %q, want 0+", lines[1])
+	}
+}

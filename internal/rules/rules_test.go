@@ -1,0 +1,73 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCellRuleString(t *testing.T) {
+	r := CellRule{X: 3, Y: 7, Seg: 1, Support: 0.05, Confidence: 0.8}
+	s := r.String()
+	for _, want := range []string{"X=3", "Y=7", "G=1", "0.0500", "0.80"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestClusteredRuleString(t *testing.T) {
+	r := ClusteredRule{
+		XAttr: "age", YAttr: "salary", CritAttr: "group", CritValue: "A",
+		XLo: 40, XHi: 42, YLo: 40000, YHi: 60000,
+	}
+	got := r.String()
+	want := "40 <= age < 42 AND 40000 <= salary < 60000 => group = A"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestClusteredRuleCovers(t *testing.T) {
+	r := ClusteredRule{XLo: 40, XHi: 42, YLo: 40000, YHi: 60000}
+	cases := []struct {
+		x, y float64
+		want bool
+	}{
+		{40, 40000, true},   // inclusive lower corner
+		{41.9, 59999, true}, // interior
+		{42, 50000, false},  // exclusive upper x
+		{41, 60000, false},  // exclusive upper y
+		{39, 50000, false},
+	}
+	for _, c := range cases {
+		if got := r.Covers(c.x, c.y); got != c.want {
+			t.Errorf("Covers(%v, %v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestClusteredRuleArea(t *testing.T) {
+	r := ClusteredRule{XLoBin: 2, XHiBin: 4, YLoBin: 1, YHiBin: 1}
+	if got := r.Area(); got != 3 {
+		t.Errorf("Area = %d, want 3", got)
+	}
+	single := ClusteredRule{XLoBin: 0, XHiBin: 0, YLoBin: 0, YHiBin: 0}
+	if got := single.Area(); got != 1 {
+		t.Errorf("single-cell Area = %d, want 1", got)
+	}
+}
+
+func TestGenericRuleString(t *testing.T) {
+	r := Rule{
+		X:          Itemset{{Attr: 0, Val: 3}, {Attr: 1, Val: 5}},
+		Y:          Itemset{{Attr: 2, Val: 1}},
+		Support:    0.1,
+		Confidence: 0.9,
+	}
+	s := r.String()
+	for _, want := range []string{"a0=3", "a1=5", "a2=1", "=>"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package segment turns an ARCS result into a persistent, applicable
+// artifact: a segmentation model that can be saved as JSON, loaded back,
+// and applied to new tuples. This is the deployment half of the paper's
+// marketing scenario — the segmentation is computed once on the existing
+// customer base and then used to score prospects.
+package segment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"arcs/internal/dataset"
+	"arcs/internal/rules"
+)
+
+// Model is a serializable segmentation: the clustered rules for one
+// criterion value over a fixed attribute pair.
+type Model struct {
+	// XAttr and YAttr are the LHS attribute names the rules range over.
+	XAttr string `json:"x_attr"`
+	YAttr string `json:"y_attr"`
+	// CritAttr and CritValue identify the segmented group.
+	CritAttr  string `json:"criterion_attr"`
+	CritValue string `json:"criterion_value"`
+	// Rules are the clustered association rules.
+	Rules []Rule `json:"rules"`
+	// MinSupport / MinConfidence record the thresholds the rules were
+	// mined at, for provenance.
+	MinSupport    float64 `json:"min_support"`
+	MinConfidence float64 `json:"min_confidence"`
+}
+
+// Rule is the serialized form of one clustered rule.
+type Rule struct {
+	XLo        float64 `json:"x_lo"`
+	XHi        float64 `json:"x_hi"`
+	YLo        float64 `json:"y_lo"`
+	YHi        float64 `json:"y_hi"`
+	Support    float64 `json:"support"`
+	Confidence float64 `json:"confidence"`
+}
+
+// New builds a model from clustered rules. All rules must share the same
+// attribute pair and criterion; the first rule defines them.
+func New(rs []rules.ClusteredRule, minSupport, minConfidence float64) (*Model, error) {
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("segment: no rules")
+	}
+	first := rs[0]
+	m := &Model{
+		XAttr: first.XAttr, YAttr: first.YAttr,
+		CritAttr: first.CritAttr, CritValue: first.CritValue,
+		MinSupport: minSupport, MinConfidence: minConfidence,
+	}
+	for _, r := range rs {
+		if r.XAttr != m.XAttr || r.YAttr != m.YAttr ||
+			r.CritAttr != m.CritAttr || r.CritValue != m.CritValue {
+			return nil, fmt.Errorf("segment: rule %q does not match model attributes (%s, %s) => %s = %s",
+				r, m.XAttr, m.YAttr, m.CritAttr, m.CritValue)
+		}
+		m.Rules = append(m.Rules, Rule{
+			XLo: r.XLo, XHi: r.XHi, YLo: r.YLo, YHi: r.YHi,
+			Support: r.Support, Confidence: r.Confidence,
+		})
+	}
+	return m, nil
+}
+
+// Covers reports whether an (x, y) point in attribute value space falls
+// in any of the model's clusters. Bounds are half-open, matching the
+// clustered rules.
+func (m *Model) Covers(x, y float64) bool {
+	for _, r := range m.Rules {
+		if r.XLo <= x && x < r.XHi && r.YLo <= y && y < r.YHi {
+			return true
+		}
+	}
+	return false
+}
+
+// Applier compiles the model against a schema for tuple scoring.
+type Applier struct {
+	model      *Model
+	xIdx, yIdx int
+}
+
+// Bind resolves the model's attributes against a schema.
+func (m *Model) Bind(schema *dataset.Schema) (*Applier, error) {
+	xIdx, err := schema.Index(m.XAttr)
+	if err != nil {
+		return nil, err
+	}
+	yIdx, err := schema.Index(m.YAttr)
+	if err != nil {
+		return nil, err
+	}
+	return &Applier{model: m, xIdx: xIdx, yIdx: yIdx}, nil
+}
+
+// Covers reports whether the tuple belongs to the segment.
+func (a *Applier) Covers(t dataset.Tuple) bool {
+	return a.model.Covers(t[a.xIdx], t[a.yIdx])
+}
+
+// Apply streams a source and invokes fn with every tuple and its segment
+// membership.
+func (a *Applier) Apply(src dataset.Source, fn func(t dataset.Tuple, covered bool) error) error {
+	return dataset.ForEach(src, func(t dataset.Tuple) error {
+		return fn(t, a.Covers(t))
+	})
+}
+
+// Write serializes the model as indented JSON.
+func (m *Model) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Read deserializes a model and validates it.
+func Read(r io.Reader) (*Model, error) {
+	var m Model
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("segment: decoding model: %w", err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (m *Model) validate() error {
+	if m.XAttr == "" || m.YAttr == "" || m.CritAttr == "" || m.CritValue == "" {
+		return fmt.Errorf("segment: model is missing attribute names")
+	}
+	if len(m.Rules) == 0 {
+		return fmt.Errorf("segment: model has no rules")
+	}
+	for i, r := range m.Rules {
+		if !(r.XLo < r.XHi) || !(r.YLo < r.YHi) {
+			return fmt.Errorf("segment: rule %d has an empty range", i)
+		}
+	}
+	return nil
+}
+
+// ClusteredRules converts the model back to clustered rule values.
+func (m *Model) ClusteredRules() []rules.ClusteredRule {
+	out := make([]rules.ClusteredRule, len(m.Rules))
+	for i, r := range m.Rules {
+		out[i] = rules.ClusteredRule{
+			XAttr: m.XAttr, YAttr: m.YAttr,
+			CritAttr: m.CritAttr, CritValue: m.CritValue,
+			XLo: r.XLo, XHi: r.XHi, YLo: r.YLo, YHi: r.YHi,
+			Support: r.Support, Confidence: r.Confidence,
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package segment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"arcs/internal/dataset"
+	"arcs/internal/rules"
+)
+
+func demoRules() []rules.ClusteredRule {
+	return []rules.ClusteredRule{
+		{
+			XAttr: "age", YAttr: "salary", CritAttr: "group", CritValue: "A",
+			XLo: 20, XHi: 40, YLo: 50_000, YHi: 100_000,
+			Support: 0.12, Confidence: 0.9,
+		},
+		{
+			XAttr: "age", YAttr: "salary", CritAttr: "group", CritValue: "A",
+			XLo: 60, XHi: 80, YLo: 25_000, YHi: 75_000,
+			Support: 0.10, Confidence: 0.88,
+		},
+	}
+}
+
+func TestNewModel(t *testing.T) {
+	m, err := New(demoRules(), 0.0001, 0.39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.XAttr != "age" || m.CritValue != "A" || len(m.Rules) != 2 {
+		t.Errorf("model = %+v", m)
+	}
+	if _, err := New(nil, 0, 0); err == nil {
+		t.Error("empty rules should error")
+	}
+	mixed := demoRules()
+	mixed[1].XAttr = "loan"
+	if _, err := New(mixed, 0, 0); err == nil {
+		t.Error("mismatched attributes should error")
+	}
+}
+
+func TestModelCovers(t *testing.T) {
+	m, _ := New(demoRules(), 0, 0)
+	cases := []struct {
+		x, y float64
+		want bool
+	}{
+		{30, 75_000, true},
+		{70, 50_000, true},
+		{50, 75_000, false},  // between the clusters
+		{40, 75_000, false},  // exclusive upper bound
+		{20, 50_000, true},   // inclusive lower bound
+		{30, 100_000, false}, // exclusive y upper bound
+	}
+	for _, c := range cases {
+		if got := m.Covers(c.x, c.y); got != c.want {
+			t.Errorf("Covers(%v, %v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m, _ := New(demoRules(), 0.0001, 0.39)
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.XAttr != m.XAttr || len(loaded.Rules) != len(m.Rules) {
+		t.Errorf("round trip lost data: %+v", loaded)
+	}
+	if loaded.MinSupport != 0.0001 || loaded.MinConfidence != 0.39 {
+		t.Error("thresholds not preserved")
+	}
+	// Behavioural equality.
+	for _, p := range [][2]float64{{30, 75_000}, {50, 75_000}, {70, 30_000}} {
+		if loaded.Covers(p[0], p[1]) != m.Covers(p[0], p[1]) {
+			t.Errorf("coverage differs after round trip at %v", p)
+		}
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	bad := []string{
+		`{}`,
+		`{"x_attr":"a","y_attr":"b","criterion_attr":"g","criterion_value":"A","rules":[]}`,
+		`{"x_attr":"a","y_attr":"b","criterion_attr":"g","criterion_value":"A",
+		  "rules":[{"x_lo":5,"x_hi":5,"y_lo":0,"y_hi":1}]}`,
+		`{"unknown_field":1}`,
+		`not json`,
+	}
+	for i, s := range bad {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestBindAndApply(t *testing.T) {
+	m, _ := New(demoRules(), 0, 0)
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "salary", Kind: dataset.Quantitative}, // note: different order
+		dataset.Attribute{Name: "age", Kind: dataset.Quantitative},
+	)
+	app, err := m.Bind(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuple is (salary, age).
+	if !app.Covers(dataset.Tuple{75_000, 30}) {
+		t.Error("binding must respect schema order")
+	}
+	if app.Covers(dataset.Tuple{75_000, 50}) {
+		t.Error("uncovered point misclassified")
+	}
+	tb := dataset.NewTable(schema)
+	tb.MustAppend(dataset.Tuple{75_000, 30})
+	tb.MustAppend(dataset.Tuple{75_000, 50})
+	covered := 0
+	err = app.Apply(tb, func(_ dataset.Tuple, c bool) error {
+		if c {
+			covered++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != 1 {
+		t.Errorf("covered = %d, want 1", covered)
+	}
+	// Binding against a schema missing the attribute fails.
+	missing := dataset.NewSchema(dataset.Attribute{Name: "other", Kind: dataset.Quantitative})
+	if _, err := m.Bind(missing); err == nil {
+		t.Error("missing attribute should error")
+	}
+}
+
+func TestClusteredRulesRoundTrip(t *testing.T) {
+	orig := demoRules()
+	m, _ := New(orig, 0, 0)
+	back := m.ClusteredRules()
+	if len(back) != len(orig) {
+		t.Fatalf("lost rules")
+	}
+	for i := range orig {
+		if back[i].String() != orig[i].String() {
+			t.Errorf("rule %d: %q vs %q", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestModelRoundTripProperty(t *testing.T) {
+	// Property: any valid model survives a JSON round trip with
+	// identical coverage behaviour on a probe lattice.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		var rs []rules.ClusteredRule
+		for _, r := range raw {
+			xlo := float64(r % 50)
+			ylo := float64((r >> 4) % 50)
+			rs = append(rs, rules.ClusteredRule{
+				XAttr: "x", YAttr: "y", CritAttr: "g", CritValue: "A",
+				XLo: xlo, XHi: xlo + 1 + float64(r%7),
+				YLo: ylo, YHi: ylo + 1 + float64((r>>8)%7),
+			})
+		}
+		m, err := New(rs, 0.001, 0.5)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := m.Write(&buf); err != nil {
+			return false
+		}
+		loaded, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		for x := 0.0; x < 60; x += 3.5 {
+			for y := 0.0; y < 60; y += 3.5 {
+				if m.Covers(x, y) != loaded.Covers(x, y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package setcover provides reference rectangle-cover algorithms for the
+// clustering problem. The paper observes (§1) that finding the fewest
+// rectangular clusters covering the rule grid is an instance of the
+// NP-complete k-decision set-covering problem and that greedy selection
+// is near-optimal; this package supplies both the classical greedy
+// set-cover over maximal all-set rectangles and an exact branch-and-bound
+// cover for small grids, so BitOp's cluster counts can be compared
+// against the true optimum in tests and ablation benchmarks.
+package setcover
+
+import (
+	"fmt"
+	"math/bits"
+
+	"arcs/internal/grid"
+)
+
+// MaximalRects enumerates every maximal all-set rectangle of the bitmap:
+// rectangles containing only set cells that cannot be extended in any of
+// the four directions. These are the canonical candidate set for
+// rectangle covering.
+func MaximalRects(bm *grid.Bitmap) []grid.Rect {
+	rows, cols := bm.Rows(), bm.Cols()
+	// 2D prefix sums of set cells for O(1) all-set tests.
+	pre := make([][]int, rows+1)
+	for r := range pre {
+		pre[r] = make([]int, cols+1)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := 0
+			if bm.Get(r, c) {
+				v = 1
+			}
+			pre[r+1][c+1] = v + pre[r][c+1] + pre[r+1][c] - pre[r][c]
+		}
+	}
+	full := func(r0, c0, r1, c1 int) bool {
+		if r0 < 0 || c0 < 0 || r1 >= rows || c1 >= cols {
+			return false
+		}
+		area := (r1 - r0 + 1) * (c1 - c0 + 1)
+		sum := pre[r1+1][c1+1] - pre[r0][c1+1] - pre[r1+1][c0] + pre[r0][c0]
+		return sum == area
+	}
+	var out []grid.Rect
+	for r0 := 0; r0 < rows; r0++ {
+		for c0 := 0; c0 < cols; c0++ {
+			for r1 := r0; r1 < rows; r1++ {
+				if !full(r0, c0, r1, c0) {
+					break
+				}
+				for c1 := c0; c1 < cols; c1++ {
+					if !full(r0, c0, r1, c1) {
+						break
+					}
+					// Maximal iff no single-step extension stays all-set.
+					if full(r0-1, c0, r0-1, c1) || full(r1+1, c0, r1+1, c1) ||
+						full(r0, c0-1, r1, c0-1) || full(r0, c1+1, r1, c1+1) {
+						continue
+					}
+					out = append(out, grid.Rect{R0: r0, C0: c0, R1: r1, C1: c1})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Greedy covers all set cells with maximal rectangles by repeatedly
+// choosing the rectangle covering the most still-uncovered cells — the
+// classical ln(n)-approximate set-cover algorithm. Ties break toward the
+// lexicographically smallest rectangle for determinism.
+func Greedy(bm *grid.Bitmap) []grid.Rect {
+	cands := MaximalRects(bm)
+	if len(cands) == 0 {
+		return nil
+	}
+	uncovered := bm.Clone()
+	var cover []grid.Rect
+	for uncovered.Any() {
+		best, bestGain := -1, 0
+		for i, r := range cands {
+			gain := 0
+			for rr := r.R0; rr <= r.R1; rr++ {
+				for cc := r.C0; cc <= r.C1; cc++ {
+					if uncovered.Get(rr, cc) {
+						gain++
+					}
+				}
+			}
+			if gain > bestGain || (gain == bestGain && gain > 0 && best >= 0 && lexLess(r, cands[best])) {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 || bestGain == 0 {
+			break
+		}
+		cover = append(cover, cands[best])
+		uncovered.ClearRect(cands[best])
+	}
+	return cover
+}
+
+func lexLess(a, b grid.Rect) bool {
+	if a.R0 != b.R0 {
+		return a.R0 < b.R0
+	}
+	if a.C0 != b.C0 {
+		return a.C0 < b.C0
+	}
+	if a.R1 != b.R1 {
+		return a.R1 < b.R1
+	}
+	return a.C1 < b.C1
+}
+
+// MaxExactCells bounds the grids Exact accepts: the branch-and-bound
+// represents the set cells as a 64-bit mask.
+const MaxExactCells = 64
+
+// Exact computes a minimum rectangle cover of the set cells by
+// branch-and-bound over the maximal rectangles. It is exponential in the
+// worst case and rejects bitmaps with more than MaxExactCells set cells;
+// it exists as a test oracle and for the optimality-gap benchmarks.
+func Exact(bm *grid.Bitmap) ([]grid.Rect, error) {
+	k := bm.PopCount()
+	if k == 0 {
+		return nil, nil
+	}
+	if k > MaxExactCells {
+		return nil, fmt.Errorf("setcover: %d set cells exceeds exact-solver limit %d", k, MaxExactCells)
+	}
+	// Index the set cells.
+	idx := make(map[[2]int]uint, k)
+	i := uint(0)
+	for r := 0; r < bm.Rows(); r++ {
+		for c := 0; c < bm.Cols(); c++ {
+			if bm.Get(r, c) {
+				idx[[2]int{r, c}] = i
+				i++
+			}
+		}
+	}
+	cands := MaximalRects(bm)
+	masks := make([]uint64, len(cands))
+	for ci, rect := range cands {
+		var m uint64
+		for r := rect.R0; r <= rect.R1; r++ {
+			for c := rect.C0; c <= rect.C1; c++ {
+				m |= 1 << idx[[2]int{r, c}]
+			}
+		}
+		masks[ci] = m
+	}
+	all := uint64(1)<<k - 1
+	if k == 64 {
+		all = ^uint64(0)
+	}
+
+	// Upper bound from greedy.
+	bestLen := len(Greedy(bm))
+	var best []int
+	var cur []int
+
+	// cellCands[j] lists candidates covering cell j, for branching on
+	// the lowest uncovered cell.
+	cellCands := make([][]int, k)
+	for ci, m := range masks {
+		mm := m
+		for mm != 0 {
+			j := bits.TrailingZeros64(mm)
+			cellCands[j] = append(cellCands[j], ci)
+			mm &= mm - 1
+		}
+	}
+
+	var dfs func(uncovered uint64)
+	dfs = func(uncovered uint64) {
+		if uncovered == 0 {
+			if best == nil || len(cur) < bestLen {
+				bestLen = len(cur)
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		if len(cur) >= bestLen {
+			return // cannot beat the incumbent
+		}
+		j := bits.TrailingZeros64(uncovered)
+		for _, ci := range cellCands[j] {
+			cur = append(cur, ci)
+			dfs(uncovered &^ masks[ci])
+			cur = cur[:len(cur)-1]
+		}
+	}
+	dfs(all)
+
+	if best == nil {
+		// Greedy's solution is already optimal; reconstruct it.
+		return Greedy(bm), nil
+	}
+	out := make([]grid.Rect, len(best))
+	for i, ci := range best {
+		out[i] = cands[ci]
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package setcover
+
+import (
+	"math/rand"
+	"testing"
+
+	"arcs/internal/bitop"
+	"arcs/internal/grid"
+)
+
+func mk(t *testing.T, rows ...string) *grid.Bitmap {
+	t.Helper()
+	bm, err := grid.New(len(rows), len(rows[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, line := range rows {
+		for c, ch := range line {
+			if ch == '#' {
+				bm.Set(r, c)
+			}
+		}
+	}
+	return bm
+}
+
+func covers(t *testing.T, bm *grid.Bitmap, cover []grid.Rect) {
+	t.Helper()
+	for r := 0; r < bm.Rows(); r++ {
+		for c := 0; c < bm.Cols(); c++ {
+			in := false
+			for _, rect := range cover {
+				if rect.Contains(r, c) {
+					in = true
+					if !bm.Get(r, c) {
+						t.Fatalf("cover rect %v includes unset cell (%d,%d)", rect, r, c)
+					}
+				}
+			}
+			if bm.Get(r, c) && !in {
+				t.Fatalf("set cell (%d,%d) uncovered", r, c)
+			}
+		}
+	}
+}
+
+func TestMaximalRectsSquare(t *testing.T) {
+	bm := mk(t,
+		"##.",
+		"##.",
+		"...",
+	)
+	rects := MaximalRects(bm)
+	if len(rects) != 1 {
+		t.Fatalf("rects = %v, want one 2x2", rects)
+	}
+	if rects[0] != (grid.Rect{R0: 0, C0: 0, R1: 1, C1: 1}) {
+		t.Errorf("rect = %v", rects[0])
+	}
+}
+
+func TestMaximalRectsCross(t *testing.T) {
+	// A plus sign has two maximal rectangles: the horizontal and the
+	// vertical bars.
+	bm := mk(t,
+		".#.",
+		"###",
+		".#.",
+	)
+	rects := MaximalRects(bm)
+	if len(rects) != 2 {
+		t.Fatalf("rects = %v, want 2", rects)
+	}
+}
+
+func TestMaximalRectsEmpty(t *testing.T) {
+	bm, _ := grid.New(3, 3)
+	if got := MaximalRects(bm); len(got) != 0 {
+		t.Errorf("rects = %v", got)
+	}
+}
+
+func TestGreedyCovers(t *testing.T) {
+	bm := mk(t,
+		"####..",
+		"####..",
+		"..####",
+		"..####",
+	)
+	cover := Greedy(bm)
+	covers(t, bm, cover)
+	if len(cover) > 3 {
+		t.Errorf("greedy used %d rects; expect <= 3", len(cover))
+	}
+}
+
+func TestGreedyLShape(t *testing.T) {
+	bm := mk(t,
+		"#..",
+		"#..",
+		"###",
+	)
+	cover := Greedy(bm)
+	covers(t, bm, cover)
+	if len(cover) != 2 {
+		t.Errorf("L shape needs 2 rects, greedy used %d: %v", len(cover), cover)
+	}
+}
+
+func TestExactOptimal(t *testing.T) {
+	bm := mk(t,
+		"#.#",
+		"###",
+		"#.#",
+	)
+	cover, err := Exact(bm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covers(t, bm, cover)
+	// Optimal: 3 rects (two vertical bars + middle row, or equivalents).
+	if len(cover) != 3 {
+		t.Errorf("exact cover used %d rects, want 3: %v", len(cover), cover)
+	}
+}
+
+func TestExactEmptyAndTooLarge(t *testing.T) {
+	empty, _ := grid.New(2, 2)
+	cover, err := Exact(empty)
+	if err != nil || cover != nil {
+		t.Errorf("empty: %v, %v", cover, err)
+	}
+	big, _ := grid.New(9, 9)
+	for r := 0; r < 9; r++ {
+		for c := 0; c < 9; c++ {
+			big.Set(r, c)
+		}
+	}
+	if _, err := Exact(big); err == nil {
+		t.Error("81 cells should exceed the exact limit")
+	}
+}
+
+func TestExactNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		bm, _ := grid.New(5, 6)
+		for r := 0; r < 5; r++ {
+			for c := 0; c < 6; c++ {
+				if rng.Float64() < 0.45 {
+					bm.Set(r, c)
+				}
+			}
+		}
+		if bm.PopCount() == 0 || bm.PopCount() > MaxExactCells {
+			continue
+		}
+		greedy := Greedy(bm)
+		exact, err := Exact(bm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covers(t, bm, greedy)
+		covers(t, bm, exact)
+		if len(exact) > len(greedy) {
+			t.Fatalf("trial %d: exact (%d) worse than greedy (%d)\n%s",
+				trial, len(exact), len(greedy), bm)
+		}
+	}
+}
+
+func TestBitOpNearOptimal(t *testing.T) {
+	// The paper's claim: BitOp's greedy clustering is near-optimal.
+	// Compare BitOp's cluster count with the exact minimum on random
+	// small grids; allow at most a two-rectangle gap.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		bm, _ := grid.New(5, 6)
+		for r := 0; r < 5; r++ {
+			for c := 0; c < 6; c++ {
+				if rng.Float64() < 0.4 {
+					bm.Set(r, c)
+				}
+			}
+		}
+		if bm.PopCount() == 0 {
+			continue
+		}
+		exact, err := Exact(bm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitopClusters := bitop.Cluster(bm, bitop.Options{})
+		if len(bitopClusters) > len(exact)+2 {
+			t.Errorf("trial %d: BitOp used %d clusters vs optimal %d\n%s",
+				trial, len(bitopClusters), len(exact), bm)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// GammaP computes the lower regularized incomplete gamma function
+// P(a, x) = γ(a, x) / Γ(a) for a > 0, x >= 0, using the series expansion
+// for x < a+1 and the continued fraction for x >= a+1 (Numerical Recipes
+// §6.2). It underlies the chi-square CDF.
+func GammaP(a, x float64) (float64, error) {
+	if a <= 0 {
+		return 0, errors.New("stats: GammaP requires a > 0")
+	}
+	if x < 0 {
+		return 0, errors.New("stats: GammaP requires x >= 0")
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x < a+1 {
+		return gammaSeries(a, x), nil
+	}
+	return 1 - gammaContinuedFraction(a, x), nil
+}
+
+// gammaSeries evaluates P(a, x) by its power series.
+func gammaSeries(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 3e-14
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedFraction evaluates Q(a, x) = 1 - P(a, x) by Lentz's
+// continued fraction.
+func gammaContinuedFraction(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 3e-14
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquareP returns the p-value of a chi-square statistic with the
+// given degrees of freedom: P(X >= stat) under the null hypothesis of
+// independence. Small p-values mean the observed association is unlikely
+// under independence.
+func ChiSquareP(stat float64, dof int) (float64, error) {
+	if dof <= 0 {
+		return 0, errors.New("stats: degrees of freedom must be positive")
+	}
+	if stat < 0 {
+		return 0, errors.New("stats: chi-square statistic must be non-negative")
+	}
+	p, err := GammaP(float64(dof)/2, stat/2)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - p, nil
+}
+
+// ChiSquareIndependence tests a contingency table for row/column
+// independence, returning the statistic, degrees of freedom and p-value.
+func ChiSquareIndependence(table [][]float64) (stat float64, dof int, p float64, err error) {
+	if len(table) < 2 || len(table[0]) < 2 {
+		return 0, 0, 0, errors.New("stats: need at least a 2x2 table")
+	}
+	stat = ChiSquare(table)
+	dof = (len(table) - 1) * (len(table[0]) - 1)
+	p, err = ChiSquareP(stat, dof)
+	return stat, dof, p, err
+}

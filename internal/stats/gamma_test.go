@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^-x (exponential CDF).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		got, err := GammaP(1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-x)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("P(1, %v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		got, err := GammaP(0.5, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Erf(math.Sqrt(x))
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("P(0.5, %v) = %v, want %v", x, got, want)
+		}
+	}
+	if got, _ := GammaP(3, 0); got != 0 {
+		t.Errorf("P(a, 0) = %v", got)
+	}
+}
+
+func TestGammaPErrors(t *testing.T) {
+	if _, err := GammaP(0, 1); err == nil {
+		t.Error("a=0 should error")
+	}
+	if _, err := GammaP(1, -1); err == nil {
+		t.Error("x<0 should error")
+	}
+}
+
+func TestGammaPMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 20; x += 0.5 {
+		got, err := GammaP(2.5, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev-1e-12 {
+			t.Fatalf("P(2.5, %v) = %v decreased from %v", x, got, prev)
+		}
+		if got < 0 || got > 1 {
+			t.Fatalf("P out of [0,1]: %v", got)
+		}
+		prev = got
+	}
+	if prev < 0.999 {
+		t.Errorf("P(2.5, 20) = %v, want ~1", prev)
+	}
+}
+
+func TestChiSquareP(t *testing.T) {
+	// Chi-square with 1 dof: P(X >= 3.841) ≈ 0.05.
+	p, err := ChiSquareP(3.841, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.05) > 0.001 {
+		t.Errorf("p(3.841, 1) = %v, want ~0.05", p)
+	}
+	// 2 dof: P(X >= 5.991) ≈ 0.05.
+	p, _ = ChiSquareP(5.991, 2)
+	if math.Abs(p-0.05) > 0.001 {
+		t.Errorf("p(5.991, 2) = %v, want ~0.05", p)
+	}
+	// Zero statistic: p = 1.
+	p, _ = ChiSquareP(0, 3)
+	if p != 1 {
+		t.Errorf("p(0, 3) = %v", p)
+	}
+	if _, err := ChiSquareP(1, 0); err == nil {
+		t.Error("dof=0 should error")
+	}
+	if _, err := ChiSquareP(-1, 1); err == nil {
+		t.Error("negative stat should error")
+	}
+}
+
+func TestChiSquareIndependence(t *testing.T) {
+	// Strongly associated table: tiny p.
+	assoc := [][]float64{{50, 0}, {0, 50}}
+	stat, dof, p, err := ChiSquareIndependence(assoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dof != 1 || stat < 90 {
+		t.Errorf("stat=%v dof=%d", stat, dof)
+	}
+	if p > 1e-10 {
+		t.Errorf("p = %v, want ~0", p)
+	}
+	// Independent table: p near 1.
+	indep := [][]float64{{10, 20}, {20, 40}}
+	_, _, p, err = ChiSquareIndependence(indep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.99 {
+		t.Errorf("independent table p = %v, want ~1", p)
+	}
+	if _, _, _, err := ChiSquareIndependence([][]float64{{1, 2}}); err == nil {
+		t.Error("1-row table should error")
+	}
+}

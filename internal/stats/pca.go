@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Matrix is a dense, square, symmetric matrix stored row-major. It exists
+// only to support the eigensolver; it is not a general linear-algebra
+// type.
+type Matrix struct {
+	N    int
+	Data []float64 // len N*N
+}
+
+// NewMatrix allocates an N x N zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Jacobi diagonalizes a symmetric matrix using cyclic Jacobi rotations.
+// It returns the eigenvalues and the matrix of eigenvectors (columns),
+// both unsorted. The input matrix is not modified.
+func Jacobi(a *Matrix, maxSweeps int) (eigenvalues []float64, eigenvectors *Matrix, err error) {
+	n := a.N
+	if n == 0 {
+		return nil, nil, errors.New("stats: empty matrix")
+	}
+	// Verify symmetry up to rounding; Jacobi silently corrupts results on
+	// asymmetric input.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > 1e-9*(1+math.Abs(a.At(i, j))) {
+				return nil, nil, errors.New("stats: Jacobi requires a symmetric matrix")
+			}
+		}
+	}
+	w := NewMatrix(n)
+	copy(w.Data, a.Data)
+	v := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 64
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				for k := 0; k < n; k++ {
+					wkp, wkq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	eigenvalues = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eigenvalues[i] = w.At(i, i)
+	}
+	return eigenvalues, v, nil
+}
+
+// Component is one principal component: its eigenvalue (variance
+// explained) and loading vector.
+type Component struct {
+	Variance float64
+	Loadings []float64
+}
+
+// PCA performs principal component analysis on column-major data
+// (cols[j] is the sample of variable j). Columns are standardized
+// (zero mean, unit variance) before the covariance — i.e. the analysis
+// runs on the correlation matrix, which is scale-free and appropriate
+// when the attributes have incomparable units (age vs. salary).
+// Components are returned sorted by decreasing explained variance.
+func PCA(cols [][]float64) ([]Component, error) {
+	p := len(cols)
+	if p == 0 {
+		return nil, errors.New("stats: PCA needs at least one column")
+	}
+	n := len(cols[0])
+	for _, c := range cols {
+		if len(c) != n {
+			return nil, errors.New("stats: PCA columns must have equal length")
+		}
+	}
+	if n < 2 {
+		return nil, errors.New("stats: PCA needs at least two observations")
+	}
+	std := make([][]float64, p)
+	for j, c := range cols {
+		m, s := Mean(c), StdDev(c)
+		out := make([]float64, n)
+		if s == 0 {
+			// Constant column: contributes nothing.
+			std[j] = out
+			continue
+		}
+		for i, x := range c {
+			out[i] = (x - m) / s
+		}
+		std[j] = out
+	}
+	cov := NewMatrix(p)
+	for i := 0; i < p; i++ {
+		for j := i; j < p; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += std[i][k] * std[j][k]
+			}
+			s /= float64(n)
+			cov.Set(i, j, s)
+			cov.Set(j, i, s)
+		}
+	}
+	vals, vecs, err := Jacobi(cov, 0)
+	if err != nil {
+		return nil, err
+	}
+	comps := make([]Component, p)
+	for j := 0; j < p; j++ {
+		load := make([]float64, p)
+		for i := 0; i < p; i++ {
+			load[i] = vecs.At(i, j)
+		}
+		comps[j] = Component{Variance: vals[j], Loadings: load}
+	}
+	sort.Slice(comps, func(a, b int) bool { return comps[a].Variance > comps[b].Variance })
+	return comps, nil
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJacobiDiagonal(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 7)
+	vals, vecs, err := Jacobi(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[float64]bool{}
+	for _, v := range vals {
+		got[math.Round(v)] = true
+	}
+	if !got[3] || !got[7] {
+		t.Errorf("eigenvalues = %v, want {3,7}", vals)
+	}
+	// Eigenvector matrix of a diagonal matrix is a permutation of identity.
+	for j := 0; j < 2; j++ {
+		var norm float64
+		for i := 0; i < 2; i++ {
+			norm += vecs.At(i, j) * vecs.At(i, j)
+		}
+		if !approx(norm, 1, 1e-9) {
+			t.Errorf("eigenvector %d not unit: %v", j, norm)
+		}
+	}
+}
+
+func TestJacobiKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := NewMatrix(2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	vals, vecs, err := Jacobi(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Min(vals[0], vals[1]), math.Max(vals[0], vals[1])
+	if !approx(lo, 1, 1e-9) || !approx(hi, 3, 1e-9) {
+		t.Errorf("eigenvalues = %v, want 1 and 3", vals)
+	}
+	// Check A v = lambda v for each eigenpair.
+	for j := 0; j < 2; j++ {
+		v0, v1 := vecs.At(0, j), vecs.At(1, j)
+		av0 := 2*v0 + 1*v1
+		av1 := 1*v0 + 2*v1
+		if !approx(av0, vals[j]*v0, 1e-8) || !approx(av1, vals[j]*v1, 1e-8) {
+			t.Errorf("eigenpair %d fails A v = lambda v", j)
+		}
+	}
+}
+
+func TestJacobiAsymmetricRejected(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 5)
+	if _, _, err := Jacobi(a, 0); err == nil {
+		t.Error("asymmetric matrix should be rejected")
+	}
+	if _, _, err := Jacobi(NewMatrix(0), 0); err == nil {
+		t.Error("empty matrix should be rejected")
+	}
+}
+
+func TestPCACorrelatedColumns(t *testing.T) {
+	// y = 2x exactly: first component explains everything.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 2 * x[i]
+	}
+	comps, err := PCA([][]float64{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("got %d components", len(comps))
+	}
+	total := comps[0].Variance + comps[1].Variance
+	if !approx(comps[0].Variance/total, 1, 1e-9) {
+		t.Errorf("first component explains %v of variance, want 1", comps[0].Variance/total)
+	}
+	// Loadings of the dominant component weight both variables equally
+	// (standardized), i.e. |l0| == |l1|.
+	l := comps[0].Loadings
+	if !approx(math.Abs(l[0]), math.Abs(l[1]), 1e-9) {
+		t.Errorf("loadings = %v, want equal magnitude", l)
+	}
+}
+
+func TestPCAIndependentColumns(t *testing.T) {
+	// Orthogonal patterns: variance splits roughly evenly.
+	x := []float64{1, 1, -1, -1, 1, -1, -1, 1}
+	y := []float64{1, -1, 1, -1, -1, 1, -1, 1}
+	comps, err := PCA([][]float64{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := comps[0].Variance / (comps[0].Variance + comps[1].Variance)
+	if ratio > 0.7 {
+		t.Errorf("independent columns: dominant component explains %v, want near 0.5", ratio)
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := PCA(nil); err == nil {
+		t.Error("empty PCA should error")
+	}
+	if _, err := PCA([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged PCA should error")
+	}
+	if _, err := PCA([][]float64{{1}}); err == nil {
+		t.Error("single-observation PCA should error")
+	}
+}
+
+func TestPCAConstantColumn(t *testing.T) {
+	x := []float64{5, 5, 5, 5}
+	y := []float64{1, 2, 3, 4}
+	comps, err := PCA([][]float64{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constant column contributes zero variance; total = 1.
+	total := 0.0
+	for _, c := range comps {
+		total += c.Variance
+	}
+	if !approx(total, 1, 1e-9) {
+		t.Errorf("total variance = %v, want 1 (one informative standardized column)", total)
+	}
+}

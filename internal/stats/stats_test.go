@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLog2Guarded(t *testing.T) {
+	if Log2(0) != 0 || Log2(-3) != 0 {
+		t.Error("Log2 of non-positive should be 0")
+	}
+	if !approx(Log2(8), 3, 1e-12) {
+		t.Errorf("Log2(8) = %v", Log2(8))
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	cases := []struct {
+		counts []float64
+		want   float64
+	}{
+		{[]float64{1, 1}, 1},
+		{[]float64{1, 1, 1, 1}, 2},
+		{[]float64{5, 0}, 0},
+		{[]float64{}, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{3, 1}, 0.8112781244591328},
+	}
+	for _, c := range cases {
+		if got := Entropy(c.counts); !approx(got, c.want, 1e-12) {
+			t.Errorf("Entropy(%v) = %v, want %v", c.counts, got, c.want)
+		}
+	}
+	if got := EntropyInts([]int{1, 1}); !approx(got, 1, 1e-12) {
+		t.Errorf("EntropyInts = %v", got)
+	}
+}
+
+func TestEntropyNonNegativeAndBounded(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]float64, len(raw))
+		nonzero := 0
+		for i, r := range raw {
+			counts[i] = float64(r)
+			if r > 0 {
+				nonzero++
+			}
+		}
+		h := Entropy(counts)
+		if h < 0 {
+			return false
+		}
+		if nonzero > 0 && h > math.Log2(float64(len(counts)))+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if got := Gini([]float64{1, 1}); !approx(got, 0.5, 1e-12) {
+		t.Errorf("Gini uniform-2 = %v", got)
+	}
+	if got := Gini([]float64{7, 0}); !approx(got, 0, 1e-12) {
+		t.Errorf("Gini pure = %v", got)
+	}
+	if got := Gini(nil); got != 0 {
+		t.Errorf("Gini(nil) = %v", got)
+	}
+}
+
+func TestInfoGainPerfectSplit(t *testing.T) {
+	// Parent: 2 classes 50/50 (entropy 1). Children pure -> gain 1.
+	children := [][]float64{{10, 0}, {0, 10}}
+	if got := InfoGain(children); !approx(got, 1, 1e-12) {
+		t.Errorf("InfoGain perfect = %v", got)
+	}
+	// Useless split: children mirror parent -> gain 0.
+	children = [][]float64{{5, 5}, {5, 5}}
+	if got := InfoGain(children); !approx(got, 0, 1e-12) {
+		t.Errorf("InfoGain useless = %v", got)
+	}
+	if got := InfoGain(nil); got != 0 {
+		t.Errorf("InfoGain(nil) = %v", got)
+	}
+}
+
+func TestGainRatio(t *testing.T) {
+	children := [][]float64{{10, 0}, {0, 10}}
+	// Gain 1, split info 1 -> ratio 1.
+	if got := GainRatio(children); !approx(got, 1, 1e-12) {
+		t.Errorf("GainRatio = %v", got)
+	}
+	// Single child: split info 0 -> ratio defined as 0.
+	if got := GainRatio([][]float64{{5, 5}}); got != 0 {
+		t.Errorf("GainRatio single child = %v", got)
+	}
+}
+
+func TestInfoGainNonNegative(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		children := [][]float64{{float64(a), float64(b)}, {float64(c), float64(d)}}
+		return InfoGain(children) >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	// Independent table: chi-square 0.
+	indep := [][]float64{{10, 20}, {20, 40}}
+	if got := ChiSquare(indep); !approx(got, 0, 1e-9) {
+		t.Errorf("ChiSquare independent = %v", got)
+	}
+	// Perfectly associated 2x2.
+	assoc := [][]float64{{50, 0}, {0, 50}}
+	if got := ChiSquare(assoc); !approx(got, 100, 1e-9) {
+		t.Errorf("ChiSquare associated = %v, want 100", got)
+	}
+	if got := ChiSquare(nil); got != 0 {
+		t.Errorf("ChiSquare(nil) = %v", got)
+	}
+}
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !approx(got, 5, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); !approx(got, 4, 1e-12) {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := StdDev(xs); !approx(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate descriptive stats should be 0")
+	}
+}
+
+func TestCovarianceCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	cov, err := Covariance(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(cov, 2.5, 1e-12) {
+		t.Errorf("Covariance = %v", cov)
+	}
+	r, err := Correlation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r, 1, 1e-12) {
+		t.Errorf("Correlation = %v, want 1", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, _ = Correlation(xs, neg)
+	if !approx(r, -1, 1e-12) {
+		t.Errorf("Correlation = %v, want -1", r)
+	}
+	if _, err := Covariance(xs, ys[:2]); err == nil {
+		t.Error("length mismatch should error")
+	}
+	flat := []float64{3, 3, 3, 3}
+	r, _ = Correlation(xs, flat)
+	if r != 0 {
+		t.Errorf("Correlation with constant = %v, want 0", r)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("Q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("Q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); !approx(got, 2.5, 1e-12) {
+		t.Errorf("median = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if !math.IsInf(lo, 1) || !math.IsInf(hi, -1) {
+		t.Errorf("MinMax(nil) = %v, %v", lo, hi)
+	}
+}

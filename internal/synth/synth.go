@@ -1,0 +1,295 @@
+// Package synth reimplements the synthetic data generator of Agrawal,
+// Imielinski and Swami ("Database Mining: A Performance Perspective",
+// IEEE TKDE 5(6), 1993) — reference [2] of the ARCS paper — which defines
+// nine person-record attributes and ten classification functions of
+// varying complexity. The ARCS evaluation (paper §4.1, Table 1, Figure 8)
+// draws all of its data from this generator with Function 2.
+//
+// In addition to the classification functions, the generator models the
+// three distortions the paper studies:
+//
+//   - a group-fraction control (fracA / fracOther, Table 1) realized by
+//     rejection sampling,
+//   - a perturbation factor that fuzzes attribute values near disjunct
+//     boundaries, and
+//   - an outlier percentage: tuples keep their assigned group label but
+//     their attributes are drawn uniformly, ignoring the rules.
+package synth
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"arcs/internal/dataset"
+)
+
+// Attribute domains, following Agrawal et al. §5.1.
+const (
+	SalaryMin, SalaryMax = 20_000.0, 150_000.0
+	CommissionMin        = 10_000.0
+	CommissionMax        = 75_000.0
+	AgeMin, AgeMax       = 20.0, 80.0
+	HYearsMin, HYearsMax = 1.0, 30.0
+	LoanMin, LoanMax     = 0.0, 500_000.0
+	NumELevels           = 5  // education level 0..4
+	NumCars              = 20 // make of car 1..20
+	NumZipcodes          = 9  // zipcode 0..8, also scales hvalue
+)
+
+// GroupA and GroupOther are the labels of the criterion attribute.
+const (
+	GroupA     = "A"
+	GroupOther = "other"
+)
+
+// Attribute names in schema order.
+const (
+	AttrSalary     = "salary"
+	AttrCommission = "commission"
+	AttrAge        = "age"
+	AttrELevel     = "elevel"
+	AttrCar        = "car"
+	AttrZipcode    = "zipcode"
+	AttrHValue     = "hvalue"
+	AttrHYears     = "hyears"
+	AttrLoan       = "loan"
+	AttrGroup      = "group"
+)
+
+// Column indices into generated tuples, in schema order.
+const (
+	ColSalary = iota
+	ColCommission
+	ColAge
+	ColELevel
+	ColCar
+	ColZipcode
+	ColHValue
+	ColHYears
+	ColLoan
+	ColGroup
+	numCols
+)
+
+// Config parameterizes a generator run. The zero value is not valid; use
+// the exported fields mirroring paper Table 1.
+type Config struct {
+	// Function selects the classification function, 1 through 10.
+	Function int
+	// N is the number of tuples to generate.
+	N int
+	// Seed makes the stream deterministic and replayable.
+	Seed int64
+	// Perturbation is the perturbation factor P of Table 1 (e.g. 0.05):
+	// each quantitative attribute is shifted by a uniform offset of up to
+	// ±P/2 of its domain width after the group label is assigned.
+	Perturbation float64
+	// OutlierFraction is U of Table 1 (e.g. 0.10): the fraction of tuples
+	// whose label is kept but whose attributes are redrawn uniformly.
+	OutlierFraction float64
+	// FracA is the target fraction of tuples labeled Group A (Table 1
+	// uses 0.40). Zero disables fraction control and the natural label
+	// distribution of the function is kept.
+	FracA float64
+}
+
+func (c Config) validate() error {
+	if c.Function < 1 || c.Function > 10 {
+		return fmt.Errorf("synth: function must be 1..10, got %d", c.Function)
+	}
+	if c.N < 0 {
+		return fmt.Errorf("synth: N must be non-negative, got %d", c.N)
+	}
+	if c.Perturbation < 0 || c.Perturbation > 1 {
+		return fmt.Errorf("synth: perturbation must be in [0,1], got %g", c.Perturbation)
+	}
+	if c.OutlierFraction < 0 || c.OutlierFraction > 1 {
+		return fmt.Errorf("synth: outlier fraction must be in [0,1], got %g", c.OutlierFraction)
+	}
+	if c.FracA < 0 || c.FracA >= 1 {
+		return fmt.Errorf("synth: fracA must be in [0,1), got %g", c.FracA)
+	}
+	return nil
+}
+
+// NewSchema builds the nine-attribute person schema plus the categorical
+// group attribute, with GroupA and GroupOther pre-registered (GroupA gets
+// code 0).
+func NewSchema() *dataset.Schema {
+	s := dataset.NewSchema(
+		dataset.Attribute{Name: AttrSalary, Kind: dataset.Quantitative},
+		dataset.Attribute{Name: AttrCommission, Kind: dataset.Quantitative},
+		dataset.Attribute{Name: AttrAge, Kind: dataset.Quantitative},
+		dataset.Attribute{Name: AttrELevel, Kind: dataset.Categorical},
+		dataset.Attribute{Name: AttrCar, Kind: dataset.Categorical},
+		dataset.Attribute{Name: AttrZipcode, Kind: dataset.Categorical},
+		dataset.Attribute{Name: AttrHValue, Kind: dataset.Quantitative},
+		dataset.Attribute{Name: AttrHYears, Kind: dataset.Quantitative},
+		dataset.Attribute{Name: AttrLoan, Kind: dataset.Quantitative},
+		dataset.Attribute{Name: AttrGroup, Kind: dataset.Categorical},
+	)
+	// Register categorical domains eagerly so codes are stable regardless
+	// of generation order.
+	for e := 0; e < NumELevels; e++ {
+		s.Attr(AttrELevel).CategoryCode(fmt.Sprintf("%d", e))
+	}
+	for c := 1; c <= NumCars; c++ {
+		s.Attr(AttrCar).CategoryCode(fmt.Sprintf("%d", c))
+	}
+	for z := 0; z < NumZipcodes; z++ {
+		s.Attr(AttrZipcode).CategoryCode(fmt.Sprintf("%d", z))
+	}
+	s.Attr(AttrGroup).CategoryCode(GroupA)
+	s.Attr(AttrGroup).CategoryCode(GroupOther)
+	return s
+}
+
+// Generator is a deterministic, resettable stream of synthetic tuples
+// implementing dataset.SizedSource.
+type Generator struct {
+	cfg    Config
+	schema *dataset.Schema
+	rng    *rand.Rand
+	pos    int
+	buf    dataset.Tuple
+}
+
+// New constructs a generator after validating the config.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg:    cfg,
+		schema: NewSchema(),
+		buf:    make(dataset.Tuple, numCols),
+	}
+	g.rng = rand.New(rand.NewSource(cfg.Seed))
+	return g, nil
+}
+
+// Schema implements dataset.Source.
+func (g *Generator) Schema() *dataset.Schema { return g.schema }
+
+// Len implements dataset.SizedSource.
+func (g *Generator) Len() int { return g.cfg.N }
+
+// Reset implements dataset.Source: it re-seeds the RNG so the stream
+// replays identically.
+func (g *Generator) Reset() error {
+	g.rng = rand.New(rand.NewSource(g.cfg.Seed))
+	g.pos = 0
+	return nil
+}
+
+// Next implements dataset.Source. The returned tuple is reused between
+// calls; clone it to retain.
+func (g *Generator) Next() (dataset.Tuple, error) {
+	if g.pos >= g.cfg.N {
+		return nil, io.EOF
+	}
+	g.pos++
+	g.generate(g.buf)
+	return g.buf, nil
+}
+
+// generate fills out with one tuple according to the config.
+func (g *Generator) generate(out dataset.Tuple) {
+	rng := g.rng
+
+	if g.cfg.OutlierFraction > 0 && rng.Float64() < g.cfg.OutlierFraction {
+		// Outlier: uniform attributes, label chosen by target fraction
+		// (or fair coin when fraction control is off). These tuples
+		// belong to the group per their label but lie outside every
+		// generating rule with high probability (paper §3.3).
+		g.drawUniform(out)
+		frac := g.cfg.FracA
+		if frac == 0 {
+			frac = 0.5
+		}
+		if rng.Float64() < frac {
+			out[ColGroup] = 0 // GroupA
+		} else {
+			out[ColGroup] = 1 // GroupOther
+		}
+		g.perturb(out)
+		return
+	}
+
+	if g.cfg.FracA > 0 {
+		// Fraction control: decide the desired label first, then
+		// rejection-sample attribute vectors until the function agrees.
+		wantA := rng.Float64() < g.cfg.FracA
+		for {
+			g.drawUniform(out)
+			if IsGroupA(g.cfg.Function, out) == wantA {
+				break
+			}
+		}
+	} else {
+		g.drawUniform(out)
+	}
+	if IsGroupA(g.cfg.Function, out) {
+		out[ColGroup] = 0
+	} else {
+		out[ColGroup] = 1
+	}
+	g.perturb(out)
+}
+
+// drawUniform fills the nine person attributes from their domains.
+func (g *Generator) drawUniform(out dataset.Tuple) {
+	rng := g.rng
+	out[ColSalary] = uniform(rng, SalaryMin, SalaryMax)
+	if out[ColSalary] >= 75_000 {
+		out[ColCommission] = 0
+	} else {
+		out[ColCommission] = uniform(rng, CommissionMin, CommissionMax)
+	}
+	out[ColAge] = uniform(rng, AgeMin, AgeMax)
+	out[ColELevel] = float64(rng.Intn(NumELevels))
+	out[ColCar] = float64(rng.Intn(NumCars)) // codes 0..19 = cars 1..20
+	zip := rng.Intn(NumZipcodes)
+	out[ColZipcode] = float64(zip)
+	// hvalue is uniform in [0.5k, 1.5k] * 100000 where k depends on zipcode.
+	k := float64(zip + 1)
+	out[ColHValue] = uniform(rng, 0.5*k*100_000, 1.5*k*100_000)
+	out[ColHYears] = uniform(rng, HYearsMin, HYearsMax)
+	out[ColLoan] = uniform(rng, LoanMin, LoanMax)
+}
+
+// perturb applies the perturbation factor to the quantitative attributes
+// after labeling, modeling fuzzy boundaries between disjuncts. The offset
+// is uniform in ±P/2 of the attribute's domain width and the result is
+// clamped back into the domain.
+func (g *Generator) perturb(out dataset.Tuple) {
+	p := g.cfg.Perturbation
+	if p <= 0 {
+		return
+	}
+	rng := g.rng
+	jitter := func(v, lo, hi float64) float64 {
+		w := (hi - lo) * p
+		v += (rng.Float64() - 0.5) * w
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		return v
+	}
+	out[ColSalary] = jitter(out[ColSalary], SalaryMin, SalaryMax)
+	if out[ColCommission] > 0 {
+		out[ColCommission] = jitter(out[ColCommission], CommissionMin, CommissionMax)
+	}
+	out[ColAge] = jitter(out[ColAge], AgeMin, AgeMax)
+	out[ColHValue] = jitter(out[ColHValue], 0.5*100_000, 1.5*float64(NumZipcodes)*100_000)
+	out[ColHYears] = jitter(out[ColHYears], HYearsMin, HYearsMax)
+	out[ColLoan] = jitter(out[ColLoan], LoanMin, LoanMax)
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}

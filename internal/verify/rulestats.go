@@ -1,0 +1,63 @@
+package verify
+
+import (
+	"fmt"
+
+	"arcs/internal/dataset"
+	"arcs/internal/rules"
+)
+
+// RuleStats holds one clustered rule's measures re-verified against a
+// table. The mining-time support and confidence come from the BinArray
+// over the training stream; verifying against a fresh sample quantifies
+// how well they generalize.
+type RuleStats struct {
+	Rule       rules.ClusteredRule
+	Covered    int     // tuples the rule's LHS covers
+	Matching   int     // covered tuples carrying the criterion value
+	Support    float64 // Matching / table size
+	Confidence float64 // Matching / Covered
+	// UniqueCovered counts covered tuples no earlier rule in the
+	// segmentation covers — the rule's marginal contribution.
+	UniqueCovered int
+}
+
+// SegmentStats verifies every rule of a segmentation against a table,
+// in order. xIdx, yIdx and critIdx are schema positions; segCode is the
+// criterion value's category code.
+func SegmentStats(rs []rules.ClusteredRule, tb *dataset.Table, xIdx, yIdx, critIdx, segCode int) ([]RuleStats, error) {
+	if tb.Len() == 0 {
+		return nil, fmt.Errorf("verify: empty table")
+	}
+	out := make([]RuleStats, len(rs))
+	for i, r := range rs {
+		out[i].Rule = r
+	}
+	for row := 0; row < tb.Len(); row++ {
+		t := tb.Row(row)
+		x, y := t[xIdx], t[yIdx]
+		isSeg := int(t[critIdx]) == segCode
+		first := true
+		for i, r := range rs {
+			if !r.Covers(x, y) {
+				continue
+			}
+			out[i].Covered++
+			if isSeg {
+				out[i].Matching++
+			}
+			if first {
+				out[i].UniqueCovered++
+				first = false
+			}
+		}
+	}
+	n := float64(tb.Len())
+	for i := range out {
+		out[i].Support = float64(out[i].Matching) / n
+		if out[i].Covered > 0 {
+			out[i].Confidence = float64(out[i].Matching) / float64(out[i].Covered)
+		}
+	}
+	return out, nil
+}

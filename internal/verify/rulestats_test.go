@@ -1,0 +1,70 @@
+package verify
+
+import (
+	"testing"
+
+	"arcs/internal/rules"
+)
+
+func TestSegmentStats(t *testing.T) {
+	// Two overlapping rules; 6 tuples.
+	rs := []rules.ClusteredRule{
+		{XLo: 0, XHi: 10, YLo: 0, YHi: 10}, // covers x,y < 10
+		{XLo: 5, XHi: 15, YLo: 0, YHi: 10}, // covers 5 <= x < 15
+	}
+	tb := mkTable(t, [][3]float64{
+		{2, 2, 0},   // rule 1 only, label A
+		{7, 3, 0},   // both rules, label A
+		{12, 3, 1},  // rule 2 only, label other
+		{12, 4, 0},  // rule 2 only, label A
+		{20, 20, 0}, // neither
+		{3, 3, 1},   // rule 1 only, label other
+	})
+	stats, err := SegmentStats(rs, tb, 0, 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	r1 := stats[0]
+	if r1.Covered != 3 || r1.Matching != 2 {
+		t.Errorf("rule1: %+v", r1)
+	}
+	if r1.UniqueCovered != 3 {
+		t.Errorf("rule1 unique = %d (first rule owns every cell it covers)", r1.UniqueCovered)
+	}
+	r2 := stats[1]
+	if r2.Covered != 3 || r2.Matching != 2 {
+		t.Errorf("rule2: %+v", r2)
+	}
+	// Tuple (7,3) was claimed by rule 1 first.
+	if r2.UniqueCovered != 2 {
+		t.Errorf("rule2 unique = %d, want 2", r2.UniqueCovered)
+	}
+	if r1.Support != 2.0/6 {
+		t.Errorf("rule1 support = %v", r1.Support)
+	}
+	if r2.Confidence != 2.0/3 {
+		t.Errorf("rule2 confidence = %v", r2.Confidence)
+	}
+}
+
+func TestSegmentStatsEmptyTable(t *testing.T) {
+	tb := mkTable(t, nil)
+	if _, err := SegmentStats(nil, tb, 0, 1, 2, 0); err == nil {
+		t.Error("empty table should error")
+	}
+}
+
+func TestSegmentStatsRuleCoveringNothing(t *testing.T) {
+	rs := []rules.ClusteredRule{{XLo: 100, XHi: 200, YLo: 100, YHi: 200}}
+	tb := mkTable(t, [][3]float64{{1, 1, 0}})
+	stats, err := SegmentStats(rs, tb, 0, 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Covered != 0 || stats[0].Confidence != 0 {
+		t.Errorf("stats = %+v", stats[0])
+	}
+}

@@ -1,0 +1,169 @@
+// Package verify implements the verifier of paper §3.6 and Figure 2: it
+// measures the accuracy of a candidate segmentation — a set of clustered
+// association rules for one criterion value — against samples of the
+// source data.
+//
+// A tuple is a false positive when some cluster covers it but its
+// criterion value differs, and a false negative when it carries the
+// criterion value but no cluster covers it. The total error is their sum.
+// Because the optimal clustering of real data is unknown, the error is
+// approximated on random samples; "repeated k out of n" sampling averages
+// the measurement over several independent draws for a tighter estimate.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"arcs/internal/dataset"
+	"arcs/internal/rules"
+	"arcs/internal/stats"
+)
+
+// ErrorCounts aggregates a verification pass.
+type ErrorCounts struct {
+	FalsePositives int // covered by a cluster, label differs
+	FalseNegatives int // labeled with the criterion value, not covered
+	Total          int // tuples examined
+}
+
+// Errors returns the summed error (FP + FN), the quantity MDL encodes.
+func (e ErrorCounts) Errors() int { return e.FalsePositives + e.FalseNegatives }
+
+// Rate returns the error fraction over the examined tuples, or 0 when no
+// tuples were examined.
+func (e ErrorCounts) Rate() float64 {
+	if e.Total == 0 {
+		return 0
+	}
+	return float64(e.Errors()) / float64(e.Total)
+}
+
+// String renders the counts for reports.
+func (e ErrorCounts) String() string {
+	return fmt.Sprintf("%d FP + %d FN of %d (%.2f%%)",
+		e.FalsePositives, e.FalseNegatives, e.Total, 100*e.Rate())
+}
+
+// Covered reports whether any rule's LHS covers the (x, y) point.
+func Covered(rs []rules.ClusteredRule, x, y float64) bool {
+	for _, r := range rs {
+		if r.Covers(x, y) {
+			return true
+		}
+	}
+	return false
+}
+
+// Measure counts errors of the segmentation over every row of tb.
+// xIdx/yIdx/critIdx are schema positions of the LHS and criterion
+// attributes; segCode is the category code of the criterion value.
+func Measure(rs []rules.ClusteredRule, tb *dataset.Table, xIdx, yIdx, critIdx, segCode int) ErrorCounts {
+	var e ErrorCounts
+	for i := 0; i < tb.Len(); i++ {
+		row := tb.Row(i)
+		e.addTuple(rs, row, xIdx, yIdx, critIdx, segCode)
+	}
+	return e
+}
+
+// MeasureIndices counts errors over the rows of tb selected by idx —
+// one k-of-n draw.
+func MeasureIndices(rs []rules.ClusteredRule, tb *dataset.Table, idx []int, xIdx, yIdx, critIdx, segCode int) ErrorCounts {
+	var e ErrorCounts
+	for _, i := range idx {
+		e.addTuple(rs, tb.Row(i), xIdx, yIdx, critIdx, segCode)
+	}
+	return e
+}
+
+func (e *ErrorCounts) addTuple(rs []rules.ClusteredRule, row dataset.Tuple, xIdx, yIdx, critIdx, segCode int) {
+	e.Total++
+	isSeg := int(row[critIdx]) == segCode
+	covered := Covered(rs, row[xIdx], row[yIdx])
+	switch {
+	case covered && !isSeg:
+		e.FalsePositives++
+	case !covered && isSeg:
+		e.FalseNegatives++
+	}
+}
+
+// MeasureRepeated performs the repeated k-out-of-n sampling of §3.6:
+// rounds independent k-of-n draws from tb, returning the mean and
+// standard deviation of the summed error count across draws.
+func MeasureRepeated(rs []rules.ClusteredRule, tb *dataset.Table, rng *rand.Rand,
+	rounds, k int, xIdx, yIdx, critIdx, segCode int) (meanErrors, stdErrors float64, err error) {
+	if k > tb.Len() {
+		k = tb.Len()
+	}
+	return stats.RepeatedKofN(rng, rounds, k, tb.Len(), func(sample []int) float64 {
+		return float64(MeasureIndices(rs, tb, sample, xIdx, yIdx, critIdx, segCode).Errors())
+	})
+}
+
+// SampleSource reservoir-samples up to k tuples from a streaming source
+// into an in-memory table, giving the verifier a uniform sample without
+// materializing the data. The source is consumed from the beginning
+// (Reset first).
+func SampleSource(src dataset.Source, k int, rng *rand.Rand) (*dataset.Table, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("verify: sample size must be positive, got %d", k)
+	}
+	res := stats.NewReservoir(rng, k)
+	buf := make([]dataset.Tuple, 0, k)
+	err := dataset.ForEach(src, func(t dataset.Tuple) error {
+		slot, keep := res.Offer()
+		if !keep {
+			return nil
+		}
+		if slot == len(buf) {
+			buf = append(buf, t.Clone())
+		} else {
+			buf[slot] = t.Clone()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := dataset.NewTable(src.Schema())
+	for _, t := range buf {
+		if err := tb.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	return tb, nil
+}
+
+// RegionErrors computes the exact geometric error of a segmentation
+// against known ground-truth rectangles (available only for synthetic
+// data, Figure 9): it samples a uniform lattice of (x, y) points over the
+// given domain and counts points where cluster coverage disagrees with
+// ground-truth coverage. The result approximates the area of the
+// false-positive and false-negative regions.
+func RegionErrors(rs []rules.ClusteredRule, truth func(x, y float64) bool,
+	xLo, xHi, yLo, yHi float64, steps int) (falsePosFrac, falseNegFrac float64, err error) {
+	if steps < 2 {
+		return 0, 0, fmt.Errorf("verify: need at least 2 lattice steps, got %d", steps)
+	}
+	if !(xLo < xHi) || !(yLo < yHi) {
+		return 0, 0, fmt.Errorf("verify: invalid domain [%g,%g]×[%g,%g]", xLo, xHi, yLo, yHi)
+	}
+	var fp, fn, total int
+	for i := 0; i < steps; i++ {
+		x := xLo + (xHi-xLo)*(float64(i)+0.5)/float64(steps)
+		for j := 0; j < steps; j++ {
+			y := yLo + (yHi-yLo)*(float64(j)+0.5)/float64(steps)
+			total++
+			covered := Covered(rs, x, y)
+			actual := truth(x, y)
+			if covered && !actual {
+				fp++
+			} else if !covered && actual {
+				fn++
+			}
+		}
+	}
+	return float64(fp) / float64(total), float64(fn) / float64(total), nil
+}

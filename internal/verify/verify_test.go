@@ -1,0 +1,181 @@
+package verify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"arcs/internal/dataset"
+	"arcs/internal/rules"
+)
+
+// seg is a single rule covering x in [0,10), y in [0,10).
+var seg = []rules.ClusteredRule{{XLo: 0, XHi: 10, YLo: 0, YHi: 10}}
+
+func mkTable(t *testing.T, rows [][3]float64) *dataset.Table {
+	t.Helper()
+	s := dataset.NewSchema(
+		dataset.Attribute{Name: "x", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "y", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "g", Kind: dataset.Categorical},
+	)
+	g := s.Attr("g")
+	g.CategoryCode("A")     // code 0
+	g.CategoryCode("other") // code 1
+	tb := dataset.NewTable(s)
+	for _, r := range rows {
+		tb.MustAppend(dataset.Tuple{r[0], r[1], r[2]})
+	}
+	return tb
+}
+
+func TestMeasureCounts(t *testing.T) {
+	tb := mkTable(t, [][3]float64{
+		{5, 5, 0},   // covered, label A: correct
+		{5, 5, 1},   // covered, label other: false positive
+		{50, 50, 0}, // not covered, label A: false negative
+		{50, 50, 1}, // not covered, label other: correct
+	})
+	e := Measure(seg, tb, 0, 1, 2, 0)
+	if e.FalsePositives != 1 || e.FalseNegatives != 1 || e.Total != 4 {
+		t.Errorf("counts = %+v", e)
+	}
+	if e.Errors() != 2 {
+		t.Errorf("Errors = %d", e.Errors())
+	}
+	if e.Rate() != 0.5 {
+		t.Errorf("Rate = %v", e.Rate())
+	}
+	if s := e.String(); !strings.Contains(s, "1 FP") || !strings.Contains(s, "1 FN") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRateEmptySafe(t *testing.T) {
+	var e ErrorCounts
+	if e.Rate() != 0 {
+		t.Error("empty rate should be 0")
+	}
+}
+
+func TestCovered(t *testing.T) {
+	if !Covered(seg, 0, 0) || Covered(seg, 10, 5) || Covered(nil, 1, 1) {
+		t.Error("Covered boundary semantics wrong")
+	}
+}
+
+func TestMeasureIndices(t *testing.T) {
+	tb := mkTable(t, [][3]float64{
+		{5, 5, 1},   // FP
+		{5, 5, 0},   // ok
+		{50, 50, 0}, // FN
+	})
+	e := MeasureIndices(seg, tb, []int{0, 2}, 0, 1, 2, 0)
+	if e.Total != 2 || e.Errors() != 2 {
+		t.Errorf("counts = %+v", e)
+	}
+}
+
+func TestMeasureRepeated(t *testing.T) {
+	// Homogeneous errors: every tuple is a false positive, so a k-draw
+	// always measures exactly k errors and std = 0.
+	rowsData := make([][3]float64, 50)
+	for i := range rowsData {
+		rowsData[i] = [3]float64{5, 5, 1}
+	}
+	tb := mkTable(t, rowsData)
+	rng := rand.New(rand.NewSource(1))
+	mean, std, err := MeasureRepeated(seg, tb, rng, 6, 10, 0, 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 10 || std != 0 {
+		t.Errorf("mean=%v std=%v, want 10, 0", mean, std)
+	}
+}
+
+func TestMeasureRepeatedClampsK(t *testing.T) {
+	tb := mkTable(t, [][3]float64{{5, 5, 1}, {5, 5, 1}})
+	rng := rand.New(rand.NewSource(2))
+	mean, _, err := MeasureRepeated(seg, tb, rng, 3, 100, 0, 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 2 {
+		t.Errorf("mean = %v, want 2 (k clamped to table size)", mean)
+	}
+}
+
+func TestSampleSource(t *testing.T) {
+	rowsData := make([][3]float64, 200)
+	for i := range rowsData {
+		rowsData[i] = [3]float64{float64(i), float64(i), 0}
+	}
+	tb := mkTable(t, rowsData)
+	rng := rand.New(rand.NewSource(3))
+	sample, err := SampleSource(tb, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.Len() != 20 {
+		t.Fatalf("sample size = %d", sample.Len())
+	}
+	// Sampled tuples must be actual rows.
+	for i := 0; i < sample.Len(); i++ {
+		v := sample.Row(i)[0]
+		if v < 0 || v >= 200 || v != sample.Row(i)[1] {
+			t.Errorf("sample row %d = %v not from source", i, sample.Row(i))
+		}
+	}
+	// Small source: sample everything.
+	small := mkTable(t, [][3]float64{{1, 1, 0}, {2, 2, 0}})
+	sample, err = SampleSource(small, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.Len() != 2 {
+		t.Errorf("small sample size = %d", sample.Len())
+	}
+	if _, err := SampleSource(small, 0, rng); err == nil {
+		t.Error("k=0 should error")
+	}
+}
+
+func TestRegionErrorsExact(t *testing.T) {
+	// Truth: [0,10)x[0,10) in a 20x20 domain. Cluster matches exactly:
+	// zero error.
+	truth := func(x, y float64) bool { return x < 10 && y < 10 }
+	fp, fn, err := RegionErrors(seg, truth, 0, 20, 0, 20, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != 0 || fn != 0 {
+		t.Errorf("exact overlap: fp=%v fn=%v", fp, fn)
+	}
+}
+
+func TestRegionErrorsOffset(t *testing.T) {
+	// Cluster covers the left half of the truth region plus an equal
+	// area outside: fp ≈ fn ≈ 1/8 of the 20x20 domain... use simple
+	// numbers: truth = x<10, cluster = x in [5,15), both full height.
+	clusterRules := []rules.ClusteredRule{{XLo: 5, XHi: 15, YLo: 0, YHi: 20}}
+	truth := func(x, y float64) bool { return x < 10 }
+	fp, fn, err := RegionErrors(clusterRules, truth, 0, 20, 0, 20, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FP: x in [10,15) = 1/4 of domain; FN: x in [0,5) = 1/4.
+	if fp < 0.22 || fp > 0.28 || fn < 0.22 || fn > 0.28 {
+		t.Errorf("fp=%v fn=%v, want ~0.25 each", fp, fn)
+	}
+}
+
+func TestRegionErrorsValidation(t *testing.T) {
+	truth := func(x, y float64) bool { return true }
+	if _, _, err := RegionErrors(nil, truth, 0, 1, 0, 1, 1); err == nil {
+		t.Error("steps<2 should error")
+	}
+	if _, _, err := RegionErrors(nil, truth, 1, 0, 0, 1, 10); err == nil {
+		t.Error("inverted domain should error")
+	}
+}
