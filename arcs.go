@@ -57,6 +57,10 @@ type System = core.System
 // trace.
 type Result = core.Result
 
+// CacheStats reports probe-cache effectiveness: per run on Result.Cache,
+// cumulatively via System.ProbeCacheStats.
+type CacheStats = core.CacheStats
+
 // ClusteredRule is one clustered association rule of a segmentation.
 type ClusteredRule = rules.ClusteredRule
 

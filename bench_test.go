@@ -10,6 +10,7 @@ package arcs
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"arcs/internal/bitop"
@@ -295,6 +296,61 @@ func BenchmarkAblationBinStrategy(b *testing.B) {
 			b.ReportMetric(errPct, "err_pct")
 		})
 	}
+}
+
+// BenchmarkFeedbackLoop measures the full threshold-search feedback loop
+// (a Walk over the Figure 11 workload) in three configurations:
+// sequential (serial probes, no memoization — the pre-optimization
+// baseline), batched with a cold probe cache (worker-pool fan-out, the
+// first-run case), and batched warm (steady-state re-runs, e.g. repeated
+// SegmentAll traffic). Before timing, it asserts the batched search
+// returns results identical to the sequential baseline.
+func BenchmarkFeedbackLoop(b *testing.B) {
+	walk := optimizer.ThresholdWalk{MaxSupportLevels: 12, MaxConfLevels: 8, MaxEvals: 100}
+	base := core.Config{NumBins: 50, Search: core.SearchWalk, Walk: walk}
+
+	seqCfg := base
+	seqCfg.SerialSearch, seqCfg.DisableProbeCache = true, true
+	seqSys := benchSystem(b, seqCfg)
+	seqRes, err := seqSys.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	parSys := benchSystem(b, base)
+	parRes, err := parSys.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRes.Trace, parRes.Trace) ||
+		seqRes.MinSupport != parRes.MinSupport ||
+		seqRes.MinConfidence != parRes.MinConfidence ||
+		seqRes.Cost != parRes.Cost ||
+		!reflect.DeepEqual(seqRes.Rules, parRes.Rules) {
+		b.Fatalf("batched search diverged from sequential baseline:\nseq: %+v\npar: %+v", seqRes, parRes)
+	}
+
+	loop := func(sys *core.System, cold bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			probes := 0
+			hitPct := 0.0
+			for i := 0; i < b.N; i++ {
+				if cold {
+					sys.ResetProbeCache()
+				}
+				res, err := sys.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				probes += res.Evaluations
+				hitPct = 100 * res.Cache.HitRate()
+			}
+			b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "probes/sec")
+			b.ReportMetric(hitPct, "cache_hit_pct")
+		}
+	}
+	b.Run("sequential", loop(seqSys, false))
+	b.Run("batched-cold", loop(parSys, true))
+	b.Run("batched-warm", loop(parSys, false))
 }
 
 // BenchmarkRemine demonstrates §3.2's claim that changing thresholds is

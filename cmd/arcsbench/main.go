@@ -17,6 +17,7 @@
 //	arcsbench -exp smoothing           # Figure 7 before/after grids
 //	arcsbench -exp ablation            # design-choice ablations
 //	arcsbench -exp why                 # §1 motivation: rule-count comparison
+//	arcsbench -exp feedbackloop        # search-loop probes/sec + cache hit-rate
 //	arcsbench -exp all                 # everything
 //
 // -scale shrinks every database size by the given factor for quick runs.
@@ -26,13 +27,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"arcs/internal/experiments"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: rules, fig11, fig12, fig13, fig14, fig15, table2, bins, smoothing, ablation, why, all")
+		exp    = flag.String("exp", "all", "experiment: rules, fig11, fig12, fig13, fig14, fig15, table2, bins, smoothing, ablation, why, feedbackloop, all")
 		scale  = flag.Int("scale", 1, "divide every database size by this factor")
 		c45Cap = flag.Int("c45cap", 200_000, "largest database C4.5 is attempted on (the paper's C4.5 ran out of memory beyond 100k)")
 		testN  = flag.Int("testn", 10_000, "held-out test table size")
@@ -174,6 +176,25 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderAblations(studies))
+		return nil
+	})
+
+	run("feedbackloop", func() error {
+		fmt.Println("threshold-search feedback loop: sequential vs batched worker pool, cache cold vs warm")
+		report, err := experiments.FeedbackLoop(figSizes[0], runtime.GOMAXPROCS(0))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFeedbackLoop(report))
+		data, err := experiments.MarshalFeedbackLoop(report)
+		if err != nil {
+			return err
+		}
+		const out = "BENCH_feedbackloop.json"
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
 		return nil
 	})
 

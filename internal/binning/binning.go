@@ -361,3 +361,29 @@ func (c *Categorical) Code(b int) int {
 	}
 	return c.inv[b]
 }
+
+// Boundaries collects every boundary value a binner can produce — the
+// lo and hi of each bin's Bounds — sorted ascending with duplicates
+// removed. For the quantitative binners, whose bins tile the domain
+// contiguously, the result is the boundary array B[0..n] with bin b
+// spanning [B[b], B[b+1]); for a permuted categorical binner it is the
+// category cut points 0, 1, ..., n regardless of bin order. Because
+// cluster rule bounds are taken verbatim from Bounds, every rule edge is
+// a member of this array — the property the verification index relies on
+// to replace value comparisons with slot comparisons exactly.
+func Boundaries(b Binner) []float64 {
+	n := b.NumBins()
+	vals := make([]float64, 0, 2*n)
+	for i := 0; i < n; i++ {
+		lo, hi := b.Bounds(i)
+		vals = append(vals, lo, hi)
+	}
+	sort.Float64s(vals)
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -191,6 +191,18 @@ type Config struct {
 
 	// Seed drives all sampling; runs are deterministic per seed.
 	Seed int64
+
+	// SerialSearch forces the optimizer's probe batches to evaluate one
+	// at a time instead of fanning out across the worker pool. Results
+	// are identical either way (the batch path merges in probe order and
+	// every probe is a pure function of its thresholds); the knob exists
+	// for debugging and as the benchmark baseline.
+	SerialSearch bool
+
+	// DisableProbeCache turns off the per-System memoization of
+	// threshold probes. Results are identical either way; benchmarks use
+	// it to measure uncached probe cost.
+	DisableProbeCache bool
 }
 
 // withDefaults fills the zero values with the paper's defaults.

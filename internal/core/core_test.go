@@ -411,14 +411,21 @@ func TestObjectiveAccessor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(obj.SupportLevels()) == 0 {
+	sups, err := obj.SupportLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sups) == 0 {
 		t.Error("no support levels")
 	}
-	confs := obj.ConfidenceLevels(obj.SupportLevels()[0])
+	confs, err := obj.ConfidenceLevels(sups[0])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(confs) == 0 {
 		t.Error("no confidence levels")
 	}
-	cost, n, err := obj.Evaluate(obj.SupportLevels()[0], confs[0])
+	cost, n, err := obj.Evaluate(sups[0], confs[0])
 	if err != nil {
 		t.Fatal(err)
 	}

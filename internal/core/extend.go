@@ -79,7 +79,11 @@ func (s *System) Extend(src dataset.Source) error {
 		return err
 	}
 	s.resetThresholdCache()
-	return nil
+	// The sample rows and BinArray counts changed: memoized probes are
+	// stale and the verification index must be rebuilt over the updated
+	// sample.
+	s.ResetProbeCache()
+	return s.buildVerifyIndex()
 }
 
 // compatibleRemaps validates structural schema compatibility and builds

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CacheStats reports probe-cache effectiveness — either for one run
+// (Result.Cache) or cumulatively for a System (ProbeCacheStats).
+type CacheStats struct {
+	// Hits counts probes answered from the cache, including probes that
+	// joined an in-flight computation (single-flight).
+	Hits int
+	// Misses counts probes that had to run the mine/cluster/verify
+	// pipeline.
+	Misses int
+}
+
+// Probes reports the total probes observed.
+func (c CacheStats) Probes() int { return c.Hits + c.Misses }
+
+// HitRate reports the fraction of probes served from cache, 0 when no
+// probes were observed.
+func (c CacheStats) HitRate() float64 {
+	if c.Hits+c.Misses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Hits+c.Misses)
+}
+
+// probeKey identifies one threshold probe. Support and confidence are
+// used verbatim: the optimizer probes either exact threshold-list values
+// or factorial midpoints, both bit-stable across repeats.
+type probeKey struct {
+	seg       int
+	sup, conf float64
+}
+
+type probeEntry struct {
+	once     sync.Once
+	cost     float64
+	numRules int
+	err      error
+}
+
+// probeCache memoizes threshold evaluations per (criterion code,
+// support, confidence) with single-flight semantics: when several
+// goroutines (batched walk probes, concurrent SegmentAll runs, Anneal
+// revisits) request the same probe, exactly one executes the pipeline
+// and the rest block on its sync.Once and share the result. Memoization
+// is sound because evaluateProbe is a pure function of the key for a
+// fixed System: it reseeds its sampling RNG per call and only reads the
+// immutable BinArray, sample, and verification index.
+type probeCache struct {
+	mu      sync.Mutex
+	entries map[probeKey]*probeEntry
+
+	hits, misses atomic.Int64
+}
+
+func newProbeCache() *probeCache {
+	return &probeCache{entries: make(map[probeKey]*probeEntry)}
+}
+
+// do returns the memoized evaluation for key, computing it at most once
+// across all concurrent callers. hit reports whether an entry already
+// existed (possibly still in flight) when this caller arrived.
+func (c *probeCache) do(key probeKey, compute func() (float64, int, error)) (cost float64, numRules int, hit bool, err error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &probeEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.cost, e.numRules, e.err = compute()
+	})
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e.cost, e.numRules, ok, e.err
+}
+
+// reset drops all memoized probes (after Extend, or for cold-cache
+// benchmarking). Stats are cumulative and survive resets.
+func (c *probeCache) reset() {
+	c.mu.Lock()
+	c.entries = make(map[probeKey]*probeEntry)
+	c.mu.Unlock()
+}
+
+func (c *probeCache) stats() CacheStats {
+	return CacheStats{Hits: int(c.hits.Load()), Misses: int(c.misses.Load())}
+}

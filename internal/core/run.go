@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"arcs/internal/bitop"
 	"arcs/internal/engine"
@@ -42,6 +43,9 @@ type Result struct {
 	Evaluations int
 	// Trace records every probe, for reports and debugging.
 	Trace []optimizer.Step
+	// Cache reports how many of this run's probes were answered by the
+	// System's memoized probe cache versus computed fresh.
+	Cache CacheStats
 }
 
 // resetThresholdCache drops the Figure 10 indexes, forcing recomputation
@@ -51,6 +55,15 @@ func (s *System) resetThresholdCache() {
 	defer s.mu.Unlock()
 	s.thresholds = make(map[int]*engine.Thresholds)
 }
+
+// ResetProbeCache drops every memoized probe evaluation. Extend calls it
+// internally when the sample changes; benchmarks use it to measure
+// cold-cache behavior. Cumulative stats are preserved.
+func (s *System) ResetProbeCache() { s.probes.reset() }
+
+// ProbeCacheStats reports cumulative probe-cache hits and misses over
+// the System's lifetime (across runs and resets).
+func (s *System) ProbeCacheStats() CacheStats { return s.probes.stats() }
 
 // thresholdsFor caches the Figure 10 structure per criterion code.
 // The cache is guarded so concurrent RunValue calls (SegmentAll) can
@@ -81,36 +94,110 @@ func (s *System) Objective(label string) (optimizer.Objective, error) {
 	return &segObjective{sys: s, seg: seg}, nil
 }
 
+// segObjective drives one criterion code through the System. It also
+// implements optimizer.ObjectiveBatch, fanning independent probes across
+// a worker pool, and tracks per-run cache hits/misses for Result.Cache.
 type segObjective struct {
 	sys *System
 	seg int
+
+	hits, misses atomic.Int64
 }
 
 // SupportLevels implements optimizer.Objective.
-func (o *segObjective) SupportLevels() []float64 {
+func (o *segObjective) SupportLevels() ([]float64, error) {
 	th, err := o.sys.thresholdsFor(o.seg)
 	if err != nil {
-		return nil
+		return nil, err
 	}
-	return th.Supports()
+	return th.Supports(), nil
 }
 
 // ConfidenceLevels implements optimizer.Objective.
-func (o *segObjective) ConfidenceLevels(support float64) []float64 {
+func (o *segObjective) ConfidenceLevels(support float64) ([]float64, error) {
 	th, err := o.sys.thresholdsFor(o.seg)
 	if err != nil {
-		return nil
+		return nil, err
 	}
-	return th.ConfidencesAtOrAbove(support)
+	return th.ConfidencesAtOrAbove(support), nil
 }
 
-// Evaluate implements optimizer.Objective: it mines and clusters at the
-// thresholds, verifies against the sample with repeated k-of-n draws, and
-// returns the MDL cost. Each evaluation reseeds its sampler so probes are
-// compared on identical draws.
+// Evaluate implements optimizer.Objective, memoized through the System's
+// probe cache: concurrent and repeated requests for the same
+// (seg, support, confidence) run the pipeline exactly once.
 func (o *segObjective) Evaluate(minSup, minConf float64) (float64, int, error) {
 	s := o.sys
-	rs, err := s.mineAtSeg(o.seg, minSup, minConf)
+	if s.cfg.DisableProbeCache {
+		cost, n, err := s.evaluateProbe(o.seg, minSup, minConf)
+		o.misses.Add(1)
+		return cost, n, err
+	}
+	cost, n, hit, err := s.probes.do(probeKey{seg: o.seg, sup: minSup, conf: minConf},
+		func() (float64, int, error) {
+			return s.evaluateProbe(o.seg, minSup, minConf)
+		})
+	if hit {
+		o.hits.Add(1)
+	} else {
+		o.misses.Add(1)
+	}
+	return cost, n, err
+}
+
+// EvaluateBatch implements optimizer.ObjectiveBatch: the probes are
+// evaluated concurrently on up to GOMAXPROCS workers (one, when
+// Config.SerialSearch is set) and returned in probe order. Each probe
+// goes through the same memoized Evaluate as the sequential path, and
+// every evaluation is a pure function of its thresholds, so the merged
+// results are bit-identical to sequential evaluation.
+func (o *segObjective) EvaluateBatch(probes []optimizer.Probe) []optimizer.ProbeResult {
+	out := make([]optimizer.ProbeResult, len(probes))
+	workers := runtime.GOMAXPROCS(0)
+	if o.sys.cfg.SerialSearch {
+		workers = 1
+	}
+	if workers > len(probes) {
+		workers = len(probes)
+	}
+	if workers <= 1 {
+		for i, p := range probes {
+			out[i].Cost, out[i].NumRules, out[i].Err = o.Evaluate(p.Support, p.Confidence)
+		}
+		return out
+	}
+	next := make(chan int, len(probes))
+	for i := range probes {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p := probes[i]
+				out[i].Cost, out[i].NumRules, out[i].Err = o.Evaluate(p.Support, p.Confidence)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// cacheStats snapshots the probes this objective has issued so far.
+func (o *segObjective) cacheStats() CacheStats {
+	return CacheStats{Hits: int(o.hits.Load()), Misses: int(o.misses.Load())}
+}
+
+// evaluateProbe mines and clusters at the thresholds, verifies against
+// the pre-binned sample index with repeated k-of-n draws, and returns
+// the MDL cost. Each evaluation reseeds its sampler so probes are
+// compared on identical draws — which also makes the result a pure
+// function of (seg, minSup, minConf), the property both the probe cache
+// and the parallel batch path rely on.
+func (s *System) evaluateProbe(seg int, minSup, minConf float64) (float64, int, error) {
+	rs, err := s.mineAtSeg(seg, minSup, minConf)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -118,8 +205,8 @@ func (o *segObjective) Evaluate(minSup, minConf float64) (float64, int, error) {
 		return 0, 0, nil
 	}
 	rng := rand.New(rand.NewSource(s.cfg.Seed + 1))
-	meanErrors, _, err := verify.MeasureRepeated(rs, s.sample, rng,
-		s.cfg.SampleRounds, s.cfg.SampleK, s.xIdx, s.yIdx, s.critIdx, o.seg)
+	meanErrors, _, err := s.vindex.MeasureRepeated(rs, rng,
+		s.cfg.SampleRounds, s.cfg.SampleK, seg)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -193,7 +280,7 @@ func (s *System) RunValue(label string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	errs := verify.Measure(finalRules, s.sample, s.xIdx, s.yIdx, s.critIdx, seg)
+	errs := s.vindex.Measure(finalRules, seg)
 	return &Result{
 		CritValue:     label,
 		Rules:         finalRules,
@@ -203,6 +290,7 @@ func (s *System) RunValue(label string) (*Result, error) {
 		Errors:        errs,
 		Evaluations:   best.Evaluations,
 		Trace:         best.Trace,
+		Cache:         obj.cacheStats(),
 	}, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"arcs/internal/grid"
 	"arcs/internal/rules"
 	"arcs/internal/stats"
+	"arcs/internal/verify"
 )
 
 // System is a fully initialized ARCS instance: the data has been binned
@@ -31,6 +32,12 @@ type System struct {
 
 	ba     *binarray.BinArray
 	sample *dataset.Table
+	// vindex pre-bins the verification sample against the binner
+	// boundaries, so every probe verifies coverage in O(1) per tuple.
+	// Rebuilt by Extend; read-only otherwise.
+	vindex *verify.Index
+	// probes memoizes threshold evaluations across runs and goroutines.
+	probes *probeCache
 
 	// mu guards the thresholds cache; everything else is read-only
 	// after New, so concurrent RunValue calls are safe.
@@ -92,7 +99,25 @@ func New(src dataset.Source, cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
+	// Built last: the index depends on the final binner boundaries, which
+	// reorderCategorical may have replaced.
+	if err := s.buildVerifyIndex(); err != nil {
+		return nil, err
+	}
+	s.probes = newProbeCache()
 	return s, nil
+}
+
+// buildVerifyIndex pre-bins the verification sample against the current
+// binner boundaries (also called by Extend after the sample changes).
+func (s *System) buildVerifyIndex() error {
+	ix, err := verify.NewIndex(s.sample, s.xIdx, s.yIdx, s.critIdx,
+		binning.Boundaries(s.xb), binning.Boundaries(s.yb))
+	if err != nil {
+		return fmt.Errorf("core: building verification index: %w", err)
+	}
+	s.vindex = ix
+	return nil
 }
 
 // fitAndSample draws the verification sample and fits the binners.

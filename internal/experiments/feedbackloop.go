@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"arcs/internal/core"
+	"arcs/internal/synth"
+)
+
+// FeedbackLoopVariant is one measured configuration of the
+// threshold-search loop.
+type FeedbackLoopVariant struct {
+	Name       string  `json:"name"`
+	Seconds    float64 `json:"seconds"`
+	Probes     int     `json:"probes"`
+	ProbesPerS float64 `json:"probes_per_sec"`
+	CacheHit   float64 `json:"cache_hit_pct"`
+	// SpeedupVsSequential is wall-clock relative to the sequential
+	// baseline (>1 means faster).
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+}
+
+// FeedbackLoopReport is the JSON document emitted by the feedbackloop
+// experiment (BENCH_feedbackloop.json).
+type FeedbackLoopReport struct {
+	Experiment string                `json:"experiment"`
+	Tuples     int                   `json:"tuples"`
+	Workers    int                   `json:"workers"`
+	Identical  bool                  `json:"results_identical"`
+	Variants   []FeedbackLoopVariant `json:"variants"`
+}
+
+// FeedbackLoop measures the threshold-search feedback loop on the
+// Figure 11 workload (Function 2, U=10%) in three configurations:
+// sequential probes without memoization, the batched worker-pool search
+// with a cold probe cache, and the same search warm. It also checks that
+// the batched search's trace and rules are identical to the sequential
+// baseline's.
+func FeedbackLoop(n, workers int) (*FeedbackLoopReport, error) {
+	build := func(serial, nocache bool) (*core.System, error) {
+		gen, err := synth.New(dataConfig(n, 0.10, DefaultSeed))
+		if err != nil {
+			return nil, err
+		}
+		cfg := arcsConfig(50, DefaultSeed)
+		cfg.SerialSearch = serial
+		cfg.DisableProbeCache = nocache
+		return core.New(gen, cfg)
+	}
+	timeRun := func(sys *core.System) (*core.Result, FeedbackLoopVariant, error) {
+		start := time.Now()
+		res, err := sys.Run()
+		if err != nil {
+			return nil, FeedbackLoopVariant{}, err
+		}
+		secs := time.Since(start).Seconds()
+		return res, FeedbackLoopVariant{
+			Seconds:    secs,
+			Probes:     res.Evaluations,
+			ProbesPerS: float64(res.Evaluations) / secs,
+			CacheHit:   100 * res.Cache.HitRate(),
+		}, nil
+	}
+
+	seqSys, err := build(true, true)
+	if err != nil {
+		return nil, err
+	}
+	seqRes, seq, err := timeRun(seqSys)
+	if err != nil {
+		return nil, err
+	}
+	seq.Name = "sequential"
+
+	parSys, err := build(false, false)
+	if err != nil {
+		return nil, err
+	}
+	parRes, cold, err := timeRun(parSys)
+	if err != nil {
+		return nil, err
+	}
+	cold.Name = "batched-cold"
+
+	_, warm, err := timeRun(parSys)
+	if err != nil {
+		return nil, err
+	}
+	warm.Name = "batched-warm"
+
+	report := &FeedbackLoopReport{
+		Experiment: "feedbackloop",
+		Tuples:     n,
+		Workers:    workers,
+		Identical: seqRes.MinSupport == parRes.MinSupport &&
+			seqRes.MinConfidence == parRes.MinConfidence &&
+			seqRes.Cost == parRes.Cost &&
+			len(seqRes.Trace) == len(parRes.Trace),
+		Variants: []FeedbackLoopVariant{seq, cold, warm},
+	}
+	for i := range report.Variants {
+		report.Variants[i].SpeedupVsSequential = seq.Seconds / report.Variants[i].Seconds
+	}
+	if !report.Identical {
+		return report, fmt.Errorf("experiments: batched search diverged from sequential baseline")
+	}
+	return report, nil
+}
+
+// RenderFeedbackLoop formats the report as an aligned table.
+func RenderFeedbackLoop(r *FeedbackLoopReport) string {
+	out := fmt.Sprintf("%14s %10s %8s %12s %10s %9s\n",
+		"variant", "time", "probes", "probes/sec", "cache-hit", "speedup")
+	for _, v := range r.Variants {
+		out += fmt.Sprintf("%14s %10s %8d %12.0f %9.1f%% %8.2fx\n",
+			v.Name, FormatDuration(time.Duration(v.Seconds*float64(time.Second))),
+			v.Probes, v.ProbesPerS, v.CacheHit, v.SpeedupVsSequential)
+	}
+	return out
+}
+
+// MarshalFeedbackLoop renders the report as indented JSON for
+// BENCH_feedbackloop.json.
+func MarshalFeedbackLoop(r *FeedbackLoopReport) ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -122,6 +122,15 @@ func (b *Bitmap) Any() bool {
 	return false
 }
 
+// Reset clears every cell, keeping the allocation. It lets callers that
+// build many short-lived masks of the same geometry (the verification
+// index's coverage bitmaps) recycle bitmaps instead of reallocating.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
 // Clone returns an independent copy.
 func (b *Bitmap) Clone() *Bitmap {
 	c := *b

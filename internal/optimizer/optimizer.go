@@ -7,6 +7,13 @@
 // Three strategies are provided: the paper's low-to-high threshold walk,
 // and the two future-work alternatives it names — simulated annealing and
 // two-level factorial design.
+//
+// The walk and the factorial design probe several threshold pairs whose
+// outcomes are mutually independent, so both submit their probes as
+// batches: an objective that implements ObjectiveBatch may evaluate a
+// batch concurrently (the core system fans batches across a worker
+// pool). Results are merged back in probe order, so Best and Trace are
+// bit-identical to a strictly sequential evaluation.
 package optimizer
 
 import (
@@ -24,13 +31,61 @@ import (
 type Objective interface {
 	// SupportLevels returns the unique support thresholds occurring in
 	// the data, ascending.
-	SupportLevels() []float64
+	SupportLevels() ([]float64, error)
 	// ConfidenceLevels returns candidate confidence thresholds for a
 	// given support threshold, ascending.
-	ConfidenceLevels(support float64) []float64
+	ConfidenceLevels(support float64) ([]float64, error)
 	// Evaluate runs the pipeline at the thresholds and returns the MDL
-	// cost and the number of clustered rules produced.
+	// cost and the number of clustered rules produced. Evaluate must be
+	// deterministic: the same thresholds always yield the same result.
 	Evaluate(support, confidence float64) (cost float64, numRules int, err error)
+}
+
+// Probe is one (support, confidence) threshold pair submitted for
+// evaluation.
+type Probe struct {
+	Support, Confidence float64
+}
+
+// ProbeResult is the outcome of evaluating one Probe.
+type ProbeResult struct {
+	Cost     float64
+	NumRules int
+	Err      error
+}
+
+// ObjectiveBatch is an Objective that can evaluate several independent
+// probes at once — typically concurrently across a worker pool.
+// EvaluateBatch must return one result per probe, in probe order, and
+// each result must be identical to what a sequential Evaluate call with
+// the same thresholds would return; the strategies rely on that to stay
+// bit-identical to their sequential form.
+type ObjectiveBatch interface {
+	Objective
+	EvaluateBatch(probes []Probe) []ProbeResult
+}
+
+// evaluateAll evaluates probes in order, fanning out through the
+// objective's batch path when it provides one. The sequential fallback
+// stops at the first error and truncates the result slice there, which
+// is indistinguishable from the batch path to callers that merge results
+// in order and stop at the first error.
+func evaluateAll(obj Objective, probes []Probe) []ProbeResult {
+	if len(probes) == 0 {
+		return nil
+	}
+	if b, ok := obj.(ObjectiveBatch); ok && len(probes) > 1 {
+		return b.EvaluateBatch(probes)
+	}
+	out := make([]ProbeResult, 0, len(probes))
+	for _, p := range probes {
+		cost, n, err := obj.Evaluate(p.Support, p.Confidence)
+		out = append(out, ProbeResult{Cost: cost, NumRules: n, Err: err})
+		if err != nil {
+			break
+		}
+	}
+	return out
 }
 
 // Step records one probe of the search, for traces and reports.
@@ -62,7 +117,7 @@ type Strategy interface {
 // increase it to shed background noise and outliers, stopping when the
 // cost stops improving (within Epsilon) for Patience consecutive support
 // levels. At each support level a bounded set of candidate confidences is
-// probed.
+// probed — as one batch, since the probes are independent.
 type ThresholdWalk struct {
 	// Epsilon is the minimum cost improvement (in MDL bits) that counts
 	// as progress: a later probe replaces the incumbent only when it is
@@ -88,7 +143,7 @@ type ThresholdWalk struct {
 	// stand-in for the paper's "budgeted time". Zero means 512.
 	MaxEvals int
 	// TimeBudget, when positive, stops the walk once the wall-clock
-	// budget is spent (checked between evaluations) — the literal form
+	// budget is spent (checked between probe batches) — the literal form
 	// of §2.2's "the verifier determines that the budgeted time has
 	// expired". Prefer MaxEvals in tests; it is deterministic.
 	TimeBudget time.Duration
@@ -118,7 +173,11 @@ func (w ThresholdWalk) defaults() ThresholdWalk {
 // Optimize implements Strategy.
 func (w ThresholdWalk) Optimize(obj Objective) (Best, error) {
 	w = w.defaults()
-	supports := subsample(obj.SupportLevels(), w.MaxSupportLevels)
+	allSupports, err := obj.SupportLevels()
+	if err != nil {
+		return Best{}, fmt.Errorf("optimizer: support levels: %w", err)
+	}
+	supports := subsample(allSupports, w.MaxSupportLevels)
 	if len(supports) == 0 {
 		return Best{}, ErrNoThresholds
 	}
@@ -135,31 +194,38 @@ func (w ThresholdWalk) Optimize(obj Objective) (Best, error) {
 		if best.Evaluations >= w.MaxEvals || expired() {
 			break
 		}
-		confs := subsample(obj.ConfidenceLevels(sup), w.MaxConfLevels)
+		allConfs, err := obj.ConfidenceLevels(sup)
+		if err != nil {
+			return best, fmt.Errorf("optimizer: confidence levels at %g: %w", sup, err)
+		}
+		confs := subsample(allConfs, w.MaxConfLevels)
 		if len(confs) == 0 {
 			continue
 		}
+		if budget := w.MaxEvals - best.Evaluations; len(confs) > budget {
+			confs = confs[:budget]
+		}
+		probes := make([]Probe, len(confs))
+		for i, conf := range confs {
+			probes[i] = Probe{Support: sup, Confidence: conf}
+		}
 		levelBest := math.Inf(1)
-		for _, conf := range confs {
-			if best.Evaluations >= w.MaxEvals || expired() {
-				break
-			}
-			cost, n, err := obj.Evaluate(sup, conf)
-			if err != nil {
-				return best, fmt.Errorf("optimizer: evaluating (%g, %g): %w", sup, conf, err)
+		for i, r := range evaluateAll(obj, probes) {
+			if r.Err != nil {
+				return best, fmt.Errorf("optimizer: evaluating (%g, %g): %w", sup, confs[i], r.Err)
 			}
 			best.Evaluations++
-			best.Trace = append(best.Trace, Step{Support: sup, Confidence: conf, Cost: cost, NumRules: n})
+			best.Trace = append(best.Trace, Step{Support: sup, Confidence: confs[i], Cost: r.Cost, NumRules: r.NumRules})
 			// Segmentations with zero rules are useless regardless of
 			// cost; they count neither as the level's best nor as the
 			// overall winner.
-			if n > 0 && cost < levelBest {
-				levelBest = cost
+			if r.NumRules > 0 && r.Cost < levelBest {
+				levelBest = r.Cost
 			}
-			if n > 0 && cost < best.Cost-w.Epsilon {
-				best.Support, best.Confidence = sup, conf
-				best.Cost = cost
-				best.NumRules = n
+			if r.NumRules > 0 && r.Cost < best.Cost-w.Epsilon {
+				best.Support, best.Confidence = sup, confs[i]
+				best.Cost = r.Cost
+				best.NumRules = r.NumRules
 				sinceImprove = -1 // reset below after the level finishes
 			}
 		}
@@ -202,7 +268,9 @@ func subsample(xs []float64, max int) []float64 {
 // Anneal searches by simulated annealing over the indices of the
 // threshold lists (paper §5 suggests annealing as an alternative search).
 // It is useful when the cost surface has local minima the walk gets stuck
-// in.
+// in. Each proposal depends on whether the previous one was accepted, so
+// the annealing chain is inherently sequential; it still benefits from a
+// memoizing objective when the chain revisits states.
 type Anneal struct {
 	// Seed drives the random walk; runs are deterministic per seed.
 	Seed int64
@@ -231,7 +299,10 @@ func (a Anneal) defaults() Anneal {
 // Optimize implements Strategy.
 func (a Anneal) Optimize(obj Objective) (Best, error) {
 	a = a.defaults()
-	supports := obj.SupportLevels()
+	supports, err := obj.SupportLevels()
+	if err != nil {
+		return Best{}, fmt.Errorf("optimizer: support levels: %w", err)
+	}
 	if len(supports) == 0 {
 		return Best{}, ErrNoThresholds
 	}
@@ -255,7 +326,10 @@ func (a Anneal) Optimize(obj Objective) (Best, error) {
 	// Start at the lowest support with its median confidence, matching
 	// the paper's low-support starting point.
 	si := 0
-	confs := obj.ConfidenceLevels(supports[si])
+	confs, err := obj.ConfidenceLevels(supports[si])
+	if err != nil {
+		return Best{}, fmt.Errorf("optimizer: confidence levels at %g: %w", supports[si], err)
+	}
 	if len(confs) == 0 {
 		return Best{}, ErrNoThresholds
 	}
@@ -275,7 +349,10 @@ func (a Anneal) Optimize(obj Objective) (Best, error) {
 		if nsi >= len(supports) {
 			nsi = len(supports) - 1
 		}
-		nconfs := obj.ConfidenceLevels(supports[nsi])
+		nconfs, err := obj.ConfidenceLevels(supports[nsi])
+		if err != nil {
+			return best, fmt.Errorf("optimizer: confidence levels at %g: %w", supports[nsi], err)
+		}
 		if len(nconfs) == 0 {
 			continue
 		}
@@ -300,7 +377,8 @@ func (a Anneal) Optimize(obj Objective) (Best, error) {
 // paper §5): it evaluates the corners and center of the current
 // (support, confidence) box, recenters on the best probe, halves the box
 // and repeats. This greatly reduces the number of runs compared to an
-// exhaustive sweep.
+// exhaustive sweep. The probes of each round are independent and are
+// submitted as one batch.
 type Factorial struct {
 	// Rounds of box halving. Zero means 6.
 	Rounds int
@@ -316,11 +394,17 @@ func (f Factorial) defaults() Factorial {
 // Optimize implements Strategy.
 func (f Factorial) Optimize(obj Objective) (Best, error) {
 	f = f.defaults()
-	supports := obj.SupportLevels()
+	supports, err := obj.SupportLevels()
+	if err != nil {
+		return Best{}, fmt.Errorf("optimizer: support levels: %w", err)
+	}
 	if len(supports) == 0 {
 		return Best{}, ErrNoThresholds
 	}
-	confsAll := obj.ConfidenceLevels(supports[0])
+	confsAll, err := obj.ConfidenceLevels(supports[0])
+	if err != nil {
+		return Best{}, fmt.Errorf("optimizer: confidence levels at %g: %w", supports[0], err)
+	}
 	if len(confsAll) == 0 {
 		return Best{}, ErrNoThresholds
 	}
@@ -329,45 +413,43 @@ func (f Factorial) Optimize(obj Objective) (Best, error) {
 
 	best := Best{Cost: math.Inf(1)}
 	seen := map[[2]float64]bool{}
-	eval := func(sup, conf float64) error {
-		key := [2]float64{sup, conf}
-		if seen[key] {
-			return nil
-		}
-		seen[key] = true
-		cost, n, err := obj.Evaluate(sup, conf)
-		if err != nil {
-			return err
-		}
-		best.Evaluations++
-		best.Trace = append(best.Trace, Step{Support: sup, Confidence: conf, Cost: cost, NumRules: n})
-		if n > 0 && cost < best.Cost {
-			best.Support, best.Confidence = sup, conf
-			best.Cost, best.NumRules = cost, n
-		}
-		return nil
-	}
 
 	cs, cc := (supLo+supHi)/2, (confLo+confHi)/2 // box center
 	hs, hc := (supHi-supLo)/2, (confHi-confLo)/2 // half-widths
 	for round := 0; round < f.Rounds; round++ {
-		probes := [][2]float64{
+		corners := [][2]float64{
 			{cs - hs, cc - hc}, {cs - hs, cc + hc},
 			{cs + hs, cc - hc}, {cs + hs, cc + hc},
 			{cs, cc},
 		}
-		roundBest := math.Inf(1)
-		var rbs, rbc float64
-		for _, p := range probes {
+		// Clamp and drop already-probed corners, keeping first-occurrence
+		// order: the round's survivors form one independent batch.
+		probes := make([]Probe, 0, len(corners))
+		for _, p := range corners {
 			sup := clamp(p[0], supLo, supHi)
 			conf := clamp(p[1], confLo, confHi)
-			if err := eval(sup, conf); err != nil {
-				return best, err
+			key := [2]float64{sup, conf}
+			if seen[key] {
+				continue
 			}
-			// Re-read the last trace entry for this probe's cost.
-			last := best.Trace[len(best.Trace)-1]
-			if last.Support == sup && last.Confidence == conf && last.Cost < roundBest {
-				roundBest = last.Cost
+			seen[key] = true
+			probes = append(probes, Probe{Support: sup, Confidence: conf})
+		}
+		roundBest := math.Inf(1)
+		var rbs, rbc float64
+		for i, r := range evaluateAll(obj, probes) {
+			if r.Err != nil {
+				return best, r.Err
+			}
+			sup, conf := probes[i].Support, probes[i].Confidence
+			best.Evaluations++
+			best.Trace = append(best.Trace, Step{Support: sup, Confidence: conf, Cost: r.Cost, NumRules: r.NumRules})
+			if r.NumRules > 0 && r.Cost < best.Cost {
+				best.Support, best.Confidence = sup, conf
+				best.Cost, best.NumRules = r.Cost, r.NumRules
+			}
+			if r.Cost < roundBest {
+				roundBest = r.Cost
 				rbs, rbc = sup, conf
 			}
 		}

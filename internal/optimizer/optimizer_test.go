@@ -18,9 +18,9 @@ type quadObjective struct {
 	failAt   int // evaluation number to fail at; 0 = never
 }
 
-func (q *quadObjective) SupportLevels() []float64 { return q.supports }
+func (q *quadObjective) SupportLevels() ([]float64, error) { return q.supports, nil }
 
-func (q *quadObjective) ConfidenceLevels(sup float64) []float64 { return q.confs }
+func (q *quadObjective) ConfidenceLevels(sup float64) ([]float64, error) { return q.confs, nil }
 
 func (q *quadObjective) Evaluate(sup, conf float64) (float64, int, error) {
 	q.evals++
@@ -194,8 +194,10 @@ func TestZeroRuleEvaluationsNeverWin(t *testing.T) {
 
 type zeroRuleObjective struct{}
 
-func (z *zeroRuleObjective) SupportLevels() []float64           { return []float64{0.1, 0.2} }
-func (z *zeroRuleObjective) ConfidenceLevels(float64) []float64 { return []float64{0.5} }
+func (z *zeroRuleObjective) SupportLevels() ([]float64, error) { return []float64{0.1, 0.2}, nil }
+func (z *zeroRuleObjective) ConfidenceLevels(float64) ([]float64, error) {
+	return []float64{0.5}, nil
+}
 func (z *zeroRuleObjective) Evaluate(sup, conf float64) (float64, int, error) {
 	if sup > 0.15 {
 		return 0, 0, nil // cheap but useless: no rules survive
