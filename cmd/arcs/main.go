@@ -12,11 +12,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 
 	"arcs/internal/core"
 	"arcs/internal/dataset"
+	"arcs/internal/obs"
 	"arcs/internal/optimizer"
 	"arcs/internal/report"
 	"arcs/internal/segment"
@@ -24,31 +26,93 @@ import (
 
 func main() {
 	var (
-		in        = flag.String("in", "", "input CSV file (required)")
-		xAttr     = flag.String("x", "", "first LHS attribute (required)")
-		yAttr     = flag.String("y", "", "second LHS attribute (required)")
-		critAttr  = flag.String("crit", "", "categorical criterion attribute (required)")
-		critValue = flag.String("value", "", "criterion value to segment (default: all values)")
-		bins      = flag.Int("bins", 50, "bins per quantitative attribute")
-		smoothing = flag.String("smoothing", "binary", "grid smoothing: binary, off, weighted, morphological")
-		binning   = flag.String("binning", "equi-width", "bin strategy: equi-width, equi-depth, homogeneity, supervised")
-		search    = flag.String("search", "walk", "threshold search: walk, anneal, factorial, fixed")
-		minSup    = flag.Float64("minsup", 0.0001, "minimum support (with -search fixed)")
-		minConf   = flag.Float64("minconf", 0.39, "minimum confidence (with -search fixed)")
-		prune     = flag.Float64("prune", 0.01, "minimum cluster size as a fraction of the grid")
-		lift      = flag.Float64("lift", 0, "greater-than-expected interest factor (0 disables)")
-		seed      = flag.Int64("seed", 1, "sampling seed")
-		showGrid  = flag.Bool("grid", false, "print the rule grid before clustering")
-		verbose   = flag.Bool("v", false, "print the optimizer trace")
-		format    = flag.String("format", "text", "output format: text, markdown, json")
-		stream    = flag.Bool("stream", false, "stream the CSV from disk instead of loading it (constant memory)")
-		save      = flag.String("save", "", "write the segmentation model as JSON to this file (requires -value)")
-		describe  = flag.Bool("describe", false, "print per-attribute statistics and exit")
+		in         = flag.String("in", "", "input CSV file (required)")
+		xAttr      = flag.String("x", "", "first LHS attribute (required)")
+		yAttr      = flag.String("y", "", "second LHS attribute (required)")
+		critAttr   = flag.String("crit", "", "categorical criterion attribute (required)")
+		critValue  = flag.String("value", "", "criterion value to segment (default: all values)")
+		bins       = flag.Int("bins", 50, "bins per quantitative attribute")
+		smoothing  = flag.String("smoothing", "binary", "grid smoothing: binary, off, weighted, morphological")
+		binning    = flag.String("binning", "equi-width", "bin strategy: equi-width, equi-depth, homogeneity, supervised")
+		search     = flag.String("search", "walk", "threshold search: walk, anneal, factorial, fixed")
+		minSup     = flag.Float64("minsup", 0.0001, "minimum support (with -search fixed)")
+		minConf    = flag.Float64("minconf", 0.39, "minimum confidence (with -search fixed)")
+		prune      = flag.Float64("prune", 0.01, "minimum cluster size as a fraction of the grid")
+		lift       = flag.Float64("lift", 0, "greater-than-expected interest factor (0 disables)")
+		seed       = flag.Int64("seed", 1, "sampling seed")
+		showGrid   = flag.Bool("grid", false, "print the rule grid before clustering")
+		verbose    = flag.Bool("v", false, "debug logging plus the optimizer trace")
+		logFormat  = flag.String("log-format", "text", "log output format: text, json")
+		format     = flag.String("format", "text", "output format: text, markdown, json")
+		stream     = flag.Bool("stream", false, "stream the CSV from disk instead of loading it (constant memory)")
+		save       = flag.String("save", "", "write the segmentation model as JSON to this file (requires -value)")
+		describe   = flag.Bool("describe", false, "print per-attribute statistics and exit")
+		spansPath  = flag.String("spans", "", "write a JSONL span trace of the run to this file")
+		metricsOut = flag.String("metrics-out", "", "write Prometheus text-format metrics to this file on exit")
+		prof       obs.Profiler
 	)
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *in == "" || (!*describe && (*xAttr == "" || *yAttr == "" || *critAttr == "")) {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if _, err := obs.SetupSlog(os.Stderr, *logFormat, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "arcs:", err)
+		os.Exit(2)
+	}
+	defer runExitHooks()
+
+	if stop, err := prof.Start(); err != nil {
+		fatal(err)
+	} else {
+		atExit(func() {
+			if err := stop(); err != nil {
+				slog.Error("stopping profilers", "err", err)
+			}
+		})
+	}
+
+	// -spans or -metrics-out (or both) turn the observability layer on;
+	// the live registry is also published on expvar for /debug/vars.
+	var observer *obs.Observer
+	if *spansPath != "" || *metricsOut != "" {
+		var sink obs.Sink
+		if *spansPath != "" {
+			f, err := os.Create(*spansPath)
+			if err != nil {
+				fatal(err)
+			}
+			js := obs.NewJSONLSink(f)
+			sink = js
+			atExit(func() {
+				if err := js.Err(); err != nil {
+					slog.Error("writing span trace", "path", *spansPath, "err", err)
+				}
+				if err := f.Close(); err != nil {
+					slog.Error("closing span trace", "path", *spansPath, "err", err)
+				}
+			})
+		}
+		observer = obs.New(sink)
+		obs.PublishExpvar("arcs", observer.Registry())
+		if *metricsOut != "" {
+			path := *metricsOut
+			atExit(func() {
+				f, err := os.Create(path)
+				if err != nil {
+					slog.Error("creating metrics file", "path", path, "err", err)
+					return
+				}
+				snap := observer.Registry().Snapshot()
+				if err := obs.WritePrometheus(f, snap, "arcs"); err != nil {
+					slog.Error("writing metrics", "path", path, "err", err)
+				}
+				if err := f.Close(); err != nil {
+					slog.Error("closing metrics file", "path", path, "err", err)
+				}
+			})
+		}
 	}
 
 	outFormat, err := report.ParseFormat(*format)
@@ -100,6 +164,7 @@ func main() {
 		FixedMinConfidence: *minConf,
 		Seed:               *seed,
 		Walk:               optimizer.ThresholdWalk{},
+		Observer:           observer,
 	}
 	switch *smoothing {
 	case "binary":
@@ -214,7 +279,23 @@ func printTrace(res *core.Result, verbose bool) {
 	}
 }
 
+// exitHooks run once, either on normal return from main (via defer) or
+// from fatal before os.Exit, so profiles, span traces, and metric files
+// are flushed on every path.
+var exitHooks []func()
+
+func atExit(fn func()) { exitHooks = append(exitHooks, fn) }
+
+func runExitHooks() {
+	hooks := exitHooks
+	exitHooks = nil
+	for i := len(hooks) - 1; i >= 0; i-- {
+		hooks[i]()
+	}
+}
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "arcs:", err)
+	runExitHooks()
+	slog.Error(err.Error())
 	os.Exit(1)
 }

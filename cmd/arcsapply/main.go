@@ -17,10 +17,12 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 
 	"arcs/internal/dataset"
+	"arcs/internal/obs"
 	"arcs/internal/segment"
 )
 
@@ -31,10 +33,16 @@ func main() {
 		out         = flag.String("out", "", "output file (default stdout)")
 		matchedOnly = flag.Bool("matched-only", false, "emit only matching rows, without the membership column")
 		column      = flag.String("column", "in_segment", "name of the membership column")
+		verbose     = flag.Bool("v", false, "debug logging")
+		logFormat   = flag.String("log-format", "text", "log output format: text, json")
 	)
 	flag.Parse()
 	if *modelPath == "" || *in == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if _, err := obs.SetupSlog(os.Stderr, *logFormat, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "arcsapply:", err)
 		os.Exit(2)
 	}
 
@@ -121,11 +129,12 @@ func main() {
 	if err := bw.Flush(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "arcsapply: %d of %d rows in segment %s = %s\n",
-		matched, total, model.CritAttr, model.CritValue)
+	slog.Info("scored rows against segment",
+		"matched", matched, "total", total,
+		"crit_attr", model.CritAttr, "crit_value", model.CritValue)
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "arcsapply:", err)
+	slog.Error(err.Error())
 	os.Exit(1)
 }

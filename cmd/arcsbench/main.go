@@ -26,22 +26,43 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 
 	"arcs/internal/experiments"
+	"arcs/internal/obs"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: rules, fig11, fig12, fig13, fig14, fig15, table2, bins, smoothing, ablation, why, feedbackloop, all")
-		scale  = flag.Int("scale", 1, "divide every database size by this factor")
-		c45Cap = flag.Int("c45cap", 200_000, "largest database C4.5 is attempted on (the paper's C4.5 ran out of memory beyond 100k)")
-		testN  = flag.Int("testn", 10_000, "held-out test table size")
+		exp       = flag.String("exp", "all", "experiment: rules, fig11, fig12, fig13, fig14, fig15, table2, bins, smoothing, ablation, why, feedbackloop, all")
+		scale     = flag.Int("scale", 1, "divide every database size by this factor")
+		c45Cap    = flag.Int("c45cap", 200_000, "largest database C4.5 is attempted on (the paper's C4.5 ran out of memory beyond 100k)")
+		testN     = flag.Int("testn", 10_000, "held-out test table size")
+		verbose   = flag.Bool("v", false, "debug logging")
+		logFormat = flag.String("log-format", "text", "log output format: text, json")
+		spansPath = flag.String("spans", "", "write a JSONL span trace of the feedbackloop experiment to this file")
+		prof      obs.Profiler
 	)
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if _, err := obs.SetupSlog(os.Stderr, *logFormat, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "arcsbench:", err)
+		os.Exit(2)
+	}
+	defer runExitHooks()
 	if *scale < 1 {
 		fatal(fmt.Errorf("scale must be >= 1"))
+	}
+	if stop, err := prof.Start(); err != nil {
+		fatal(err)
+	} else {
+		atExit(func() {
+			if err := stop(); err != nil {
+				slog.Error("stopping profilers", "err", err)
+			}
+		})
 	}
 
 	// The paper's Figure 11-14 sizes: 20k to 1M tuples.
@@ -181,7 +202,24 @@ func main() {
 
 	run("feedbackloop", func() error {
 		fmt.Println("threshold-search feedback loop: sequential vs batched worker pool, cache cold vs warm")
-		report, err := experiments.FeedbackLoop(figSizes[0], runtime.GOMAXPROCS(0))
+		var sink obs.Sink
+		if *spansPath != "" {
+			f, err := os.Create(*spansPath)
+			if err != nil {
+				return err
+			}
+			js := obs.NewJSONLSink(f)
+			sink = js
+			defer func() {
+				if err := js.Err(); err != nil {
+					slog.Error("writing span trace", "path", *spansPath, "err", err)
+				}
+				if err := f.Close(); err != nil {
+					slog.Error("closing span trace", "path", *spansPath, "err", err)
+				}
+			}()
+		}
+		report, err := experiments.FeedbackLoop(figSizes[0], runtime.GOMAXPROCS(0), sink)
 		if err != nil {
 			return err
 		}
@@ -234,7 +272,22 @@ func max(a, b int) int {
 	return b
 }
 
+// exitHooks run once, either on normal return from main (via defer) or
+// from fatal before os.Exit, so profiles are flushed on every path.
+var exitHooks []func()
+
+func atExit(fn func()) { exitHooks = append(exitHooks, fn) }
+
+func runExitHooks() {
+	hooks := exitHooks
+	exitHooks = nil
+	for i := len(hooks) - 1; i >= 0; i-- {
+		hooks[i]()
+	}
+}
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "arcsbench:", err)
+	runExitHooks()
+	slog.Error(err.Error())
 	os.Exit(1)
 }

@@ -13,23 +13,31 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"arcs/internal/dataset"
+	"arcs/internal/obs"
 	"arcs/internal/synth"
 )
 
 func main() {
 	var (
-		n        = flag.Int("n", 10_000, "number of tuples")
-		function = flag.Int("function", 2, "classification function 1-10")
-		perturb  = flag.Float64("perturb", 0.05, "perturbation factor P")
-		outliers = flag.Float64("outliers", 0, "outlier fraction U")
-		fracA    = flag.Float64("fraca", 0.40, "target fraction of Group A (0 disables)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		out      = flag.String("out", "", "output file (default stdout)")
+		n         = flag.Int("n", 10_000, "number of tuples")
+		function  = flag.Int("function", 2, "classification function 1-10")
+		perturb   = flag.Float64("perturb", 0.05, "perturbation factor P")
+		outliers  = flag.Float64("outliers", 0, "outlier fraction U")
+		fracA     = flag.Float64("fraca", 0.40, "target fraction of Group A (0 disables)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("out", "", "output file (default stdout)")
+		verbose   = flag.Bool("v", false, "debug logging")
+		logFormat = flag.String("log-format", "text", "log output format: text, json")
 	)
 	flag.Parse()
+	if _, err := obs.SetupSlog(os.Stderr, *logFormat, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(2)
+	}
 
 	gen, err := synth.New(synth.Config{
 		Function:        *function,
@@ -59,9 +67,11 @@ func main() {
 	if err := bw.Flush(); err != nil {
 		fatal(err)
 	}
+	slog.Debug("generated synthetic data",
+		"tuples", *n, "function", *function, "perturb", *perturb, "outliers", *outliers)
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "synthgen:", err)
+	slog.Error(err.Error())
 	os.Exit(1)
 }

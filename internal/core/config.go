@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"arcs/internal/mdl"
+	"arcs/internal/obs"
 	"arcs/internal/optimizer"
 )
 
@@ -203,6 +204,13 @@ type Config struct {
 	// threshold probes. Results are identical either way; benchmarks use
 	// it to measure uncached probe cost.
 	DisableProbeCache bool
+
+	// Observer receives phase spans and metrics for every run of the
+	// System (see internal/obs for the span taxonomy and metric names).
+	// Nil — the default — disables observability entirely: the probe hot
+	// path then performs no allocations and no atomic work beyond the
+	// existing cache stats, and no pprof phase labels are applied.
+	Observer *obs.Observer
 }
 
 // withDefaults fills the zero values with the paper's defaults.

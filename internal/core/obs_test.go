@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"arcs/internal/obs"
+	"arcs/internal/synth"
+)
+
+// TestObsCoreSpansAndMetrics runs the full pipeline with an in-memory
+// sink attached and checks the emitted span tree against the taxonomy
+// documented in internal/obs, plus the registry counters against the
+// run's own cache stats.
+func TestObsCoreSpansAndMetrics(t *testing.T) {
+	sink := &obs.MemSink{}
+	observer := obs.New(sink)
+	sys := f2System(t, 6_000, 0, Config{
+		NumBins: 20, Walk: walkBudget(), Observer: observer,
+	})
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	one := func(name string) obs.Event {
+		t.Helper()
+		spans := sink.Spans(name)
+		if len(spans) != 1 {
+			t.Fatalf("%d %q spans, want exactly 1", len(spans), name)
+		}
+		return spans[0]
+	}
+
+	// System construction: init with its stage children.
+	init := one("init")
+	for _, name := range []string{"fit-sample", "bin", "verify-index"} {
+		if sp := one(name); sp.Parent != init.ID {
+			t.Errorf("%q span parent = %d, want init span %d", name, sp.Parent, init.ID)
+		}
+	}
+	if got := one("bin").Attr("tuples"); got == "" || got == "0" {
+		t.Errorf("bin span tuples attr = %q, want a positive count", got)
+	}
+
+	// The run itself: run → search/mine-final/verify-final, with
+	// probe-batch → probe → mine/cluster/verify/mdl under search.
+	runSpan := one("run")
+	if got := runSpan.Attr("crit_value"); got != synth.GroupA {
+		t.Errorf("run span crit_value = %q, want %q", got, synth.GroupA)
+	}
+	search := one("search")
+	for _, name := range []string{"search", "mine-final", "verify-final"} {
+		if sp := one(name); sp.Parent != runSpan.ID {
+			t.Errorf("%q span parent = %d, want run span %d", name, sp.Parent, runSpan.ID)
+		}
+	}
+	batches := sink.Spans("probe-batch")
+	if len(batches) == 0 {
+		t.Fatal("no probe-batch spans emitted")
+	}
+	batchIDs := map[uint64]bool{}
+	for _, b := range batches {
+		if b.Parent != search.ID {
+			t.Errorf("probe-batch span parent = %d, want search span %d", b.Parent, search.ID)
+		}
+		batchIDs[b.ID] = true
+	}
+	probes := sink.Spans("probe")
+	if len(probes) != res.Cache.Misses {
+		t.Errorf("%d probe spans, want one per cache miss (%d)", len(probes), res.Cache.Misses)
+	}
+	probeIDs := map[uint64]bool{}
+	for _, p := range probes {
+		if !batchIDs[p.Parent] {
+			t.Errorf("probe span %d parented to %d, not a probe-batch span", p.ID, p.Parent)
+		}
+		probeIDs[p.ID] = true
+	}
+	// verify and mdl happen once per probe; mine and cluster additionally
+	// run once more under mine-final for the winning thresholds.
+	mineFinal := one("mine-final")
+	for _, name := range []string{"mine", "cluster", "verify", "mdl"} {
+		stages := sink.Spans(name)
+		want := len(probes)
+		if name == "mine" || name == "cluster" {
+			want++
+		}
+		if len(stages) != want {
+			t.Errorf("%d %q spans, want %d", len(stages), name, want)
+		}
+		for _, sp := range stages {
+			if !probeIDs[sp.Parent] && sp.Parent != mineFinal.ID {
+				t.Errorf("%q span %d parented to %d, not a probe or mine-final span", name, sp.ID, sp.Parent)
+			}
+		}
+	}
+
+	// Metrics: cache counters mirror the run's cache stats, the verify
+	// fast path carried every mined rule, and the probe phase histogram
+	// saw one observation per evaluation.
+	snap := observer.Registry().Snapshot()
+	if got := snap.Counters["probe_cache_misses_total"]; got != int64(res.Cache.Misses) {
+		t.Errorf("probe_cache_misses_total = %d, want %d", got, res.Cache.Misses)
+	}
+	if got := snap.Counters["probe_cache_hits_total"]; got != int64(res.Cache.Hits) {
+		t.Errorf("probe_cache_hits_total = %d, want %d", got, res.Cache.Hits)
+	}
+	if got := snap.Counters["verify_fastpath_rules_total"]; got == 0 {
+		t.Error("verify_fastpath_rules_total = 0, want > 0")
+	}
+	if got := snap.Counters["verify_fallback_rules_total"]; got != 0 {
+		t.Errorf("verify_fallback_rules_total = %d, want 0 for mined rules", got)
+	}
+	if got := snap.Histograms["phase_probe_seconds"].Count; got != int64(len(probes)) {
+		t.Errorf("phase_probe_seconds count = %d, want %d", got, len(probes))
+	}
+
+	// A warm re-run adds hits but no new probe spans: every probe is
+	// answered from the cache without re-entering the pipeline.
+	res2, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cache.Misses != 0 {
+		t.Fatalf("warm re-run missed %d probes", res2.Cache.Misses)
+	}
+	if got := len(sink.Spans("probe")); got != len(probes) {
+		t.Errorf("warm re-run grew probe spans %d -> %d, want unchanged", len(probes), got)
+	}
+	snap2 := observer.Registry().Snapshot()
+	want := int64(res.Cache.Hits + res2.Cache.Hits)
+	if got := snap2.Counters["probe_cache_hits_total"]; got != want {
+		t.Errorf("probe_cache_hits_total after re-run = %d, want %d", got, want)
+	}
+}
+
+// TestObsRunPhasesAlwaysPopulated: Result.Phases carries the stage
+// timings even with no Observer configured.
+func TestObsRunPhasesAlwaysPopulated(t *testing.T) {
+	sys := f2System(t, 4_000, 0, Config{NumBins: 15, Walk: walkBudget()})
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"search", "mine-final", "verify-final"}
+	if len(res.Phases) != len(want) {
+		t.Fatalf("Phases = %+v, want %v", res.Phases, want)
+	}
+	for i, name := range want {
+		if res.Phases[i].Name != name {
+			t.Errorf("Phases[%d].Name = %q, want %q", i, res.Phases[i].Name, name)
+		}
+		if res.Phases[i].Seconds < 0 {
+			t.Errorf("Phases[%d].Seconds = %g, want >= 0", i, res.Phases[i].Seconds)
+		}
+	}
+}
+
+// TestObsDisabledProbeZeroAlloc is the acceptance gate for the nil
+// observer: a warm-cache threshold probe must not allocate at all when
+// observability is off.
+func TestObsDisabledProbeZeroAlloc(t *testing.T) {
+	sys := f2System(t, 4_000, 0, Config{NumBins: 15, Walk: walkBudget()})
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := sys.Objective(synth.GroupA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, conf := res.MinSupport, res.MinConfidence
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := obj.Evaluate(sup, conf); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm probe with nil observer allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkProbeObserverOverhead measures the warm-cache probe path with
+// observability off and on. The disabled case must report 0 allocs/op;
+// the enabled case shows the cost of the counters (no span is created
+// for a cache hit).
+func BenchmarkProbeObserverOverhead(b *testing.B) {
+	bench := func(b *testing.B, observer *obs.Observer) {
+		gen, err := synth.New(synth.Config{
+			Function: 2, N: 4_000, Seed: 42, Perturbation: 0.05, FracA: 0.4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := New(gen, Config{
+			XAttr: synth.AttrAge, YAttr: synth.AttrSalary,
+			CritAttr: synth.AttrGroup, CritValue: synth.GroupA,
+			NumBins: 15, Walk: walkBudget(), Observer: observer,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj, err := sys.Objective(synth.GroupA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sup, conf := res.MinSupport, res.MinConfidence
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := obj.Evaluate(sup, conf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { bench(b, nil) })
+	b.Run("enabled", func(b *testing.B) { bench(b, obs.New(&obs.MemSink{})) })
+}

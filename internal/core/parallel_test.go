@@ -10,11 +10,12 @@ import (
 )
 
 // stripCache zeroes the fields that legitimately differ between a cached
-// and an uncached run, leaving everything the search and pipeline
-// produced.
+// and an uncached run — cache stats and wall-clock phase timings —
+// leaving everything the search and pipeline produced.
 func stripCache(r *Result) *Result {
 	c := *r
 	c.Cache = CacheStats{}
+	c.Phases = nil
 	return &c
 }
 

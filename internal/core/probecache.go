@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+
+	"arcs/internal/obs"
 )
 
 // CacheStats reports probe-cache effectiveness — either for one run
@@ -37,7 +39,11 @@ type probeKey struct {
 }
 
 type probeEntry struct {
-	once     sync.Once
+	once sync.Once
+	// ready flips after once completes. The hit path checks it before
+	// touching once so no compute closure is ever constructed for a
+	// settled entry — keeping warm probes at zero allocations.
+	ready    atomic.Bool
 	cost     float64
 	numRules int
 	err      error
@@ -56,6 +62,11 @@ type probeCache struct {
 	entries map[probeKey]*probeEntry
 
 	hits, misses atomic.Int64
+
+	// onHit/onMiss mirror the stats into the observer's metrics registry
+	// when one is attached. They stay nil otherwise; obs.Counter methods
+	// are nil-safe, so the hot path never branches on observability.
+	onHit, onMiss *obs.Counter
 }
 
 func newProbeCache() *probeCache {
@@ -63,9 +74,12 @@ func newProbeCache() *probeCache {
 }
 
 // do returns the memoized evaluation for key, computing it at most once
-// across all concurrent callers. hit reports whether an entry already
-// existed (possibly still in flight) when this caller arrived.
-func (c *probeCache) do(key probeKey, compute func() (float64, int, error)) (cost float64, numRules int, hit bool, err error) {
+// across all concurrent callers via s.evaluateProbe. hit reports whether
+// an entry already existed (possibly still in flight) when this caller
+// arrived. Taking the System and span instead of a closure keeps the
+// warm-hit path allocation-free: the compute closure is only built for
+// entries that are not settled yet.
+func (c *probeCache) do(s *System, parent obs.Span, key probeKey) (cost float64, numRules int, hit bool, err error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -73,13 +87,18 @@ func (c *probeCache) do(key probeKey, compute func() (float64, int, error)) (cos
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() {
-		e.cost, e.numRules, e.err = compute()
-	})
+	if !e.ready.Load() {
+		e.once.Do(func() {
+			e.cost, e.numRules, e.err = s.evaluateProbe(parent, key.seg, key.sup, key.conf)
+			e.ready.Store(true)
+		})
+	}
 	if ok {
 		c.hits.Add(1)
+		c.onHit.Inc()
 	} else {
 		c.misses.Add(1)
+		c.onMiss.Inc()
 	}
 	return e.cost, e.numRules, ok, e.err
 }

@@ -8,11 +8,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"arcs/internal/bitop"
 	"arcs/internal/engine"
 	"arcs/internal/grid"
 	"arcs/internal/mdl"
+	"arcs/internal/obs"
 	"arcs/internal/optimizer"
 	"arcs/internal/rules"
 	"arcs/internal/verify"
@@ -46,6 +48,30 @@ type Result struct {
 	// Cache reports how many of this run's probes were answered by the
 	// System's memoized probe cache versus computed fresh.
 	Cache CacheStats
+	// Phases are the wall-clock durations of the run's top-level stages
+	// (search, mine-final, verify-final), in execution order. Always
+	// populated — the three time stamps cost nothing — so reports and
+	// benchmarks get per-phase timings even without an Observer.
+	Phases []PhaseTiming
+}
+
+// PhaseTiming is the wall-clock duration of one pipeline stage of a run.
+type PhaseTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// timed runs fn as one top-level phase: it is appended to *phases,
+// emitted as a span under parent (handed to fn so nested work can
+// parent to it), and labeled for CPU profiles.
+func (s *System) timed(parent obs.Span, phases *[]PhaseTiming, name string, fn func(obs.Span) error) error {
+	sp := parent.Child(name)
+	start := time.Now()
+	var err error
+	s.labeled(name, func() { err = fn(sp) })
+	*phases = append(*phases, PhaseTiming{Name: name, Seconds: time.Since(start).Seconds()})
+	sp.End()
+	return err
 }
 
 // resetThresholdCache drops the Figure 10 indexes, forcing recomputation
@@ -100,6 +126,9 @@ func (s *System) Objective(label string) (optimizer.Objective, error) {
 type segObjective struct {
 	sys *System
 	seg int
+	// span is the enclosing search span (zero outside an observed
+	// RunValue); probe batches and probes nest under it.
+	span obs.Span
 
 	hits, misses atomic.Int64
 }
@@ -126,16 +155,22 @@ func (o *segObjective) ConfidenceLevels(support float64) ([]float64, error) {
 // probe cache: concurrent and repeated requests for the same
 // (seg, support, confidence) run the pipeline exactly once.
 func (o *segObjective) Evaluate(minSup, minConf float64) (float64, int, error) {
+	return o.evaluate(o.span, minSup, minConf)
+}
+
+// evaluate is Evaluate with an explicit parent span for probe-level
+// observability (the batch path nests probes under the batch span).
+// With observability off this path performs zero allocations beyond the
+// probe pipeline itself — the allocation test in obs_test.go enforces
+// that for the warm-cache case.
+func (o *segObjective) evaluate(parent obs.Span, minSup, minConf float64) (float64, int, error) {
 	s := o.sys
 	if s.cfg.DisableProbeCache {
-		cost, n, err := s.evaluateProbe(o.seg, minSup, minConf)
+		cost, n, err := s.evaluateProbe(parent, o.seg, minSup, minConf)
 		o.misses.Add(1)
 		return cost, n, err
 	}
-	cost, n, hit, err := s.probes.do(probeKey{seg: o.seg, sup: minSup, conf: minConf},
-		func() (float64, int, error) {
-			return s.evaluateProbe(o.seg, minSup, minConf)
-		})
+	cost, n, hit, err := s.probes.do(s, parent, probeKey{seg: o.seg, sup: minSup, conf: minConf})
 	if hit {
 		o.hits.Add(1)
 	} else {
@@ -159,10 +194,15 @@ func (o *segObjective) EvaluateBatch(probes []optimizer.Probe) []optimizer.Probe
 	if workers > len(probes) {
 		workers = len(probes)
 	}
+	sp := o.span.Child("probe-batch",
+		obs.Int("probes", len(probes)), obs.Int("workers", workers))
+	o.sys.mBatchSize.Observe(float64(len(probes)))
+	o.sys.mPoolWork.Set(int64(workers))
 	if workers <= 1 {
 		for i, p := range probes {
-			out[i].Cost, out[i].NumRules, out[i].Err = o.Evaluate(p.Support, p.Confidence)
+			out[i].Cost, out[i].NumRules, out[i].Err = o.evaluate(sp, p.Support, p.Confidence)
 		}
+		sp.End()
 		return out
 	}
 	next := make(chan int, len(probes))
@@ -176,12 +216,15 @@ func (o *segObjective) EvaluateBatch(probes []optimizer.Probe) []optimizer.Probe
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				o.sys.mQueueDepth.Set(int64(len(next)))
 				p := probes[i]
-				out[i].Cost, out[i].NumRules, out[i].Err = o.Evaluate(p.Support, p.Confidence)
+				out[i].Cost, out[i].NumRules, out[i].Err = o.evaluate(sp, p.Support, p.Confidence)
 			}
 		}()
 	}
 	wg.Wait()
+	o.sys.mQueueDepth.Set(0)
+	sp.End()
 	return out
 }
 
@@ -195,19 +238,33 @@ func (o *segObjective) cacheStats() CacheStats {
 // the MDL cost. Each evaluation reseeds its sampler so probes are
 // compared on identical draws — which also makes the result a pure
 // function of (seg, minSup, minConf), the property both the probe cache
-// and the parallel batch path rely on.
-func (s *System) evaluateProbe(seg int, minSup, minConf float64) (float64, int, error) {
-	rs, err := s.mineAtSeg(seg, minSup, minConf)
+// and the parallel batch path rely on. The probe emits a "probe" span
+// with "mine"/"cluster"/"verify"/"mdl" children under parent; probes
+// run only on cache misses, so the span cost sits beside a full mining
+// pass.
+func (s *System) evaluateProbe(parent obs.Span, seg int, minSup, minConf float64) (float64, int, error) {
+	sp := parent.Child("probe",
+		obs.Float("support", minSup), obs.Float("confidence", minConf))
+	rs, err := s.mineAtSeg(sp, seg, minSup, minConf)
 	if err != nil {
+		sp.End()
 		return 0, 0, err
 	}
 	if len(rs) == 0 {
+		sp.End(obs.Int("rules", 0))
 		return 0, 0, nil
 	}
+	vsp := sp.Child("verify",
+		obs.Int("rules", len(rs)), obs.Int("rounds", s.cfg.SampleRounds))
 	rng := rand.New(rand.NewSource(s.cfg.Seed + 1))
-	meanErrors, _, err := s.vindex.MeasureRepeated(rs, rng,
-		s.cfg.SampleRounds, s.cfg.SampleK, seg)
+	var meanErrors float64
+	s.labeled("verify", func() {
+		meanErrors, _, err = s.vindex.MeasureRepeated(rs, rng,
+			s.cfg.SampleRounds, s.cfg.SampleK, seg)
+	})
+	vsp.End()
 	if err != nil {
+		sp.End()
 		return 0, 0, err
 	}
 	// Scale the sampled error count up to the full sample so MDL costs
@@ -220,10 +277,14 @@ func (s *System) evaluateProbe(seg int, minSup, minConf float64) (float64, int, 
 		}
 		scale = float64(s.sample.Len()) / float64(k)
 	}
+	msp := sp.Child("mdl")
 	cost, err := mdl.Cost(len(rs), meanErrors*scale, s.cfg.Weights)
+	msp.End()
 	if err != nil {
+		sp.End()
 		return 0, 0, err
 	}
+	sp.End(obs.Int("rules", len(rs)), obs.Float("cost", cost))
 	return cost, len(rs), nil
 }
 
@@ -243,44 +304,67 @@ func (s *System) RunValue(label string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	root := s.obs.Root("run", obs.Str("crit_value", label), obs.Int("seg", seg),
+		obs.Str("strategy", s.cfg.Search.String()))
+	var phases []PhaseTiming
+
 	obj := &segObjective{sys: s, seg: seg}
-
 	var best optimizer.Best
-	switch s.cfg.Search {
-	case SearchFixed:
-		cost, n, err := obj.Evaluate(s.cfg.FixedMinSupport, s.cfg.FixedMinConfidence)
+	serr := s.timed(root, &phases, "search", func(sp obs.Span) error {
+		obj.span = sp
+		defer func() { obj.span = obs.Span{} }()
+		switch s.cfg.Search {
+		case SearchFixed:
+			cost, n, err := obj.Evaluate(s.cfg.FixedMinSupport, s.cfg.FixedMinConfidence)
+			if err != nil {
+				return err
+			}
+			best = optimizer.Best{
+				Support:     s.cfg.FixedMinSupport,
+				Confidence:  s.cfg.FixedMinConfidence,
+				Cost:        cost,
+				NumRules:    n,
+				Evaluations: 1,
+				Trace: []optimizer.Step{{
+					Support: s.cfg.FixedMinSupport, Confidence: s.cfg.FixedMinConfidence,
+					Cost: cost, NumRules: n,
+				}},
+			}
+			return nil
+		case SearchWalk:
+			best, err = s.cfg.Walk.Optimize(obj)
+		case SearchAnneal:
+			best, err = s.cfg.Anneal.Optimize(obj)
+		case SearchFactorial:
+			best, err = s.cfg.Factorial.Optimize(obj)
+		default:
+			return fmt.Errorf("core: unknown search strategy %v", s.cfg.Search)
+		}
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("core: optimizing %q: %w", label, err)
 		}
-		best = optimizer.Best{
-			Support:     s.cfg.FixedMinSupport,
-			Confidence:  s.cfg.FixedMinConfidence,
-			Cost:        cost,
-			NumRules:    n,
-			Evaluations: 1,
-			Trace: []optimizer.Step{{
-				Support: s.cfg.FixedMinSupport, Confidence: s.cfg.FixedMinConfidence,
-				Cost: cost, NumRules: n,
-			}},
-		}
-	case SearchWalk:
-		best, err = s.cfg.Walk.Optimize(obj)
-	case SearchAnneal:
-		best, err = s.cfg.Anneal.Optimize(obj)
-	case SearchFactorial:
-		best, err = s.cfg.Factorial.Optimize(obj)
-	default:
-		return nil, fmt.Errorf("core: unknown search strategy %v", s.cfg.Search)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: optimizing %q: %w", label, err)
+		return nil
+	})
+	if serr != nil {
+		root.End()
+		return nil, serr
 	}
 
-	finalRules, err := s.mineAtSeg(seg, best.Support, best.Confidence)
-	if err != nil {
+	var finalRules []rules.ClusteredRule
+	if err := s.timed(root, &phases, "mine-final", func(sp obs.Span) error {
+		var err error
+		finalRules, err = s.mineAtSeg(sp, seg, best.Support, best.Confidence)
+		return err
+	}); err != nil {
+		root.End()
 		return nil, err
 	}
-	errs := s.vindex.Measure(finalRules, seg)
+	var errs verify.ErrorCounts
+	_ = s.timed(root, &phases, "verify-final", func(obs.Span) error {
+		errs = s.vindex.Measure(finalRules, seg)
+		return nil
+	})
+	root.End(obs.Int("rules", len(finalRules)), obs.Int("evaluations", best.Evaluations))
 	return &Result{
 		CritValue:     label,
 		Rules:         finalRules,
@@ -291,6 +375,7 @@ func (s *System) RunValue(label string) (*Result, error) {
 		Evaluations:   best.Evaluations,
 		Trace:         best.Trace,
 		Cache:         obj.cacheStats(),
+		Phases:        phases,
 	}, nil
 }
 

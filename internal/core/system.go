@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
+	"runtime/pprof"
 	"sync"
 
 	"arcs/internal/binarray"
@@ -13,6 +16,7 @@ import (
 	"arcs/internal/engine"
 	"arcs/internal/filter"
 	"arcs/internal/grid"
+	"arcs/internal/obs"
 	"arcs/internal/rules"
 	"arcs/internal/stats"
 	"arcs/internal/verify"
@@ -39,6 +43,15 @@ type System struct {
 	// probes memoizes threshold evaluations across runs and goroutines.
 	probes *probeCache
 
+	// obs is the observability layer (nil when Config.Observer is unset:
+	// every span/metric call then no-ops without allocating). The metric
+	// handles below are resolved once at construction so the worker-pool
+	// hot path never touches the registry map.
+	obs         *obs.Observer
+	mBatchSize  *obs.Histogram
+	mQueueDepth *obs.Gauge
+	mPoolWork   *obs.Gauge
+
 	// mu guards the thresholds cache; everything else is read-only
 	// after New, so concurrent RunValue calls are safe.
 	mu sync.Mutex
@@ -57,6 +70,14 @@ func New(src dataset.Source, cfg Config) (*System, error) {
 	}
 	schema := src.Schema()
 	s := &System{cfg: cfg, schema: schema, thresholds: make(map[int]*engine.Thresholds)}
+	s.obs = cfg.Observer
+	reg := s.obs.Registry()
+	s.mBatchSize = reg.HistogramBuckets("probe_batch_size", obs.SizeBuckets)
+	s.mQueueDepth = reg.Gauge("pool_queue_depth")
+	s.mPoolWork = reg.Gauge("pool_workers")
+	init := s.obs.Root("init",
+		obs.Str("x_attr", cfg.XAttr), obs.Str("y_attr", cfg.YAttr),
+		obs.Str("crit_attr", cfg.CritAttr))
 
 	var err error
 	if s.xIdx, err = schema.Index(cfg.XAttr); err != nil {
@@ -78,34 +99,62 @@ func New(src dataset.Source, cfg Config) (*System, error) {
 			cfg.XAttr, cfg.YAttr)
 	}
 
+	sp := init.Child("fit-sample")
 	if err := s.fitAndSample(src); err != nil {
 		return nil, err
 	}
+	sp.End(obs.Int("sample", s.sample.Len()))
 
 	nseg := schema.At(s.critIdx).NumCategories()
 	if nseg == 0 {
 		return nil, fmt.Errorf("core: criterion attribute %q has no categories", cfg.CritAttr)
 	}
-	s.ba, err = binarray.Build(src, s.xIdx, s.yIdx, s.critIdx, s.xb, s.yb, nseg)
+	sp = init.Child("bin")
+	s.labeled("bin", func() {
+		s.ba, err = binarray.Build(src, s.xIdx, s.yIdx, s.critIdx, s.xb, s.yb, nseg)
+	})
 	if err != nil {
 		return nil, err
 	}
 	if s.ba.N() == 0 {
 		return nil, fmt.Errorf("core: source yielded no tuples")
 	}
+	sp.End(obs.Int("tuples", int(s.ba.N())),
+		obs.Int("grid_x", s.ba.NX()), obs.Int("grid_y", s.ba.NY()),
+		obs.Int("segments", nseg))
 
 	if *cfg.ReorderCategorical && (s.xCat || s.yCat) {
+		sp = init.Child("reorder")
 		if err := s.reorderCategorical(); err != nil {
 			return nil, err
 		}
+		sp.End()
 	}
 	// Built last: the index depends on the final binner boundaries, which
 	// reorderCategorical may have replaced.
+	sp = init.Child("verify-index")
 	if err := s.buildVerifyIndex(); err != nil {
 		return nil, err
 	}
+	sp.End(obs.Int("tuples", s.vindex.Len()))
 	s.probes = newProbeCache()
+	s.probes.onHit = reg.Counter("probe_cache_hits_total")
+	s.probes.onMiss = reg.Counter("probe_cache_misses_total")
+	init.End()
 	return s, nil
+}
+
+// labeled runs fn under a pprof label keyed by pipeline phase, so CPU
+// profiles attribute samples to stages (`-tagfocus arcs_phase=...`).
+// With observability off it degenerates to a plain call — pprof.Do
+// allocates a label set, which the disabled hot path must not.
+func (s *System) labeled(phase string, fn func()) {
+	if !s.obs.Enabled() {
+		fn()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels("arcs_phase", phase),
+		func(context.Context) { fn() })
 }
 
 // buildVerifyIndex pre-bins the verification sample against the current
@@ -115,6 +164,22 @@ func (s *System) buildVerifyIndex() error {
 		binning.Boundaries(s.xb), binning.Boundaries(s.yb))
 	if err != nil {
 		return fmt.Errorf("core: building verification index: %w", err)
+	}
+	if s.obs.Enabled() {
+		reg := s.obs.Registry()
+		ix.Observe(
+			reg.Counter("verify_fastpath_rules_total"),
+			reg.Counter("verify_fallback_rules_total"),
+			func(fb verify.Fallback) {
+				// A fallback rule silently costs O(rules) per tuple; make
+				// the degradation and its cause visible in the trace and
+				// the debug log.
+				s.obs.Annotate("verify.fallback",
+					obs.Str("rule", fb.Rule.String()),
+					obs.Str("reason", fb.Reason))
+				slog.Debug("verify index fell back to rect scan",
+					"rule", fb.Rule.String(), "reason", fb.Reason)
+			})
 	}
 	s.vindex = ix
 	return nil
@@ -373,15 +438,24 @@ func (s *System) MineAt(minSup, minConf float64) ([]rules.ClusteredRule, error) 
 	if err != nil {
 		return nil, err
 	}
-	return s.mineAtSeg(seg, minSup, minConf)
+	return s.mineAtSeg(obs.Span{}, seg, minSup, minConf)
 }
 
-func (s *System) mineAtSeg(seg int, minSup, minConf float64) ([]rules.ClusteredRule, error) {
+// mineAtSeg emits "mine" (rule generation + grid + smoothing) and
+// "cluster" (BitOp + rule conversion) spans under parent; a zero parent
+// span disables both.
+func (s *System) mineAtSeg(parent obs.Span, seg int, minSup, minConf float64) ([]rules.ClusteredRule, error) {
 	minConf = s.effectiveMinConf(seg, minConf)
-	bm, err := s.buildGrid(seg, minSup, minConf)
+	sp := parent.Child("mine",
+		obs.Float("support", minSup), obs.Float("confidence", minConf))
+	var bm *grid.Bitmap
+	var err error
+	s.labeled("mine", func() { bm, err = s.buildGrid(seg, minSup, minConf) })
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.End(obs.Int("grid_x", s.ba.NX()), obs.Int("grid_y", s.ba.NY()))
 	gridArea := s.ba.NX() * s.ba.NY()
 	minArea := 1
 	if s.cfg.PruneFraction > 0 {
@@ -390,7 +464,9 @@ func (s *System) mineAtSeg(seg int, minSup, minConf float64) ([]rules.ClusteredR
 			minArea = 1
 		}
 	}
-	rects := bitopCluster(bm, minArea)
+	sp = parent.Child("cluster", obs.Int("min_area", minArea))
+	var rects []grid.Rect
+	s.labeled("cluster", func() { rects = bitopCluster(bm, minArea) })
 	meta := cluster.Meta{
 		XAttr: s.cfg.XAttr, YAttr: s.cfg.YAttr,
 		CritAttr:  s.cfg.CritAttr,
@@ -398,6 +474,7 @@ func (s *System) mineAtSeg(seg int, minSup, minConf float64) ([]rules.ClusteredR
 	}
 	rs, err := cluster.FromRects(rects, s.ba, seg, s.xb, s.yb, meta)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	// §2.1 invariant: clustered rules always meet the minimum thresholds.
@@ -410,5 +487,6 @@ func (s *System) mineAtSeg(seg int, minSup, minConf float64) ([]rules.ClusteredR
 			kept = append(kept, r)
 		}
 	}
+	sp.End(obs.Int("rects", len(rects)), obs.Int("rules", len(kept)))
 	return kept, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"arcs/internal/core"
+	"arcs/internal/obs"
 	"arcs/internal/synth"
 )
 
@@ -20,6 +21,9 @@ type FeedbackLoopVariant struct {
 	// SpeedupVsSequential is wall-clock relative to the sequential
 	// baseline (>1 means faster).
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+	// Phases breaks the run into its top-level stage durations
+	// (search / mine-final / verify-final).
+	Phases []core.PhaseTiming `json:"phases"`
 }
 
 // FeedbackLoopReport is the JSON document emitted by the feedbackloop
@@ -30,6 +34,10 @@ type FeedbackLoopReport struct {
 	Workers    int                   `json:"workers"`
 	Identical  bool                  `json:"results_identical"`
 	Variants   []FeedbackLoopVariant `json:"variants"`
+	// Metrics is the observability snapshot of the batched system after
+	// both its runs: probe-cache counters, verify fast-path/fallback
+	// counters, batch-size and per-phase duration histograms.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // FeedbackLoop measures the threshold-search feedback loop on the
@@ -38,8 +46,14 @@ type FeedbackLoopReport struct {
 // with a cold probe cache, and the same search warm. It also checks that
 // the batched search's trace and rules are identical to the sequential
 // baseline's.
-func FeedbackLoop(n, workers int) (*FeedbackLoopReport, error) {
-	build := func(serial, nocache bool) (*core.System, error) {
+//
+// The batched system runs with an obs.Observer attached: its metric
+// snapshot lands in the report and, when sink is non-nil (e.g. a
+// JSONL trace sink), every phase and probe span is emitted to it. The
+// sequential baseline stays observer-free so its timing is the true
+// uninstrumented cost.
+func FeedbackLoop(n, workers int, sink obs.Sink) (*FeedbackLoopReport, error) {
+	build := func(serial, nocache bool, observer *obs.Observer) (*core.System, error) {
 		gen, err := synth.New(dataConfig(n, 0.10, DefaultSeed))
 		if err != nil {
 			return nil, err
@@ -47,6 +61,7 @@ func FeedbackLoop(n, workers int) (*FeedbackLoopReport, error) {
 		cfg := arcsConfig(50, DefaultSeed)
 		cfg.SerialSearch = serial
 		cfg.DisableProbeCache = nocache
+		cfg.Observer = observer
 		return core.New(gen, cfg)
 	}
 	timeRun := func(sys *core.System) (*core.Result, FeedbackLoopVariant, error) {
@@ -61,10 +76,11 @@ func FeedbackLoop(n, workers int) (*FeedbackLoopReport, error) {
 			Probes:     res.Evaluations,
 			ProbesPerS: float64(res.Evaluations) / secs,
 			CacheHit:   100 * res.Cache.HitRate(),
+			Phases:     res.Phases,
 		}, nil
 	}
 
-	seqSys, err := build(true, true)
+	seqSys, err := build(true, true, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +90,8 @@ func FeedbackLoop(n, workers int) (*FeedbackLoopReport, error) {
 	}
 	seq.Name = "sequential"
 
-	parSys, err := build(false, false)
+	observer := obs.New(sink)
+	parSys, err := build(false, false, observer)
 	if err != nil {
 		return nil, err
 	}
@@ -99,6 +116,7 @@ func FeedbackLoop(n, workers int) (*FeedbackLoopReport, error) {
 			seqRes.Cost == parRes.Cost &&
 			len(seqRes.Trace) == len(parRes.Trace),
 		Variants: []FeedbackLoopVariant{seq, cold, warm},
+		Metrics:  observer.Registry().Snapshot(),
 	}
 	for i := range report.Variants {
 		report.Variants[i].SpeedupVsSequential = seq.Seconds / report.Variants[i].Seconds

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// SetupSlog builds the structured logger shared by the commands and
+// installs it as the process default: a text or JSON handler on w,
+// Debug level when verbose, Info otherwise. format "" means "text".
+func SetupSlog(w io.Writer, format string, verbose bool) (*slog.Logger, error) {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	logger := slog.New(h)
+	slog.SetDefault(logger)
+	return logger, nil
+}

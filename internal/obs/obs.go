@@ -1,0 +1,177 @@
+// Package obs is the pipeline's observability layer: nestable timed
+// spans, a counters/gauges/histograms registry, and pluggable event
+// sinks (in-memory, JSONL trace, Prometheus text exposition), plus the
+// profiling and structured-logging helpers shared by the commands.
+//
+// The layer is built to cost nothing when it is off. A nil *Observer is
+// the disabled observer: every method on it — and on the zero Span and
+// on nil metric handles — is a no-op that performs no allocation, so
+// call sites never need an "is observability on?" branch. The core
+// system threads Span values through the pipeline explicitly instead of
+// using a context, keeping the hot probe path free of interface and map
+// traffic.
+//
+// Span taxonomy (parent → child), as emitted by internal/core:
+//
+//	init                  system construction (core.New)
+//	  fit-sample          binner fitting + reservoir sample
+//	  bin                 BinArray fill pass
+//	  reorder             categorical densest-cluster reordering
+//	  verify-index        verification-sample pre-binning
+//	run                   one RunValue feedback loop
+//	  search              optimizer strategy
+//	    probe-batch       one worker-pool batch of threshold probes
+//	      probe           one (support, confidence) evaluation
+//	        mine          GenAssociationRules + grid + smoothing
+//	        cluster       BitOp rectangles + rule conversion
+//	        verify        repeated k-of-n error measurement
+//	        mdl           MDL cost
+//	  mine-final          re-mine at the winning thresholds
+//	  verify-final        full-sample error counts
+//
+// Every span's duration is also recorded in the registry as a
+// `phase_<name>_seconds` histogram, so per-phase latency distributions
+// survive even when no sink is attached.
+package obs
+
+import (
+	"expvar"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span or event. Values are
+// strings so events serialize uniformly; use the Int/Float/Str
+// constructors.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+
+// Float builds a float attribute with full round-trip precision.
+func Float(k string, v float64) Attr {
+	return Attr{Key: k, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// Observer is the root of the observability layer: it issues span IDs,
+// owns the metrics registry, and forwards finished spans to the sink.
+// A nil Observer is valid and disables everything. An Observer is safe
+// for concurrent use.
+type Observer struct {
+	sink Sink
+	reg  *Registry
+	ids  atomic.Uint64
+}
+
+// New builds an enabled Observer with a fresh registry. sink may be nil:
+// metrics are still collected, spans are timed into the phase histograms
+// but no events are emitted.
+func New(sink Sink) *Observer {
+	return &Observer{sink: sink, reg: NewRegistry()}
+}
+
+// Enabled reports whether the observer records anything.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Registry returns the metrics registry, nil for the disabled observer
+// (Registry methods are nil-safe, so the result can be used directly).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Root starts a new top-level span. On the disabled observer it returns
+// the zero Span, whose methods all no-op.
+func (o *Observer) Root(name string, attrs ...Attr) Span {
+	if o == nil {
+		return Span{}
+	}
+	return Span{obs: o, name: name, id: o.ids.Add(1), start: time.Now(), attrs: attrs}
+}
+
+// Annotate emits an instantaneous event (no duration), e.g. a
+// verify-index fallback with its reason.
+func (o *Observer) Annotate(name string, attrs ...Attr) {
+	if o == nil || o.sink == nil {
+		return
+	}
+	o.sink.Emit(Event{
+		Type:  EventInstant,
+		Name:  name,
+		ID:    o.ids.Add(1),
+		Start: time.Now(),
+		Attrs: attrs,
+	})
+}
+
+// Span is one nestable timed region. The zero Span is the disabled span:
+// Child returns another disabled span and End does nothing, so spans can
+// be threaded through code unconditionally.
+type Span struct {
+	obs    *Observer
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+	attrs  []Attr
+}
+
+// Enabled reports whether the span will be emitted.
+func (s Span) Enabled() bool { return s.obs != nil }
+
+// Child starts a nested span.
+func (s Span) Child(name string, attrs ...Attr) Span {
+	if s.obs == nil {
+		return Span{}
+	}
+	return Span{obs: s.obs, name: name, id: s.obs.ids.Add(1), parent: s.id, start: time.Now(), attrs: attrs}
+}
+
+// End finishes the span: its duration is recorded in the
+// phase_<name>_seconds histogram and, when a sink is attached, a span
+// event carrying the start attributes plus attrs is emitted.
+func (s Span) End(attrs ...Attr) {
+	if s.obs == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.obs.reg.Histogram("phase_" + s.name + "_seconds").Observe(d.Seconds())
+	if s.obs.sink == nil {
+		return
+	}
+	all := s.attrs
+	if len(attrs) > 0 {
+		all = make([]Attr, 0, len(s.attrs)+len(attrs))
+		all = append(append(all, s.attrs...), attrs...)
+	}
+	s.obs.sink.Emit(Event{
+		Type:     EventSpan,
+		Name:     s.name,
+		ID:       s.id,
+		Parent:   s.parent,
+		Start:    s.start,
+		Duration: d,
+		Attrs:    all,
+	})
+}
+
+// PublishExpvar exposes the registry's live snapshot as an expvar
+// variable, visible on /debug/vars whenever an HTTP server is serving
+// the default mux. Publishing an already-published name is a no-op
+// (expvar.Publish would panic), so commands can call it
+// unconditionally.
+func PublishExpvar(name string, reg *Registry) {
+	if reg == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiler owns the standard profiling outputs of a command:
+// -cpuprofile, -memprofile and -trace. Combined with the per-phase
+// pprof labels the core system applies when an Observer is attached,
+// CPU profiles attribute samples to pipeline stages
+// (`go tool pprof -tagfocus arcs_phase=verify ...`).
+type Profiler struct {
+	CPUProfile string
+	MemProfile string
+	TracePath  string
+}
+
+// RegisterFlags installs the profiling flags on fs.
+func (p *Profiler) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&p.TracePath, "trace", "", "write a runtime execution trace to this file")
+}
+
+// Enabled reports whether any profile output was requested.
+func (p *Profiler) Enabled() bool {
+	return p.CPUProfile != "" || p.MemProfile != "" || p.TracePath != ""
+}
+
+// Start begins the requested profiles and returns a stop function that
+// flushes and closes them; stop must run exactly once (defer it, and
+// call it before any os.Exit). With no profiles requested both Start
+// and stop are cheap no-ops.
+func (p *Profiler) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if p.CPUProfile != "" {
+		if cpuFile, err = os.Create(p.CPUProfile); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: starting CPU profile: %w", err)
+		}
+	}
+	if p.TracePath != "" {
+		if traceFile, err = os.Create(p.TracePath); err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err = trace.Start(traceFile); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: starting execution trace: %w", err)
+		}
+	}
+	memPath := p.MemProfile
+	return func() error {
+		cleanup()
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // materialize the final live-heap state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("obs: writing heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}

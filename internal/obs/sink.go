@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event types emitted by the observer.
+const (
+	// EventSpan is a finished timed region.
+	EventSpan = "span"
+	// EventInstant is a point annotation with no duration.
+	EventInstant = "event"
+)
+
+// Event is one trace record: a finished span or an instant annotation.
+type Event struct {
+	Type     string
+	Name     string
+	ID       uint64
+	Parent   uint64 // 0 for root spans and instants
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// Attr returns the value of the named attribute, "" when absent.
+func (e Event) Attr(key string) string {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Sink consumes finished events. Implementations must be safe for
+// concurrent Emit calls: spans end on worker-pool goroutines.
+type Sink interface {
+	Emit(Event)
+}
+
+// MemSink buffers every event in memory, for tests and small runs.
+type MemSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (m *MemSink) Emit(ev Event) {
+	m.mu.Lock()
+	m.events = append(m.events, ev)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of everything emitted so far.
+func (m *MemSink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Spans returns the span events with the given name.
+func (m *MemSink) Spans(name string) []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Event
+	for _, ev := range m.events {
+		if ev.Type == EventSpan && ev.Name == name {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Len reports the number of buffered events.
+func (m *MemSink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// jsonlEvent is the wire form of an Event: one JSON object per line,
+// microsecond timestamps, attributes flattened to a string map.
+type jsonlEvent struct {
+	Type    string            `json:"type"`
+	Name    string            `json:"name"`
+	ID      uint64            `json:"id"`
+	Parent  uint64            `json:"parent,omitempty"`
+	StartUS int64             `json:"ts_us"`
+	DurUS   int64             `json:"dur_us,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// JSONLSink streams events as newline-delimited JSON, one object per
+// event — greppable, diffable across runs, and loadable with a one-line
+// script. Emit never fails; the first write error is latched and
+// reported by Err.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONLSink wraps w. The caller owns w's lifetime (and buffering).
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(ev Event) {
+	rec := jsonlEvent{
+		Type:    ev.Type,
+		Name:    ev.Name,
+		ID:      ev.ID,
+		Parent:  ev.Parent,
+		StartUS: ev.Start.UnixMicro(),
+		DurUS:   ev.Duration.Microseconds(),
+	}
+	if len(ev.Attrs) > 0 {
+		rec.Attrs = make(map[string]string, len(ev.Attrs))
+		for _, a := range ev.Attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		s.setErr(err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if _, err := s.w.Write(append(line, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+func (s *JSONLSink) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err reports the first write or encoding error, nil if none.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

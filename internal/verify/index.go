@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 
 	"arcs/internal/dataset"
 	"arcs/internal/grid"
+	"arcs/internal/obs"
 	"arcs/internal/rules"
 	"arcs/internal/stats"
 )
@@ -38,6 +40,30 @@ type Index struct {
 	crit       []int32   // per-tuple criterion category code
 
 	pool sync.Pool // *grid.Bitmap scratch masks, one slot grid each
+
+	// Observability hooks, set once via Observe before concurrent use.
+	// fastC/fallC count rules rasterized on the O(1) slot-grid fast path
+	// versus degraded to the O(rules) scan fallback; onFallback, when
+	// non-nil, receives each fallback rule with the reason its bounds
+	// were not boundary-aligned.
+	fastC, fallC *obs.Counter
+	onFallback   func(Fallback)
+}
+
+// Fallback describes one rule that could not use the slot-grid fast
+// path and forces the per-tuple rect-scan fallback: the rule, and which
+// of its edges are not binner boundary values.
+type Fallback struct {
+	Rule   rules.ClusteredRule
+	Reason string
+}
+
+// Observe attaches observability hooks: per-rule fast-path/fallback
+// counters (either may be nil) and an optional callback invoked for
+// every fallback rule with the reason it was non-boundary-aligned.
+// Observe must be called before the Index is used concurrently.
+func (ix *Index) Observe(fast, fallback *obs.Counter, onFallback func(Fallback)) {
+	ix.fastC, ix.fallC, ix.onFallback = fast, fallback, onFallback
 }
 
 // NewIndex pre-bins every row of tb. xBounds/yBounds are the sorted,
@@ -121,9 +147,14 @@ type Coverage struct {
 	ix       *Index
 	bm       *grid.Bitmap
 	fallback []rules.ClusteredRule
+	reasons  []string // parallel to fallback: why each rule degraded
 }
 
 // NewCoverage rasterizes the rule set onto a pooled slot-grid bitmap.
+// Rules whose edges are not boundary values are recorded (with the
+// offending edges), counted on the index's fallback counter, and
+// reported through the OnFallback hook — the degradation to O(rules)
+// scanning is never silent.
 func (ix *Index) NewCoverage(rs []rules.ClusteredRule) *Coverage {
 	bm := ix.pool.Get().(*grid.Bitmap)
 	bm.Reset()
@@ -134,9 +165,16 @@ func (ix *Index) NewCoverage(rs []rules.ClusteredRule) *Coverage {
 		ylo, ok3 := boundaryIndex(ix.yB, r.YLo)
 		yhi, ok4 := boundaryIndex(ix.yB, r.YHi)
 		if !ok1 || !ok2 || !ok3 || !ok4 {
+			reason := fallbackReason(r, ok1, ok2, ok3, ok4)
 			cv.fallback = append(cv.fallback, r)
+			cv.reasons = append(cv.reasons, reason)
+			ix.fallC.Inc()
+			if ix.onFallback != nil {
+				ix.onFallback(Fallback{Rule: r, Reason: reason})
+			}
 			continue
 		}
+		ix.fastC.Inc()
 		if xhi <= xlo || yhi <= ylo {
 			// Empty or inverted value range (permuted categorical bins
 			// produce these): Covers is identically false, so the rule
@@ -146,6 +184,37 @@ func (ix *Index) NewCoverage(rs []rules.ClusteredRule) *Coverage {
 		bm.FillRect(grid.Rect{R0: ylo, C0: xlo, R1: yhi - 1, C1: xhi - 1})
 	}
 	return cv
+}
+
+// fallbackReason names the rule edges whose values are absent from the
+// index's boundary arrays. Only hand-built rules can trigger this —
+// mined clusters take their bounds verbatim from the binners.
+func fallbackReason(r rules.ClusteredRule, xlo, xhi, ylo, yhi bool) string {
+	var bad []string
+	if !xlo {
+		bad = append(bad, fmt.Sprintf("x_lo=%g", r.XLo))
+	}
+	if !xhi {
+		bad = append(bad, fmt.Sprintf("x_hi=%g", r.XHi))
+	}
+	if !ylo {
+		bad = append(bad, fmt.Sprintf("y_lo=%g", r.YLo))
+	}
+	if !yhi {
+		bad = append(bad, fmt.Sprintf("y_hi=%g", r.YHi))
+	}
+	return "not a binner boundary: " + strings.Join(bad, ", ")
+}
+
+// Fallbacks returns the rules of this coverage that degraded to the
+// rect-scan fallback, each with the reason. Empty for purely mined rule
+// sets.
+func (cv *Coverage) Fallbacks() []Fallback {
+	out := make([]Fallback, len(cv.fallback))
+	for i, r := range cv.fallback {
+		out[i] = Fallback{Rule: r, Reason: cv.reasons[i]}
+	}
+	return out
 }
 
 // Release returns the coverage bitmap to the index's pool. The Coverage
