@@ -96,6 +96,10 @@ func main() {
 		}
 		observer = obs.New(sink)
 		obs.PublishExpvar("arcs", observer.Registry())
+		// Flush the final registry state into the trace before the sink
+		// closes (hooks run last-registered-first), so arcstrace sees the
+		// run's counters and histograms alongside its spans.
+		atExit(func() { observer.FlushMetrics() })
 		if *metricsOut != "" {
 			path := *metricsOut
 			atExit(func() {
@@ -274,9 +278,19 @@ func printTrace(res *core.Result, verbose bool) {
 		return
 	}
 	for _, s := range res.Trace {
-		fmt.Printf("  probe sup=%.5f conf=%.3f -> %d rules, cost %.2f\n",
-			s.Support, s.Confidence, s.NumRules, s.Cost)
+		note := s.Reason
+		if s.CacheHit {
+			note += ", cached"
+		}
+		if note != "" {
+			note = " (" + note + ")"
+		}
+		fmt.Printf("  probe sup=%.5f conf=%.3f -> %d rules, cost %.2f%s\n",
+			s.Support, s.Confidence, s.NumRules, s.Cost, note)
 	}
+	p := res.Provenance
+	fmt.Printf("  search: %d probes, %d accepted, %d zero-rules, %d no-improvement, %d cache hits\n",
+		p.Probes, p.Accepted, p.ZeroRules, p.NoImprovement, p.CacheHits)
 }
 
 // exitHooks run once, either on normal return from main (via defer) or

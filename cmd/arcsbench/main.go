@@ -29,6 +29,7 @@ import (
 	"log/slog"
 	"os"
 	"runtime"
+	"time"
 
 	"arcs/internal/experiments"
 	"arcs/internal/obs"
@@ -224,15 +225,14 @@ func main() {
 			return err
 		}
 		fmt.Print(experiments.RenderFeedbackLoop(report))
-		data, err := experiments.MarshalFeedbackLoop(report)
-		if err != nil {
-			return err
-		}
+		// Append to the trajectory rather than overwriting: the latest
+		// report stays readable at the top level, and every run lands in
+		// the history keyed by git SHA + timestamp.
 		const out = "BENCH_feedbackloop.json"
-		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		if err := experiments.AppendBenchReport(out, report, experiments.GitSHA(), time.Now()); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", out)
+		fmt.Printf("appended run to %s\n", out)
 		return nil
 	})
 

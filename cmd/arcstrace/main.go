@@ -1,0 +1,208 @@
+// Command arcstrace analyzes the JSONL span traces written by
+// `arcs -spans` and `arcsbench -spans`.
+//
+// Usage:
+//
+//	arcstrace summarize run.jsonl
+//	    Print the per-phase tree (call counts, total/self time, share of
+//	    the root) plus the trace's attached metrics snapshot.
+//
+//	arcstrace diff [-tolerance 20%] [-min-phase 5ms] [-min-count 16] old.jsonl new.jsonl
+//	    Compare aggregate phase times and counters between two traces and
+//	    exit non-zero when anything grew beyond the tolerance — the CI
+//	    perf gate.
+//
+//	arcstrace append [-bench BENCH_feedbackloop.json] run.jsonl
+//	    Fold the trace's phase timings into a BENCH_*.json trajectory as
+//	    one history record keyed by git SHA + timestamp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"arcs/internal/core"
+	"arcs/internal/experiments"
+	"arcs/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "summarize":
+		err = summarize(os.Args[2:])
+	case "diff":
+		err = diff(os.Args[2:])
+	case "append":
+		err = appendCmd(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "arcstrace: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arcstrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  arcstrace summarize run.jsonl
+  arcstrace diff [-tolerance 20%] [-min-phase 5ms] [-min-count 16] old.jsonl new.jsonl
+  arcstrace append [-bench BENCH_feedbackloop.json] run.jsonl
+`)
+}
+
+func readTrace(path string) (*obs.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadTrace(f)
+}
+
+func summarize(args []string) error {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("summarize wants exactly one trace file")
+	}
+	t, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := obs.WritePhaseTree(os.Stdout, t.PhaseTree()); err != nil {
+		return err
+	}
+	if len(t.Metrics) > 0 {
+		fmt.Println("\nmetrics:")
+		keys := make([]string, 0, len(t.Metrics))
+		for k := range t.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-50s %g\n", k, t.Metrics[k])
+		}
+	}
+	return nil
+}
+
+func diff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	tolerance := fs.String("tolerance", "20%", "allowed growth before a phase or counter regresses (e.g. 20% or 0.2)")
+	minPhase := fs.Duration("min-phase", 5*time.Millisecond, "ignore phases faster than this in both traces")
+	minCount := fs.Float64("min-count", 16, "ignore counters below this in both traces")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff wants exactly two trace files (old new)")
+	}
+	tol, err := parseTolerance(*tolerance)
+	if err != nil {
+		return err
+	}
+	oldT, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newT, err := readTrace(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	regs := obs.DiffTraces(oldT, newT, obs.DiffOptions{
+		Tolerance: tol, MinPhase: *minPhase, MinCount: *minCount,
+	})
+	if len(regs) == 0 {
+		fmt.Printf("no regressions beyond %s (%s vs %s)\n", *tolerance, fs.Arg(0), fs.Arg(1))
+		return nil
+	}
+	fmt.Printf("%d regression(s) beyond %s:\n", len(regs), *tolerance)
+	for _, r := range regs {
+		fmt.Println(" ", r)
+	}
+	os.Exit(1)
+	return nil
+}
+
+// parseTolerance accepts "20%" or a bare fraction like "0.2".
+func parseTolerance(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad tolerance %q: %w", s, err)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("tolerance must be non-negative, got %q", s)
+	}
+	return v, nil
+}
+
+func appendCmd(args []string) error {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	bench := fs.String("bench", "BENCH_feedbackloop.json", "trajectory file to append the record to")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("append wants exactly one trace file")
+	}
+	t, err := readTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rec := experiments.BenchRecord{
+		GitSHA:    experiments.GitSHA(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Tuples:    traceTuples(t),
+		Phases:    tracePhases(t),
+	}
+	if err := experiments.AppendBenchRecord(*bench, rec); err != nil {
+		return err
+	}
+	fmt.Printf("appended record for %s to %s (%d phases)\n", fs.Arg(0), *bench, len(rec.Phases))
+	return nil
+}
+
+// traceTuples pulls the tuple count from the init phase's bin span, the
+// one place the pipeline records the workload size.
+func traceTuples(t *obs.Trace) int {
+	for _, ev := range t.Events {
+		if ev.Type == obs.EventSpan && ev.Name == "bin" {
+			if n, err := strconv.Atoi(ev.Attr("tuples")); err == nil {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+// tracePhases flattens the trace's phase tree (two levels deep — the
+// top-level stages and their direct children) into name-path timings.
+func tracePhases(t *obs.Trace) []core.PhaseTiming {
+	var out []core.PhaseTiming
+	for _, root := range t.PhaseTree() {
+		out = append(out, core.PhaseTiming{Name: root.Name, Seconds: root.Total.Seconds()})
+		for _, c := range root.Children {
+			out = append(out, core.PhaseTiming{
+				Name:    root.Name + "/" + c.Name,
+				Seconds: c.Total.Seconds(),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package apriori
+
+import (
+	"strconv"
+	"testing"
+
+	"arcs/internal/obs"
+)
+
+func TestAprioriObsLevelSpans(t *testing.T) {
+	tb := binnedTable(t, [][]float64{
+		{1, 2, 3},
+		{1, 2, 3},
+		{1, 2, 4},
+		{1, 5, 3},
+	}, 3)
+	sink := &obs.MemSink{}
+	o := obs.New(sink)
+	rs, err := Mine(tb, Config{MinSupport: 0.5, MinConfidence: 0.5, Observer: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no rules mined")
+	}
+
+	levels := sink.Spans("apriori-level")
+	if len(levels) < 2 {
+		t.Fatalf("got %d level spans, want >= 2", len(levels))
+	}
+	roots := sink.Spans("apriori")
+	if len(roots) != 1 {
+		t.Fatalf("got %d apriori root spans, want 1", len(roots))
+	}
+	for _, lvl := range levels {
+		if lvl.Parent != roots[0].ID {
+			t.Fatalf("level span not nested under apriori root: %+v", lvl)
+		}
+		k, err := strconv.Atoi(lvl.Attr("level"))
+		if err != nil || k < 1 {
+			t.Fatalf("level span missing level attr: %+v", lvl.Attrs)
+		}
+		if lvl.Attr("candidates") == "" || lvl.Attr("pruned") == "" || lvl.Attr("frequent") == "" {
+			t.Fatalf("level span missing accounting attrs: %+v", lvl.Attrs)
+		}
+	}
+	if rules := sink.Spans("apriori-rules"); len(rules) != 1 || rules[0].Attr("rules") == "" {
+		t.Fatalf("apriori-rules span missing or unannotated: %+v", rules)
+	}
+
+	snap := o.Registry().Snapshot()
+	if snap.Counters["apriori_candidates_total"] == 0 {
+		t.Fatal("apriori_candidates_total not incremented")
+	}
+	if snap.Counters["apriori_frequent_total"] == 0 {
+		t.Fatal("apriori_frequent_total not incremented")
+	}
+	if got := snap.Counters["apriori_rules_total"]; got != int64(len(rs)) {
+		t.Fatalf("apriori_rules_total = %d, want %d", got, len(rs))
+	}
+
+	// The observer must not change the mining result.
+	plain, err := Mine(tb, Config{MinSupport: 0.5, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(rs) {
+		t.Fatalf("observer changed result: %d vs %d rules", len(rs), len(plain))
+	}
+}
+
+// TestAprioriObsDisabledZeroAlloc pins the nil-observer contract on the
+// Apriori path: the per-level accounting helper — the only
+// instrumentation the miner adds, called once per level outside the
+// per-tuple loops — is free when observability is off.
+func TestAprioriObsDisabledZeroAlloc(t *testing.T) {
+	var o *obs.Observer
+	span := o.Root("apriori")
+	allocs := testing.AllocsPerRun(1000, func() {
+		emitLevel(o, span.Child("apriori-level"), 2, 500, 100, 50)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled emitLevel allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -125,6 +125,30 @@ func (b *BinArray) Occupied(seg int, fn func(x, y int, segCount, cellTotal uint3
 	}
 }
 
+// Stats summarizes a built array's shape and footprint for the
+// observability layer.
+type Stats struct {
+	// Cells is nx*ny, the grid size.
+	Cells int
+	// OccupiedCells counts cells holding at least one tuple.
+	OccupiedCells int
+	// MemBytes is the size of the backing count array.
+	MemBytes int
+}
+
+// Stats scans the cell totals and reports occupancy and memory use.
+func (b *BinArray) Stats() Stats {
+	s := Stats{Cells: b.nx * b.ny, MemBytes: len(b.counts) * 4}
+	for x := 0; x < b.nx; x++ {
+		for y := 0; y < b.ny; y++ {
+			if b.CellTotal(x, y) > 0 {
+				s.OccupiedCells++
+			}
+		}
+	}
+	return s
+}
+
 // Reset zeroes all counts, allowing the array to be reused for another
 // pass without reallocating.
 func (b *BinArray) Reset() {

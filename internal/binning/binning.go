@@ -362,6 +362,23 @@ func (c *Categorical) Code(b int) int {
 	return c.inv[b]
 }
 
+// MethodName reports a stable identifier for a binner's strategy, used
+// to label binning metrics and span attributes per method.
+func MethodName(b Binner) string {
+	switch b.(type) {
+	case *EquiWidth:
+		return "equi-width"
+	case *EquiDepth:
+		return "equi-depth"
+	case *Homogeneity:
+		return "homogeneity"
+	case *Categorical:
+		return "categorical"
+	default:
+		return "unknown"
+	}
+}
+
 // Boundaries collects every boundary value a binner can produce — the
 // lo and hi of each bin's Bounds — sorted ascending with duplicates
 // removed. For the quantitative binners, whose bins tile the domain

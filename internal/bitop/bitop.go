@@ -32,6 +32,10 @@ type Options struct {
 	// MaxClusters bounds the number of clusters returned; zero means
 	// unbounded.
 	MaxClusters int
+	// Stats, when non-nil, accumulates the call's operation accounting
+	// (word ops, candidates, rounds, worker utilization). Nil costs
+	// nothing.
+	Stats *Stats
 }
 
 // Enumerate lists every candidate rectangle the mask sweep discovers,
@@ -39,35 +43,16 @@ type Options struct {
 // then emission order). The bitmap is not modified. Candidates may
 // overlap and nest; selection happens in Cluster.
 func Enumerate(bm *grid.Bitmap) []grid.Rect {
+	return enumerate(bm, nil)
+}
+
+func enumerate(bm *grid.Bitmap, st *Stats) []grid.Rect {
 	var out []grid.Rect
 	rows, cols := bm.Rows(), bm.Cols()
 	mask := make([]uint64, bm.WordsPerRow())
 	next := make([]uint64, bm.WordsPerRow())
 	for top := 0; top < rows; top++ {
-		bm.CopyRow(mask, top)
-		if grid.MaskEmpty(mask) {
-			continue
-		}
-		height := 1
-		alive := true
-		for r := top + 1; r < rows; r++ {
-			copy(next, mask)
-			bm.AndRow(next, r)
-			if !grid.MasksEqual(next, mask) {
-				// The mask is about to shrink: the runs of the prior
-				// mask are maximal-height rectangles anchored at top.
-				emitRuns(mask, cols, top, height, &out)
-				if grid.MaskEmpty(next) {
-					alive = false
-					break
-				}
-			}
-			copy(mask, next)
-			height++
-		}
-		if alive {
-			emitRuns(mask, cols, top, height, &out)
-		}
+		sweepAnchor(bm, top, rows, cols, mask, next, &out, st)
 	}
 	return out
 }
@@ -95,7 +80,8 @@ func Cluster(bm *grid.Bitmap, opts Options) []grid.Rect {
 		if opts.MaxClusters > 0 && len(clusters) >= opts.MaxClusters {
 			break
 		}
-		cands := Enumerate(work)
+		opts.Stats.addRound()
+		cands := enumerate(work, opts.Stats)
 		if len(cands) == 0 {
 			break
 		}

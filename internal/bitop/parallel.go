@@ -14,6 +14,10 @@ import (
 // Enumerate (candidates are merged back in anchor-row order).
 // workers <= 0 selects GOMAXPROCS.
 func EnumerateParallel(bm *grid.Bitmap, workers int) []grid.Rect {
+	return enumerateParallel(bm, workers, nil)
+}
+
+func enumerateParallel(bm *grid.Bitmap, workers int, st *Stats) []grid.Rect {
 	rows := bm.Rows()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -22,7 +26,7 @@ func EnumerateParallel(bm *grid.Bitmap, workers int) []grid.Rect {
 		workers = rows
 	}
 	if workers <= 1 {
-		return Enumerate(bm)
+		return enumerate(bm, st)
 	}
 	cols := bm.Cols()
 	perAnchor := make([][]grid.Rect, rows)
@@ -38,9 +42,14 @@ func EnumerateParallel(bm *grid.Bitmap, workers int) []grid.Rect {
 			defer wg.Done()
 			mask := make([]uint64, bm.WordsPerRow())
 			nextMask := make([]uint64, bm.WordsPerRow())
+			myRows := int64(0)
 			for top := range next {
-				perAnchor[top] = sweepAnchor(bm, top, rows, cols, mask, nextMask)
+				var rects []grid.Rect
+				sweepAnchor(bm, top, rows, cols, mask, nextMask, &rects, st)
+				perAnchor[top] = rects
+				myRows++
 			}
+			st.addWorkerRows(myRows)
 		}()
 	}
 	wg.Wait()
@@ -52,20 +61,29 @@ func EnumerateParallel(bm *grid.Bitmap, workers int) []grid.Rect {
 }
 
 // sweepAnchor runs the downward mask sweep for one anchor row, reusing
-// the caller's scratch masks.
-func sweepAnchor(bm *grid.Bitmap, top, rows, cols int, mask, next []uint64) []grid.Rect {
+// the caller's scratch masks and appending emitted rectangles to out.
+// Operation counts accumulate in local integers and flush into st once
+// per sweep, so the inner loop carries no atomic or branch cost beyond
+// two plain additions.
+func sweepAnchor(bm *grid.Bitmap, top, rows, cols int, mask, next []uint64, out *[]grid.Rect, st *Stats) {
+	wpr := int64(len(mask))
+	andOps, cmpOps := int64(0), wpr // initial MaskEmpty scan
 	bm.CopyRow(mask, top)
 	if grid.MaskEmpty(mask) {
-		return nil
+		st.addSweep(andOps, cmpOps, 0)
+		return
 	}
-	var out []grid.Rect
+	emitted := len(*out)
 	height := 1
 	alive := true
 	for r := top + 1; r < rows; r++ {
 		copy(next, mask)
 		bm.AndRow(next, r)
+		andOps += wpr
+		cmpOps += wpr
 		if !grid.MasksEqual(next, mask) {
-			emitRuns(mask, cols, top, height, &out)
+			emitRuns(mask, cols, top, height, out)
+			cmpOps += wpr
 			if grid.MaskEmpty(next) {
 				alive = false
 				break
@@ -75,9 +93,9 @@ func sweepAnchor(bm *grid.Bitmap, top, rows, cols int, mask, next []uint64) []gr
 		height++
 	}
 	if alive {
-		emitRuns(mask, cols, top, height, &out)
+		emitRuns(mask, cols, top, height, out)
 	}
-	return out
+	st.addSweep(andOps, cmpOps, int64(len(*out)-emitted))
 }
 
 // ClusterParallel is Cluster with the candidate enumeration of each
@@ -94,7 +112,8 @@ func ClusterParallel(bm *grid.Bitmap, opts Options, workers int) []grid.Rect {
 		if opts.MaxClusters > 0 && len(clusters) >= opts.MaxClusters {
 			break
 		}
-		cands := EnumerateParallel(work, workers)
+		opts.Stats.addRound()
+		cands := enumerateParallel(work, workers, opts.Stats)
 		if len(cands) == 0 {
 			break
 		}

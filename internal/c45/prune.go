@@ -93,13 +93,15 @@ func zForCF(cf float64) float64 {
 
 // prune applies pessimistic subtree replacement bottom-up: an internal
 // node becomes a leaf when the pessimistic error of the collapsed leaf
-// does not exceed the summed pessimistic errors of its children.
-func (t *Tree) prune(nd *Node) {
+// does not exceed the summed pessimistic errors of its children. It
+// returns the number of internal nodes collapsed.
+func (t *Tree) prune(nd *Node) int {
 	if nd.IsLeaf() {
-		return
+		return 0
 	}
+	collapsed := 0
 	for _, ch := range nd.Children {
-		t.prune(ch)
+		collapsed += t.prune(ch)
 	}
 	subtree := t.subtreeUpperError(nd)
 	asLeaf := upperErrorBound(nd.trainErrors(), nd.n(), t.cfg.CF)
@@ -107,7 +109,9 @@ func (t *Tree) prune(nd *Node) {
 		nd.Attr = -1
 		nd.Categorical = false
 		nd.Children = nil
+		collapsed++
 	}
+	return collapsed
 }
 
 // subtreeUpperError sums the pessimistic errors of the subtree's leaves.

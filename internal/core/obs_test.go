@@ -115,6 +115,80 @@ func TestObsCoreSpansAndMetrics(t *testing.T) {
 		t.Errorf("phase_probe_seconds count = %d, want %d", got, len(probes))
 	}
 
+	// Stage-level metrics lit up by the data-plane instrumentation:
+	// BitOp operation accounting, cluster geometry, MDL term breakdown
+	// and the bin-phase occupancy scan.
+	for _, name := range []string{
+		"bitop_and_word_ops_total", "bitop_cmp_word_ops_total",
+		"bitop_candidates_total", "bitop_rounds_total",
+	} {
+		if got := snap.Counters[name]; got <= 0 {
+			t.Errorf("%s = %d, want > 0", name, got)
+		}
+	}
+	for _, name := range []string{
+		"bin_cell_occupancy", "cluster_rect_area", "cluster_rect_width",
+		"cluster_rect_height", "mdl_cluster_term_bits", "mdl_error_term_bits",
+	} {
+		if got := snap.Histograms[name].Count; got <= 0 {
+			t.Errorf("histogram %s count = %d, want > 0", name, got)
+		}
+	}
+	for _, name := range []string{"binarray_mem_bytes", "bin_cells_total"} {
+		if got := snap.Gauges[name]; got <= 0 {
+			t.Errorf("gauge %s = %d, want > 0", name, got)
+		}
+	}
+
+	// The bin span carries the method and occupancy attributes.
+	bin := one("bin")
+	for _, attr := range []string{"method_x", "method_y", "empty_fraction", "occupied_cells"} {
+		if bin.Attr(attr) == "" {
+			t.Errorf("bin span missing %q attr", attr)
+		}
+	}
+	// The Figure 10 threshold structure is built exactly once per segment
+	// and announces its support-level count.
+	if th := one("thresholds"); th.Attr("supports") == "" || th.Attr("supports") == "0" {
+		t.Errorf("thresholds span supports attr = %q, want a positive count", th.Attr("supports"))
+	}
+	// Every cluster span carries the BitOp accounting attrs.
+	for _, sp := range sink.Spans("cluster") {
+		if sp.Attr("and_word_ops") == "" || sp.Attr("rounds") == "" {
+			t.Errorf("cluster span %d missing BitOp accounting attrs", sp.ID)
+		}
+	}
+
+	// Search provenance: one structured search.probe event per trace
+	// step, and the Result summary folds the trace's classifications.
+	var probeEvents []obs.Event
+	for _, ev := range sink.Events() {
+		if ev.Type == obs.EventInstant && ev.Name == "search.probe" {
+			probeEvents = append(probeEvents, ev)
+		}
+	}
+	if len(probeEvents) != len(res.Trace) {
+		t.Fatalf("%d search.probe events, want one per trace step (%d)", len(probeEvents), len(res.Trace))
+	}
+	for i, ev := range probeEvents {
+		for _, attr := range []string{"support", "confidence", "cost", "rules", "accepted", "reason", "cache_hit"} {
+			if ev.Attr(attr) == "" {
+				t.Errorf("search.probe event %d missing %q attr", i, attr)
+			}
+		}
+	}
+	p := res.Provenance
+	if p.Probes != res.Evaluations {
+		t.Errorf("Provenance.Probes = %d, want Evaluations %d", p.Probes, res.Evaluations)
+	}
+	if p.Accepted == 0 {
+		t.Error("Provenance.Accepted = 0, want at least the winning probe")
+	}
+	if p.Accepted+p.ZeroRules+p.NoImprovement != p.Probes {
+		t.Errorf("Provenance classifications %d+%d+%d != probes %d",
+			p.Accepted, p.ZeroRules, p.NoImprovement, p.Probes)
+	}
+
 	// A warm re-run adds hits but no new probe spans: every probe is
 	// answered from the cache without re-entering the pipeline.
 	res2, err := sys.Run()

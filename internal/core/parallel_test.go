@@ -10,12 +10,18 @@ import (
 )
 
 // stripCache zeroes the fields that legitimately differ between a cached
-// and an uncached run — cache stats and wall-clock phase timings —
-// leaving everything the search and pipeline produced.
+// and an uncached run — cache stats (aggregate, per-step and in the
+// provenance summary) and wall-clock phase timings — leaving everything
+// the search and pipeline produced.
 func stripCache(r *Result) *Result {
 	c := *r
 	c.Cache = CacheStats{}
 	c.Phases = nil
+	c.Provenance.CacheHits = 0
+	c.Trace = append([]optimizer.Step(nil), r.Trace...)
+	for i := range c.Trace {
+		c.Trace[i].CacheHit = false
+	}
 	return &c
 }
 

@@ -21,9 +21,9 @@ import (
 )
 
 // bitopCluster adapts the BitOp call for the pipeline, keeping the
-// presentation order stable.
-func bitopCluster(bm *grid.Bitmap, minArea int) []grid.Rect {
-	rects := bitop.Cluster(bm, bitop.Options{MinArea: minArea})
+// presentation order stable. A nil st disables operation accounting.
+func bitopCluster(bm *grid.Bitmap, minArea int, st *bitop.Stats) []grid.Rect {
+	rects := bitop.Cluster(bm, bitop.Options{MinArea: minArea, Stats: st})
 	bitop.SortRects(rects)
 	return rects
 }
@@ -48,6 +48,10 @@ type Result struct {
 	// Cache reports how many of this run's probes were answered by the
 	// System's memoized probe cache versus computed fresh.
 	Cache CacheStats
+	// Provenance summarizes the search trace: how many probes the
+	// strategy issued, how they were classified, and how many were
+	// answered from the probe cache.
+	Provenance Provenance
 	// Phases are the wall-clock durations of the run's top-level stages
 	// (search, mine-final, verify-final), in execution order. Always
 	// populated — the three time stamps cost nothing — so reports and
@@ -59,6 +63,45 @@ type Result struct {
 type PhaseTiming struct {
 	Name    string  `json:"name"`
 	Seconds float64 `json:"seconds"`
+}
+
+// Provenance is the per-run summary of the threshold search: every probe
+// the strategy issued, classified by outcome. It condenses Result.Trace
+// into the numbers reports and regressions care about.
+type Provenance struct {
+	// Probes is the number of trace steps (== Result.Evaluations for the
+	// built-in strategies).
+	Probes int `json:"probes"`
+	// Accepted counts probes that displaced the incumbent best.
+	Accepted int `json:"accepted"`
+	// ZeroRules counts probes whose segmentation produced no rules.
+	ZeroRules int `json:"zero_rules"`
+	// NoImprovement counts probes that produced rules but lost to the
+	// incumbent.
+	NoImprovement int `json:"no_improvement"`
+	// CacheHits counts probes answered from the memoized probe cache,
+	// as seen by the optimizer's batch path.
+	CacheHits int `json:"cache_hits"`
+}
+
+// summarizeProvenance folds a search trace into its Provenance counts.
+func summarizeProvenance(trace []optimizer.Step) Provenance {
+	p := Provenance{Probes: len(trace)}
+	for _, st := range trace {
+		if st.Accepted {
+			p.Accepted++
+		}
+		switch st.Reason {
+		case optimizer.ReasonZeroRules:
+			p.ZeroRules++
+		case optimizer.ReasonNoImprovement:
+			p.NoImprovement++
+		}
+		if st.CacheHit {
+			p.CacheHits++
+		}
+	}
+	return p
 }
 
 // timed runs fn as one top-level phase: it is appended to *phases,
@@ -100,11 +143,14 @@ func (s *System) thresholdsFor(seg int) (*engine.Thresholds, error) {
 	if th, ok := s.thresholds[seg]; ok {
 		return th, nil
 	}
+	tsp := s.obs.Root("thresholds", obs.Int("seg", seg))
 	th, err := engine.NewThresholds(s.ba, seg)
 	if err != nil {
+		tsp.End(obs.Str("error", err.Error()))
 		return nil, err
 	}
 	s.thresholds[seg] = th
+	tsp.End(obs.Int("supports", len(th.Supports())))
 	return th, nil
 }
 
@@ -155,20 +201,22 @@ func (o *segObjective) ConfidenceLevels(support float64) ([]float64, error) {
 // probe cache: concurrent and repeated requests for the same
 // (seg, support, confidence) run the pipeline exactly once.
 func (o *segObjective) Evaluate(minSup, minConf float64) (float64, int, error) {
-	return o.evaluate(o.span, minSup, minConf)
+	cost, n, _, err := o.evaluate(o.span, minSup, minConf)
+	return cost, n, err
 }
 
 // evaluate is Evaluate with an explicit parent span for probe-level
-// observability (the batch path nests probes under the batch span).
+// observability (the batch path nests probes under the batch span) and
+// the cache-hit flag exposed for search provenance.
 // With observability off this path performs zero allocations beyond the
 // probe pipeline itself — the allocation test in obs_test.go enforces
 // that for the warm-cache case.
-func (o *segObjective) evaluate(parent obs.Span, minSup, minConf float64) (float64, int, error) {
+func (o *segObjective) evaluate(parent obs.Span, minSup, minConf float64) (float64, int, bool, error) {
 	s := o.sys
 	if s.cfg.DisableProbeCache {
 		cost, n, err := s.evaluateProbe(parent, o.seg, minSup, minConf)
 		o.misses.Add(1)
-		return cost, n, err
+		return cost, n, false, err
 	}
 	cost, n, hit, err := s.probes.do(s, parent, probeKey{seg: o.seg, sup: minSup, conf: minConf})
 	if hit {
@@ -176,7 +224,7 @@ func (o *segObjective) evaluate(parent obs.Span, minSup, minConf float64) (float
 	} else {
 		o.misses.Add(1)
 	}
-	return cost, n, err
+	return cost, n, hit, err
 }
 
 // EvaluateBatch implements optimizer.ObjectiveBatch: the probes are
@@ -200,7 +248,7 @@ func (o *segObjective) EvaluateBatch(probes []optimizer.Probe) []optimizer.Probe
 	o.sys.mPoolWork.Set(int64(workers))
 	if workers <= 1 {
 		for i, p := range probes {
-			out[i].Cost, out[i].NumRules, out[i].Err = o.evaluate(sp, p.Support, p.Confidence)
+			out[i].Cost, out[i].NumRules, out[i].CacheHit, out[i].Err = o.evaluate(sp, p.Support, p.Confidence)
 		}
 		sp.End()
 		return out
@@ -218,7 +266,7 @@ func (o *segObjective) EvaluateBatch(probes []optimizer.Probe) []optimizer.Probe
 			for i := range next {
 				o.sys.mQueueDepth.Set(int64(len(next)))
 				p := probes[i]
-				out[i].Cost, out[i].NumRules, out[i].Err = o.evaluate(sp, p.Support, p.Confidence)
+				out[i].Cost, out[i].NumRules, out[i].CacheHit, out[i].Err = o.evaluate(sp, p.Support, p.Confidence)
 			}
 		}()
 	}
@@ -278,8 +326,14 @@ func (s *System) evaluateProbe(parent obs.Span, seg int, minSup, minConf float64
 		scale = float64(s.sample.Len()) / float64(k)
 	}
 	msp := sp.Child("mdl")
-	cost, err := mdl.Cost(len(rs), meanErrors*scale, s.cfg.Weights)
-	msp.End()
+	bd, err := mdl.CostBreakdown(len(rs), meanErrors*scale, s.cfg.Weights)
+	cost := bd.Total
+	if err == nil && s.obs.Enabled() {
+		s.mMDLCluster.Observe(bd.ClusterTerm)
+		s.mMDLError.Observe(bd.ErrorTerm)
+	}
+	msp.End(obs.Float("cluster_term", bd.ClusterTerm),
+		obs.Float("error_term", bd.ErrorTerm))
 	if err != nil {
 		sp.End()
 		return 0, 0, err
@@ -328,6 +382,7 @@ func (s *System) RunValue(label string) (*Result, error) {
 				Trace: []optimizer.Step{{
 					Support: s.cfg.FixedMinSupport, Confidence: s.cfg.FixedMinConfidence,
 					Cost: cost, NumRules: n,
+					Accepted: true, Reason: optimizer.ReasonFixed,
 				}},
 			}
 			return nil
@@ -349,6 +404,7 @@ func (s *System) RunValue(label string) (*Result, error) {
 		root.End()
 		return nil, serr
 	}
+	s.annotateSearchTrace(best.Trace)
 
 	var finalRules []rules.ClusteredRule
 	if err := s.timed(root, &phases, "mine-final", func(sp obs.Span) error {
@@ -375,8 +431,40 @@ func (s *System) RunValue(label string) (*Result, error) {
 		Evaluations:   best.Evaluations,
 		Trace:         best.Trace,
 		Cache:         obj.cacheStats(),
+		Provenance:    summarizeProvenance(best.Trace),
 		Phases:        phases,
 	}, nil
+}
+
+// annotateSearchTrace replays the finished search trace into the span
+// stream as structured "search.probe" events — one per probe, carrying
+// the thresholds tried, the MDL cost, the accept/reject classification
+// and whether the probe cache answered it. Emitted after the search so
+// the hot probe path stays allocation-free; a disabled observer skips
+// the whole replay.
+func (s *System) annotateSearchTrace(trace []optimizer.Step) {
+	if !s.obs.Enabled() {
+		return
+	}
+	for i, st := range trace {
+		accepted := "false"
+		if st.Accepted {
+			accepted = "true"
+		}
+		hit := "false"
+		if st.CacheHit {
+			hit = "true"
+		}
+		s.obs.Annotate("search.probe",
+			obs.Int("step", i),
+			obs.Float("support", st.Support),
+			obs.Float("confidence", st.Confidence),
+			obs.Float("cost", st.Cost),
+			obs.Int("rules", st.NumRules),
+			obs.Str("accepted", accepted),
+			obs.Str("reason", st.Reason),
+			obs.Str("cache_hit", hit))
+	}
 }
 
 // SegmentAll runs the feedback loop for every value of the criterion

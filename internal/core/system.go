@@ -11,6 +11,7 @@ import (
 
 	"arcs/internal/binarray"
 	"arcs/internal/binning"
+	"arcs/internal/bitop"
 	"arcs/internal/cluster"
 	"arcs/internal/dataset"
 	"arcs/internal/engine"
@@ -51,6 +52,18 @@ type System struct {
 	mBatchSize  *obs.Histogram
 	mQueueDepth *obs.Gauge
 	mPoolWork   *obs.Gauge
+	// Stage-level handles: BitOp operation accounting, cluster geometry
+	// and MDL term breakdown, observed on every probe and final mine.
+	mBitopAnd    *obs.Counter
+	mBitopCmp    *obs.Counter
+	mBitopCand   *obs.Counter
+	mBitopRounds *obs.Counter
+	mWorkerRows  *obs.Histogram
+	mRectArea    *obs.Histogram
+	mRectWidth   *obs.Histogram
+	mRectHeight  *obs.Histogram
+	mMDLCluster  *obs.Histogram
+	mMDLError    *obs.Histogram
 
 	// mu guards the thresholds cache; everything else is read-only
 	// after New, so concurrent RunValue calls are safe.
@@ -75,6 +88,16 @@ func New(src dataset.Source, cfg Config) (*System, error) {
 	s.mBatchSize = reg.HistogramBuckets("probe_batch_size", obs.SizeBuckets)
 	s.mQueueDepth = reg.Gauge("pool_queue_depth")
 	s.mPoolWork = reg.Gauge("pool_workers")
+	s.mBitopAnd = reg.Counter("bitop_and_word_ops_total")
+	s.mBitopCmp = reg.Counter("bitop_cmp_word_ops_total")
+	s.mBitopCand = reg.Counter("bitop_candidates_total")
+	s.mBitopRounds = reg.Counter("bitop_rounds_total")
+	s.mWorkerRows = reg.HistogramBuckets("bitop_worker_rows", obs.SizeBuckets)
+	s.mRectArea = reg.HistogramBuckets("cluster_rect_area", obs.SizeBuckets)
+	s.mRectWidth = reg.HistogramBuckets("cluster_rect_width", obs.SizeBuckets)
+	s.mRectHeight = reg.HistogramBuckets("cluster_rect_height", obs.SizeBuckets)
+	s.mMDLCluster = reg.HistogramBuckets("mdl_cluster_term_bits", obs.SizeBuckets)
+	s.mMDLError = reg.HistogramBuckets("mdl_error_term_bits", obs.SizeBuckets)
 	init := s.obs.Root("init",
 		obs.Str("x_attr", cfg.XAttr), obs.Str("y_attr", cfg.YAttr),
 		obs.Str("crit_attr", cfg.CritAttr))
@@ -119,9 +142,41 @@ func New(src dataset.Source, cfg Config) (*System, error) {
 	if s.ba.N() == 0 {
 		return nil, fmt.Errorf("core: source yielded no tuples")
 	}
-	sp.End(obs.Int("tuples", int(s.ba.N())),
-		obs.Int("grid_x", s.ba.NX()), obs.Int("grid_y", s.ba.NY()),
-		obs.Int("segments", nseg))
+	if s.obs.Enabled() {
+		// Bin-phase metrics: occupancy distribution, empty-bin fraction and
+		// the BinArray's memory footprint. The cell scan runs once per New,
+		// never on the probe path.
+		bst := s.ba.Stats()
+		occ := reg.HistogramBuckets("bin_cell_occupancy", obs.SizeBuckets)
+		for y := 0; y < s.ba.NY(); y++ {
+			for x := 0; x < s.ba.NX(); x++ {
+				if n := s.ba.CellTotal(x, y); n > 0 {
+					occ.Observe(float64(n))
+				}
+			}
+		}
+		reg.Gauge("binarray_mem_bytes").Set(int64(bst.MemBytes))
+		reg.Gauge("bin_cells_total").Set(int64(bst.Cells))
+		reg.Gauge("bin_cells_empty").Set(int64(bst.Cells - bst.OccupiedCells))
+		emptyFrac := 0.0
+		if bst.Cells > 0 {
+			emptyFrac = float64(bst.Cells-bst.OccupiedCells) / float64(bst.Cells)
+		}
+		sp.End(obs.Int("tuples", int(s.ba.N())),
+			obs.Int("grid_x", s.ba.NX()), obs.Int("grid_y", s.ba.NY()),
+			obs.Int("segments", nseg),
+			obs.Str("method_x", binning.MethodName(s.xb)),
+			obs.Str("method_y", binning.MethodName(s.yb)),
+			obs.Int("boundaries_x", len(binning.Boundaries(s.xb))),
+			obs.Int("boundaries_y", len(binning.Boundaries(s.yb))),
+			obs.Int("occupied_cells", bst.OccupiedCells),
+			obs.Float("empty_fraction", emptyFrac),
+			obs.Int("mem_bytes", bst.MemBytes))
+	} else {
+		sp.End(obs.Int("tuples", int(s.ba.N())),
+			obs.Int("grid_x", s.ba.NX()), obs.Int("grid_y", s.ba.NY()),
+			obs.Int("segments", nseg))
+	}
 
 	if *cfg.ReorderCategorical && (s.xCat || s.yCat) {
 		sp = init.Child("reorder")
@@ -464,9 +519,27 @@ func (s *System) mineAtSeg(parent obs.Span, seg int, minSup, minConf float64) ([
 			minArea = 1
 		}
 	}
-	sp = parent.Child("cluster", obs.Int("min_area", minArea))
+	sp = parent.Child("cluster", obs.Int("min_area", minArea), obs.Int("seg", seg))
+	var st *bitop.Stats
+	if s.obs.Enabled() {
+		st = &bitop.Stats{}
+	}
 	var rects []grid.Rect
-	s.labeled("cluster", func() { rects = bitopCluster(bm, minArea) })
+	s.labeled("cluster", func() { rects = bitopCluster(bm, minArea, st) })
+	if st != nil {
+		s.mBitopAnd.Add(st.AndWordOps())
+		s.mBitopCmp.Add(st.CmpWordOps())
+		s.mBitopCand.Add(st.Candidates())
+		s.mBitopRounds.Add(st.Rounds())
+		for _, rows := range st.WorkerRows() {
+			s.mWorkerRows.Observe(float64(rows))
+		}
+		for _, r := range rects {
+			s.mRectArea.Observe(float64(r.Area()))
+			s.mRectWidth.Observe(float64(r.Width()))
+			s.mRectHeight.Observe(float64(r.Height()))
+		}
+	}
 	meta := cluster.Meta{
 		XAttr: s.cfg.XAttr, YAttr: s.cfg.YAttr,
 		CritAttr:  s.cfg.CritAttr,
@@ -487,6 +560,14 @@ func (s *System) mineAtSeg(parent obs.Span, seg int, minSup, minConf float64) ([
 			kept = append(kept, r)
 		}
 	}
-	sp.End(obs.Int("rects", len(rects)), obs.Int("rules", len(kept)))
+	if st != nil {
+		sp.End(obs.Int("rects", len(rects)), obs.Int("rules", len(kept)),
+			obs.Int("and_word_ops", int(st.AndWordOps())),
+			obs.Int("cmp_word_ops", int(st.CmpWordOps())),
+			obs.Int("candidates", int(st.Candidates())),
+			obs.Int("rounds", int(st.Rounds())))
+	} else {
+		sp.End(obs.Int("rects", len(rects)), obs.Int("rules", len(kept)))
+	}
 	return kept, nil
 }

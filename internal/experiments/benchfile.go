@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"arcs/internal/core"
+)
+
+// BenchRecord is one appended run in a BENCH_*.json trajectory, keyed by
+// git SHA and timestamp so successive CI runs accumulate into a history
+// instead of overwriting each other.
+type BenchRecord struct {
+	// GitSHA is the short commit hash the run was built from, when
+	// discoverable.
+	GitSHA string `json:"git_sha,omitempty"`
+	// Timestamp is the run's wall-clock time, RFC 3339.
+	Timestamp string `json:"timestamp"`
+	// Tuples and Workers mirror the report's workload parameters.
+	Tuples  int `json:"tuples,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Phases holds per-phase wall-clock timings. Records appended from a
+	// feedbackloop report use the batched-cold variant's phases; records
+	// appended from a span trace (arcstrace append) use the trace's
+	// aggregated phase paths.
+	Phases []core.PhaseTiming `json:"phases,omitempty"`
+	// Variants carries the full per-variant measurements for records
+	// appended from a feedbackloop report.
+	Variants []FeedbackLoopVariant `json:"variants,omitempty"`
+}
+
+// BenchFile is the on-disk schema of BENCH_*.json: the latest report's
+// fields stay readable at the top level (inlined, so consumers of the
+// old single-report schema keep working), and History accumulates one
+// record per run. The embedded report is nil — and its fields absent —
+// in trajectories built purely from appended records.
+type BenchFile struct {
+	*FeedbackLoopReport
+	History []BenchRecord `json:"history,omitempty"`
+}
+
+// ReadBenchFile loads a BENCH_*.json file. A missing file yields an
+// empty BenchFile; files written by the old single-report schema parse
+// with an empty History.
+func ReadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &BenchFile{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("experiments: parsing %s: %w", path, err)
+	}
+	return &bf, nil
+}
+
+// WriteBenchFile writes the bench file as indented JSON.
+func WriteBenchFile(path string, bf *BenchFile) error {
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// AppendBenchReport installs r as the file's top-level latest report and
+// appends a history record derived from it, preserving prior history.
+func AppendBenchReport(path string, r *FeedbackLoopReport, gitSHA string, now time.Time) error {
+	bf, err := ReadBenchFile(path)
+	if err != nil {
+		return err
+	}
+	rec := BenchRecord{
+		GitSHA:    gitSHA,
+		Timestamp: now.UTC().Format(time.RFC3339),
+		Tuples:    r.Tuples,
+		Workers:   r.Workers,
+		Variants:  r.Variants,
+	}
+	for _, v := range r.Variants {
+		if v.Name == "batched-cold" {
+			rec.Phases = v.Phases
+		}
+	}
+	bf.FeedbackLoopReport = r
+	bf.History = append(bf.History, rec)
+	return WriteBenchFile(path, bf)
+}
+
+// AppendBenchRecord appends a pre-built record to the file's history,
+// leaving the top-level latest report untouched (used by arcstrace to
+// fold a span trace into a trajectory).
+func AppendBenchRecord(path string, rec BenchRecord) error {
+	bf, err := ReadBenchFile(path)
+	if err != nil {
+		return err
+	}
+	bf.History = append(bf.History, rec)
+	return WriteBenchFile(path, bf)
+}
+
+// GitSHA returns the short commit hash of the working tree, or "" when
+// git is unavailable (detached environments, release tarballs).
+func GitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

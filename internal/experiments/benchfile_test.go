@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"arcs/internal/core"
+)
+
+func benchReport(tuples int, secs float64) *FeedbackLoopReport {
+	return &FeedbackLoopReport{
+		Experiment: "feedbackloop",
+		Tuples:     tuples,
+		Workers:    4,
+		Identical:  true,
+		Variants: []FeedbackLoopVariant{
+			{Name: "sequential", Seconds: secs * 2, Probes: 32},
+			{Name: "batched-cold", Seconds: secs, Probes: 32,
+				Phases: []core.PhaseTiming{{Name: "search", Seconds: secs * 0.9}}},
+		},
+	}
+}
+
+// TestBenchFileAppendAccumulates: successive reports append history
+// records instead of overwriting, and the latest report stays readable
+// at the top level.
+func TestBenchFileAppendAccumulates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_feedbackloop.json")
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	if err := AppendBenchReport(path, benchReport(20_000, 0.5), "aaaa111", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendBenchReport(path, benchReport(20_000, 0.4), "bbbb222", t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	bf, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.FeedbackLoopReport == nil || bf.Experiment != "feedbackloop" {
+		t.Fatalf("latest report not readable at top level: %+v", bf.FeedbackLoopReport)
+	}
+	if got := bf.Variants[1].Seconds; got != 0.4 {
+		t.Errorf("top-level latest batched-cold seconds = %g, want the second run's 0.4", got)
+	}
+	if len(bf.History) != 2 {
+		t.Fatalf("history has %d records, want 2", len(bf.History))
+	}
+	if bf.History[0].GitSHA != "aaaa111" || bf.History[1].GitSHA != "bbbb222" {
+		t.Errorf("history SHAs = %q, %q", bf.History[0].GitSHA, bf.History[1].GitSHA)
+	}
+	if bf.History[0].Timestamp != "2026-08-05T12:00:00Z" {
+		t.Errorf("history timestamp = %q, want RFC3339 UTC", bf.History[0].Timestamp)
+	}
+	if len(bf.History[0].Phases) == 0 || bf.History[0].Phases[0].Name != "search" {
+		t.Errorf("history record missing batched-cold phases: %+v", bf.History[0].Phases)
+	}
+}
+
+// TestBenchFileOldSchemaUpgrade: a file written by the pre-trajectory
+// schema (a bare report) reads back with the report intact and gains a
+// history on the next append.
+func TestBenchFileOldSchemaUpgrade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_feedbackloop.json")
+	data, err := MarshalFeedbackLoop(benchReport(50_000, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.FeedbackLoopReport == nil || bf.Tuples != 50_000 {
+		t.Fatalf("old-schema report not parsed: %+v", bf.FeedbackLoopReport)
+	}
+	if len(bf.History) != 0 {
+		t.Fatalf("old-schema file has %d history records, want 0", len(bf.History))
+	}
+	if err := AppendBenchReport(path, benchReport(50_000, 0.8), "cccc333", time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	bf, err = ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.History) != 1 {
+		t.Errorf("upgraded file has %d history records, want 1", len(bf.History))
+	}
+}
+
+// TestBenchFileRecordOnlyAppend: appending a bare record (the arcstrace
+// path) to a missing file creates a history-only trajectory with no
+// zero-value report at the top level.
+func TestBenchFileRecordOnlyAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trace.json")
+	rec := BenchRecord{Timestamp: "2026-08-05T00:00:00Z", Tuples: 9,
+		Phases: []core.PhaseTiming{{Name: "run", Seconds: 0.1}}}
+	if err := AppendBenchRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.FeedbackLoopReport != nil {
+		t.Errorf("record-only file grew a latest report: %+v", bf.FeedbackLoopReport)
+	}
+	if len(bf.History) != 1 || bf.History[0].Tuples != 9 {
+		t.Fatalf("history = %+v, want the one appended record", bf.History)
+	}
+}

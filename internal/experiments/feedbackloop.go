@@ -107,6 +107,9 @@ func FeedbackLoop(n, workers int, sink obs.Sink) (*FeedbackLoopReport, error) {
 	}
 	warm.Name = "batched-warm"
 
+	// Flush the registry into the trace before snapshotting, so a JSONL
+	// sink carries the final counter/histogram state for arcstrace diff.
+	observer.FlushMetrics()
 	report := &FeedbackLoopReport{
 		Experiment: "feedbackloop",
 		Tuples:     n,

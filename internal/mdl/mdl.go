@@ -35,21 +35,45 @@ func (w Weights) validate() error {
 	return nil
 }
 
+// Breakdown splits an MDL cost into its two terms: the model-description
+// term wc·log2(|C|) and the data-description term we·log2(errors). The
+// observability layer reports both so a run shows whether the search is
+// trading clusters for errors or vice versa.
+type Breakdown struct {
+	// Total is ClusterTerm + ErrorTerm, identical to Cost's result.
+	Total float64
+	// ClusterTerm is wc·log2(numClusters) — the cost of the model.
+	ClusterTerm float64
+	// ErrorTerm is we·log2(errors) — the cost of the exceptions.
+	ErrorTerm float64
+}
+
 // Cost computes the MDL cost of a segmentation with numClusters clusters
 // and the given summed error count. Zero clusters or zero errors
 // contribute zero bits (log2 is guarded), so a perfect one-cluster
 // segmentation costs 0.
 func Cost(numClusters int, errors float64, w Weights) (float64, error) {
+	b, err := CostBreakdown(numClusters, errors, w)
+	return b.Total, err
+}
+
+// CostBreakdown is Cost with the per-term decomposition exposed.
+func CostBreakdown(numClusters int, errors float64, w Weights) (Breakdown, error) {
 	if err := w.validate(); err != nil {
-		return 0, err
+		return Breakdown{}, err
 	}
 	if numClusters < 0 {
-		return 0, fmt.Errorf("mdl: negative cluster count %d", numClusters)
+		return Breakdown{}, fmt.Errorf("mdl: negative cluster count %d", numClusters)
 	}
 	if errors < 0 {
-		return 0, fmt.Errorf("mdl: negative error count %g", errors)
+		return Breakdown{}, fmt.Errorf("mdl: negative error count %g", errors)
 	}
-	return w.Clusters*stats.Log2(float64(numClusters)) + w.Errors*stats.Log2(errors), nil
+	b := Breakdown{
+		ClusterTerm: w.Clusters * stats.Log2(float64(numClusters)),
+		ErrorTerm:   w.Errors * stats.Log2(errors),
+	}
+	b.Total = b.ClusterTerm + b.ErrorTerm
+	return b, nil
 }
 
 // Better reports whether cost a improves on cost b by more than epsilon —

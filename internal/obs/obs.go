@@ -164,6 +164,39 @@ func (s Span) End(attrs ...Attr) {
 	})
 }
 
+// FlushMetrics emits one EventMetrics record carrying the registry's
+// current snapshot into the sink, with counters as "counter.<name>"
+// attributes, gauges as "gauge.<name>", and each histogram's count and
+// sum as "hist.<name>.count" / "hist.<name>.sum". Commands call it once
+// before closing a trace sink so `arcstrace diff` can compare counters
+// across runs. No-op on the disabled observer or without a sink.
+func (o *Observer) FlushMetrics() {
+	if o == nil || o.sink == nil {
+		return
+	}
+	snap := o.reg.Snapshot()
+	attrs := make([]Attr, 0, len(snap.Counters)+len(snap.Gauges)+2*len(snap.Histograms))
+	for _, name := range sortedKeys(snap.Counters) {
+		attrs = append(attrs, Attr{Key: "counter." + name, Value: strconv.FormatInt(snap.Counters[name], 10)})
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		attrs = append(attrs, Attr{Key: "gauge." + name, Value: strconv.FormatInt(snap.Gauges[name], 10)})
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		attrs = append(attrs,
+			Attr{Key: "hist." + name + ".count", Value: strconv.FormatInt(h.Count, 10)},
+			Attr{Key: "hist." + name + ".sum", Value: strconv.FormatFloat(h.Sum, 'g', -1, 64)})
+	}
+	o.sink.Emit(Event{
+		Type:  EventMetrics,
+		Name:  "registry",
+		ID:    o.ids.Add(1),
+		Start: time.Now(),
+		Attrs: attrs,
+	})
+}
+
 // PublishExpvar exposes the registry's live snapshot as an expvar
 // variable, visible on /debug/vars whenever an HTTP server is serving
 // the default mux. Publishing an already-published name is a no-op

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 	"sync"
@@ -13,8 +14,13 @@ import (
 // nil-safe: a nil *Counter/*Gauge/*Histogram (as handed out by a nil
 // Registry) silently discards updates, so instrumented code never
 // branches on whether observability is on.
+//
+// Lookups are read-mostly: after the first access a name only ever
+// needs a shared read lock, so concurrent workers (e.g. the BitOp pool
+// re-resolving handles per round) never serialize on the registry.
+// Creation takes the write lock and re-checks under it.
 type Registry struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -35,10 +41,15 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
+	if c, ok = r.counters[name]; !ok {
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -50,10 +61,15 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
-	if !ok {
+	if g, ok = r.gauges[name]; !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -84,10 +100,15 @@ func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.hists[name]
-	if !ok {
+	if h, ok = r.hists[name]; !ok {
 		h = newHistogram(bounds)
 		r.hists[name] = h
 	}
@@ -235,10 +256,44 @@ type HistogramSnapshot struct {
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
+// MarshalJSON keeps the snapshot JSON-serializable even when NaN or
+// ±Inf values were observed (encoding/json rejects non-finite floats):
+// NaN encodes as 0 and ±Inf clamps to ±MaxFloat64. WritePrometheus
+// renders the raw values instead — the text exposition format supports
+// NaN and +Inf natively.
+func (h HistogramSnapshot) MarshalJSON() ([]byte, error) {
+	type alias HistogramSnapshot // drops the method, avoiding recursion
+	a := alias(h)
+	a.Sum, a.Min, a.Max = jsonSafe(a.Sum), jsonSafe(a.Min), jsonSafe(a.Max)
+	return json.Marshal(a)
+}
+
+// jsonSafe maps a non-finite float to its nearest JSON-encodable value.
+func jsonSafe(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
+}
+
 // Bucket is one cumulative histogram bucket: observations <= UpperBound.
 type Bucket struct {
 	UpperBound float64 `json:"le"`
 	Count      int64   `json:"count"`
+}
+
+// MarshalJSON clamps a non-finite upper bound (legal in custom bucket
+// layouts) the same way HistogramSnapshot does.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	type alias Bucket
+	a := alias(b)
+	a.UpperBound = jsonSafe(a.UpperBound)
+	return json.Marshal(a)
 }
 
 // Mean is the average observed value, 0 when empty.
@@ -260,8 +315,8 @@ func (r *Registry) Snapshot() *Snapshot {
 	if r == nil {
 		return s
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
 	}

@@ -13,6 +13,10 @@ const (
 	EventSpan = "span"
 	// EventInstant is a point annotation with no duration.
 	EventInstant = "event"
+	// EventMetrics is a registry snapshot flushed into the trace
+	// (counters and gauges flattened to attributes), emitted once at the
+	// end of a run so trace analyzers can diff counters across runs.
+	EventMetrics = "metrics"
 )
 
 // Event is one trace record: a finished span or an instant annotation.
@@ -42,17 +46,36 @@ type Sink interface {
 	Emit(Event)
 }
 
-// MemSink buffers every event in memory, for tests and small runs.
+// MemSink buffers events in memory, for tests and small runs. Cap, when
+// positive, bounds the buffer: once full, further events are discarded
+// and counted instead of retained, so a long instrumented run cannot
+// grow the observer without limit. Set Cap before the first Emit.
 type MemSink struct {
-	mu     sync.Mutex
-	events []Event
+	// Cap is the maximum number of events retained; zero or negative
+	// means unbounded.
+	Cap int
+
+	mu      sync.Mutex
+	events  []Event
+	dropped int64
 }
 
 // Emit implements Sink.
 func (m *MemSink) Emit(ev Event) {
 	m.mu.Lock()
-	m.events = append(m.events, ev)
+	if m.Cap > 0 && len(m.events) >= m.Cap {
+		m.dropped++
+	} else {
+		m.events = append(m.events, ev)
+	}
 	m.mu.Unlock()
+}
+
+// Dropped reports how many events the cap discarded.
+func (m *MemSink) Dropped() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
 }
 
 // Events returns a copy of everything emitted so far.

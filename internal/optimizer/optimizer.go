@@ -52,6 +52,10 @@ type ProbeResult struct {
 	Cost     float64
 	NumRules int
 	Err      error
+	// CacheHit reports whether the objective answered the probe from a
+	// memoized cache rather than running the pipeline. Objectives that
+	// do not memoize leave it false.
+	CacheHit bool
 }
 
 // ObjectiveBatch is an Objective that can evaluate several independent
@@ -88,11 +92,34 @@ func evaluateAll(obj Objective, probes []Probe) []ProbeResult {
 	return out
 }
 
+// Probe outcome classifications recorded in Step.Reason.
+const (
+	// ReasonImproved marks a probe that displaced the incumbent best.
+	ReasonImproved = "improved"
+	// ReasonZeroRules marks a probe whose segmentation produced no rules
+	// and was discarded regardless of cost.
+	ReasonZeroRules = "zero-rules"
+	// ReasonNoImprovement marks a probe that produced rules but did not
+	// beat the incumbent (within the strategy's epsilon, if any).
+	ReasonNoImprovement = "no-improvement"
+	// ReasonFixed marks the single probe of a fixed-threshold run.
+	ReasonFixed = "fixed"
+)
+
 // Step records one probe of the search, for traces and reports.
 type Step struct {
 	Support, Confidence float64
 	Cost                float64
 	NumRules            int
+	// Accepted reports whether this probe became the incumbent best at
+	// the moment it was evaluated.
+	Accepted bool
+	// Reason classifies the outcome: one of the Reason* constants.
+	Reason string
+	// CacheHit reports whether the probe was answered from the
+	// objective's memoized cache (populated on the batch path; probes
+	// evaluated through the plain Evaluate call leave it false).
+	CacheHit bool
 }
 
 // Best is the outcome of a search.
@@ -215,19 +242,27 @@ func (w ThresholdWalk) Optimize(obj Objective) (Best, error) {
 				return best, fmt.Errorf("optimizer: evaluating (%g, %g): %w", sup, confs[i], r.Err)
 			}
 			best.Evaluations++
-			best.Trace = append(best.Trace, Step{Support: sup, Confidence: confs[i], Cost: r.Cost, NumRules: r.NumRules})
+			step := Step{Support: sup, Confidence: confs[i],
+				Cost: r.Cost, NumRules: r.NumRules, CacheHit: r.CacheHit}
 			// Segmentations with zero rules are useless regardless of
 			// cost; they count neither as the level's best nor as the
 			// overall winner.
 			if r.NumRules > 0 && r.Cost < levelBest {
 				levelBest = r.Cost
 			}
-			if r.NumRules > 0 && r.Cost < best.Cost-w.Epsilon {
+			switch {
+			case r.NumRules == 0:
+				step.Reason = ReasonZeroRules
+			case r.Cost < best.Cost-w.Epsilon:
+				step.Accepted, step.Reason = true, ReasonImproved
 				best.Support, best.Confidence = sup, confs[i]
 				best.Cost = r.Cost
 				best.NumRules = r.NumRules
 				sinceImprove = -1 // reset below after the level finishes
+			default:
+				step.Reason = ReasonNoImprovement
 			}
+			best.Trace = append(best.Trace, step)
 		}
 		if levelBest >= best.Cost-w.Epsilon {
 			sinceImprove++
@@ -315,11 +350,18 @@ func (a Anneal) Optimize(obj Objective) (Best, error) {
 			return 0, 0, err
 		}
 		best.Evaluations++
-		best.Trace = append(best.Trace, Step{Support: supports[si], Confidence: conf, Cost: cost, NumRules: n})
-		if n > 0 && cost < best.Cost {
+		step := Step{Support: supports[si], Confidence: conf, Cost: cost, NumRules: n}
+		switch {
+		case n == 0:
+			step.Reason = ReasonZeroRules
+		case cost < best.Cost:
+			step.Accepted, step.Reason = true, ReasonImproved
 			best.Support, best.Confidence = supports[si], conf
 			best.Cost, best.NumRules = cost, n
+		default:
+			step.Reason = ReasonNoImprovement
 		}
+		best.Trace = append(best.Trace, step)
 		return cost, n, nil
 	}
 
@@ -443,11 +485,19 @@ func (f Factorial) Optimize(obj Objective) (Best, error) {
 			}
 			sup, conf := probes[i].Support, probes[i].Confidence
 			best.Evaluations++
-			best.Trace = append(best.Trace, Step{Support: sup, Confidence: conf, Cost: r.Cost, NumRules: r.NumRules})
-			if r.NumRules > 0 && r.Cost < best.Cost {
+			step := Step{Support: sup, Confidence: conf,
+				Cost: r.Cost, NumRules: r.NumRules, CacheHit: r.CacheHit}
+			switch {
+			case r.NumRules == 0:
+				step.Reason = ReasonZeroRules
+			case r.Cost < best.Cost:
+				step.Accepted, step.Reason = true, ReasonImproved
 				best.Support, best.Confidence = sup, conf
 				best.Cost, best.NumRules = r.Cost, r.NumRules
+			default:
+				step.Reason = ReasonNoImprovement
 			}
+			best.Trace = append(best.Trace, step)
 			if r.Cost < roundBest {
 				roundBest = r.Cost
 				rbs, rbc = sup, conf
