@@ -32,6 +32,7 @@
 package arcs
 
 import (
+	"context"
 	"io"
 
 	"arcs/internal/cluster"
@@ -113,10 +114,33 @@ const (
 	SearchFixed     = core.SearchFixed
 )
 
+// RunError is the structured failure of a pipeline run: the phase that
+// failed, the cause (errors.Is sees context.Canceled through it), and
+// whether a degraded partial Result accompanies the error.
+type RunError = core.RunError
+
+// PanicError is a panic recovered inside a single threshold probe, with
+// the stack captured at the point of panic. The search skips the failed
+// probe and continues.
+type PanicError = core.PanicError
+
+// AsRunError extracts a *RunError from err's chain, nil when absent.
+func AsRunError(err error) *RunError { return core.AsRunError(err) }
+
+// AsPanicError extracts a *PanicError from err's chain, nil when absent.
+func AsPanicError(err error) *PanicError { return core.AsPanicError(err) }
+
 // New builds a System from a tuple source, performing the binning pass
 // and drawing the verification sample.
 func New(src Source, cfg Config) (*System, error) {
 	return core.New(src, cfg)
+}
+
+// NewContext is New with cooperative cancellation of the binning and
+// sampling passes. A canceled initialization returns no System — a
+// half-binned count array would bias every later run.
+func NewContext(ctx context.Context, src Source, cfg Config) (*System, error) {
+	return core.NewContext(ctx, src, cfg)
 }
 
 // Mine is the one-shot convenience API: build a System and run the full
@@ -129,6 +153,18 @@ func Mine(src Source, cfg Config) (*Result, error) {
 	return sys.Run()
 }
 
+// MineContext is Mine with cooperative cancellation and graceful
+// degradation: cancellation mid-search returns the best-so-far Result
+// with Result.Degraded set alongside a *RunError with Partial=true. See
+// System.RunValueContext for the full contract.
+func MineContext(ctx context.Context, src Source, cfg Config) (*Result, error) {
+	sys, err := core.NewContext(ctx, src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.RunContext(ctx)
+}
+
 // SegmentAll builds a System and computes a segmentation for every value
 // of the criterion attribute, reusing the single binning pass.
 func SegmentAll(src Source, cfg Config) (map[string]*Result, error) {
@@ -137,6 +173,17 @@ func SegmentAll(src Source, cfg Config) (map[string]*Result, error) {
 		return nil, err
 	}
 	return sys.SegmentAll()
+}
+
+// SegmentAllContext is SegmentAll with cooperative cancellation: on
+// cancel the returned map holds every completed (possibly degraded)
+// per-value result and the error reports Partial when it is non-empty.
+func SegmentAllContext(ctx context.Context, src Source, cfg Config) (map[string]*Result, error) {
+	sys, err := core.NewContext(ctx, src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.SegmentAllContext(ctx)
 }
 
 // SelectAttributePair ranks quantitative attributes by information gain

@@ -10,11 +10,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"arcs/internal/core"
 	"arcs/internal/dataset"
@@ -23,6 +27,10 @@ import (
 	"arcs/internal/report"
 	"arcs/internal/segment"
 )
+
+// Exit codes: 0 success, 1 fatal error, 2 usage, 3 canceled (SIGINT or
+// -timeout) — possibly after printing a degraded best-so-far result.
+const exitCanceled = 3
 
 func main() {
 	var (
@@ -49,6 +57,9 @@ func main() {
 		describe   = flag.Bool("describe", false, "print per-attribute statistics and exit")
 		spansPath  = flag.String("spans", "", "write a JSONL span trace of the run to this file")
 		metricsOut = flag.String("metrics-out", "", "write Prometheus text-format metrics to this file on exit")
+		timeout    = flag.Duration("timeout", 0, "overall run budget; on expiry print the best-so-far result and exit 3")
+		maxBadRows = flag.Int("max-bad-rows", 0, "input rows to quarantine per pass before failing; -1 unlimited, 0 strict")
+		retries    = flag.Int("retries", 2, "retries per read for transient input errors")
 		prof       obs.Profiler
 	)
 	prof.RegisterFlags(flag.CommandLine)
@@ -61,7 +72,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "arcs:", err)
 		os.Exit(2)
 	}
-	defer runExitHooks()
+	defer func() {
+		runExitHooks()
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
+
+	// SIGINT/SIGTERM and -timeout cancel the run cooperatively: the
+	// pipeline stops at its next checkpoint and, when a search is far
+	// enough along, degrades to the best-so-far result (exit 3).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	atExit(stopSignals)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		atExit(cancel)
+	}
+	// After the first cancellation, restore default signal handling so a
+	// second Ctrl-C kills the process the ordinary way instead of being
+	// swallowed while the pipeline drains to its next checkpoint.
+	go func() { <-ctx.Done(); stopSignals() }()
 
 	if stop, err := prof.Start(); err != nil {
 		fatal(err)
@@ -124,25 +155,46 @@ func main() {
 		fatal(err)
 	}
 
+	// Input always goes through the CSV stream wrapped in the resilient
+	// layer — transient errors are retried with backoff and bad rows
+	// (parse failures, non-finite values) are quarantined with row
+	// numbers within the -max-bad-rows budget. Without -stream the
+	// cleaned rows are then materialized into memory, so the quarantine
+	// policy applies identically in both modes.
+	schema, err := dataset.InferCSVSchema(*in, 10_000)
+	if err != nil {
+		fatal(err)
+	}
+	cs, err := dataset.OpenCSVStream(*in, schema)
+	if err != nil {
+		fatal(err)
+	}
+	resilient := dataset.NewResilient(cs,
+		dataset.Retry{Max: *retries, Seed: *seed},
+		dataset.Quarantine{MaxBadRows: *maxBadRows,
+			OnBad: func(reason string, row int, err error) {
+				slog.Debug("quarantined row", "reason", reason, "row", row, "err", err)
+			}})
+	if observer != nil {
+		resilient.Observe(observer.Registry())
+	}
+	atExit(func() {
+		if st := resilient.Stats(); st.Total() > 0 || st.Retries > 0 {
+			slog.Warn("input degradation",
+				"rows_quarantined", st.Total(), "by_reason", st.Quarantined,
+				"retries", st.Retries)
+		}
+	})
+
 	var src dataset.Source
 	if *stream {
-		schema, err := dataset.InferCSVSchema(*in, 10_000)
-		if err != nil {
-			fatal(err)
-		}
-		cs, err := dataset.OpenCSVStream(*in, schema)
-		if err != nil {
-			fatal(err)
-		}
 		defer cs.Close()
-		src = cs
+		src = resilient
 	} else {
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
+		tb, err := dataset.Materialize(resilient)
+		if cerr := cs.Close(); err == nil && cerr != nil {
+			err = cerr
 		}
-		tb, err := dataset.ReadCSV(f, nil)
-		f.Close()
 		if err != nil {
 			fatal(err)
 		}
@@ -207,15 +259,27 @@ func main() {
 		fatal(fmt.Errorf("unknown search %q", *search))
 	}
 
-	sys, err := core.New(src, cfg)
+	sys, err := core.NewContext(ctx, src, cfg)
 	if err != nil {
+		if wasCanceled(err) {
+			fatalCode(err, exitCanceled)
+		}
 		fatal(err)
 	}
 
 	if *critValue != "" {
-		res, err := sys.Run()
+		res, err := sys.RunContext(ctx)
 		if err != nil {
-			fatal(err)
+			re := core.AsRunError(err)
+			switch {
+			case re != nil && re.Partial && res != nil:
+				slog.Warn("run canceled mid-search; printing best-so-far (degraded) result", "cause", err)
+				exitCode = exitCanceled
+			case wasCanceled(err):
+				fatalCode(err, exitCanceled)
+			default:
+				fatal(err)
+			}
 		}
 		if *showGrid {
 			bm, err := sys.Grid(*critValue, res.MinSupport, res.MinConfidence)
@@ -241,9 +305,18 @@ func main() {
 	if *save != "" {
 		fatal(fmt.Errorf("-save requires -value"))
 	}
-	results, err := sys.SegmentAll()
+	results, err := sys.SegmentAllContext(ctx)
 	if err != nil {
-		fatal(err)
+		re := core.AsRunError(err)
+		switch {
+		case re != nil && re.Partial && len(results) > 0:
+			slog.Warn("segmentation canceled; printing the groups that completed", "cause", err)
+			exitCode = exitCanceled
+		case wasCanceled(err):
+			fatalCode(err, exitCanceled)
+		default:
+			fatal(err)
+		}
 	}
 	labels := make([]string, 0, len(results))
 	for label := range results {
@@ -291,6 +364,24 @@ func printTrace(res *core.Result, verbose bool) {
 	p := res.Provenance
 	fmt.Printf("  search: %d probes, %d accepted, %d zero-rules, %d no-improvement, %d cache hits\n",
 		p.Probes, p.Accepted, p.ZeroRules, p.NoImprovement, p.CacheHits)
+}
+
+// exitCode is the process status set on the graceful-degradation paths;
+// the deferred block in main applies it after the exit hooks have run,
+// so traces and metrics flush even on a canceled run.
+var exitCode int
+
+// wasCanceled reports whether err stems from context cancellation
+// (SIGINT/SIGTERM) or deadline expiry (-timeout).
+func wasCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// fatalCode is fatal with an explicit exit status.
+func fatalCode(err error, code int) {
+	runExitHooks()
+	slog.Error(err.Error())
+	os.Exit(code)
 }
 
 // exitHooks run once, either on normal return from main (via defer) or

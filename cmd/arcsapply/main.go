@@ -10,21 +10,30 @@
 // Output is the input CSV with an extra column holding "yes"/"no" for
 // segment membership; -matched-only emits only the matching rows,
 // without the extra column.
+//
+// Exit codes: 0 success, 1 fatal error, 2 usage, 3 canceled (SIGINT or
+// -timeout) — the rows scored before cancellation are flushed first.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"arcs/internal/dataset"
 	"arcs/internal/obs"
 	"arcs/internal/segment"
 )
+
+const exitCanceled = 3
 
 func main() {
 	var (
@@ -33,6 +42,9 @@ func main() {
 		out         = flag.String("out", "", "output file (default stdout)")
 		matchedOnly = flag.Bool("matched-only", false, "emit only matching rows, without the membership column")
 		column      = flag.String("column", "in_segment", "name of the membership column")
+		timeout     = flag.Duration("timeout", 0, "scoring budget; on expiry flush the rows scored so far and exit 3")
+		maxBadRows  = flag.Int("max-bad-rows", 0, "input rows to quarantine before failing; -1 unlimited, 0 strict")
+		retries     = flag.Int("retries", 2, "retries per read for transient input errors")
 		verbose     = flag.Bool("v", false, "debug logging")
 		logFormat   = flag.String("log-format", "text", "log output format: text, json")
 	)
@@ -45,6 +57,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "arcsapply:", err)
 		os.Exit(2)
 	}
+
+	// SIGINT/SIGTERM and -timeout cancel the scoring pass cooperatively:
+	// the stream stops at its next checkpoint, the rows already scored are
+	// flushed, and the process exits 3.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// After the first cancellation, restore default signal handling so a
+	// second Ctrl-C kills the process the ordinary way instead of being
+	// swallowed while the partial output flushes.
+	go func() { <-ctx.Done(); stopSignals() }()
 
 	mf, err := os.Open(*modelPath)
 	if err != nil {
@@ -60,11 +87,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	src, err := dataset.OpenCSVStream(*in, schema)
+	cs, err := dataset.OpenCSVStream(*in, schema)
 	if err != nil {
 		fatal(err)
 	}
-	defer src.Close()
+	defer cs.Close()
+	// The resilient layer retries transient read errors with backoff and
+	// quarantines unparseable rows (with row numbers) within the
+	// -max-bad-rows budget, so one corrupt prospect row doesn't abort the
+	// whole scoring run unless the operator asked for strictness.
+	src := dataset.NewResilient(cs,
+		dataset.Retry{Max: *retries},
+		dataset.Quarantine{MaxBadRows: *maxBadRows,
+			OnBad: func(reason string, row int, err error) {
+				slog.Debug("quarantined row", "reason", reason, "row", row, "err", err)
+			}})
 
 	applier, err := model.Bind(schema)
 	if err != nil {
@@ -93,7 +130,7 @@ func main() {
 
 	rec := make([]string, schema.Len(), schema.Len()+1)
 	matched, total := 0, 0
-	err = applier.Apply(src, func(t dataset.Tuple, covered bool) error {
+	applyErr := applier.ApplyContext(ctx, src, func(t dataset.Tuple, covered bool) error {
 		total++
 		if covered {
 			matched++
@@ -119,9 +156,8 @@ func main() {
 		}
 		return cw.Write(row)
 	})
-	if err != nil {
-		fatal(err)
-	}
+	// Flush before classifying the error so a canceled pass still delivers
+	// every row scored up to the checkpoint.
 	cw.Flush()
 	if err := cw.Error(); err != nil {
 		fatal(err)
@@ -129,9 +165,28 @@ func main() {
 	if err := bw.Flush(); err != nil {
 		fatal(err)
 	}
+	if st := src.Stats(); st.Total() > 0 || st.Retries > 0 {
+		slog.Warn("input degradation",
+			"rows_quarantined", st.Total(), "by_reason", st.Quarantined,
+			"retries", st.Retries)
+	}
+	if applyErr != nil {
+		if wasCanceled(applyErr) {
+			slog.Warn("scoring canceled; partial output flushed",
+				"rows_scored", total, "matched", matched, "cause", applyErr)
+			os.Exit(exitCanceled)
+		}
+		fatal(applyErr)
+	}
 	slog.Info("scored rows against segment",
 		"matched", matched, "total", total,
 		"crit_attr", model.CritAttr, "crit_value", model.CritValue)
+}
+
+// wasCanceled reports whether err stems from context cancellation
+// (SIGINT/SIGTERM) or deadline expiry (-timeout).
+func wasCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func fatal(err error) {

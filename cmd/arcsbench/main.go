@@ -24,16 +24,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"arcs/internal/experiments"
 	"arcs/internal/obs"
 )
+
+// Exit codes: 0 success, 1 fatal error, 2 usage, 3 canceled (SIGINT or
+// -timeout) — experiments already printed stand as partial results.
+const exitCanceled = 3
 
 func main() {
 	var (
@@ -41,6 +48,7 @@ func main() {
 		scale     = flag.Int("scale", 1, "divide every database size by this factor")
 		c45Cap    = flag.Int("c45cap", 200_000, "largest database C4.5 is attempted on (the paper's C4.5 ran out of memory beyond 100k)")
 		testN     = flag.Int("testn", 10_000, "held-out test table size")
+		timeout   = flag.Duration("timeout", 0, "overall budget; experiments not yet started when it expires are skipped and the process exits 3")
 		verbose   = flag.Bool("v", false, "debug logging")
 		logFormat = flag.String("log-format", "text", "log output format: text, json")
 		spansPath = flag.String("spans", "", "write a JSONL span trace of the feedbackloop experiment to this file")
@@ -52,10 +60,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "arcsbench:", err)
 		os.Exit(2)
 	}
-	defer runExitHooks()
+	defer func() {
+		runExitHooks()
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
 	if *scale < 1 {
 		fatal(fmt.Errorf("scale must be >= 1"))
 	}
+
+	// SIGINT/SIGTERM and -timeout cancel the suite between experiments:
+	// completed tables have already been printed, the rest are skipped.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	atExit(stopSignals)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		atExit(cancel)
+	}
+	// After the first cancellation, restore default signal handling so a
+	// second Ctrl-C kills the process the ordinary way instead of being
+	// swallowed while a long experiment finishes.
+	go func() { <-ctx.Done(); stopSignals() }()
 	if stop, err := prof.Start(); err != nil {
 		fatal(err)
 	} else {
@@ -73,6 +100,14 @@ func main() {
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			if exitCode == 0 {
+				slog.Warn("suite canceled; skipping remaining experiments", "cause", err)
+				exitCode = exitCanceled
+			}
+			slog.Debug("skipped experiment", "exp", name)
 			return
 		}
 		fmt.Printf("\n===== %s =====\n", name)
@@ -245,6 +280,13 @@ func main() {
 		fmt.Printf("before:\n%s\nafter:\n%s", before, after)
 		return nil
 	})
+
+	// A budget that expired while the final experiment was running has no
+	// later checkpoint to notice it; report the overrun in the exit code.
+	if err := ctx.Err(); err != nil && exitCode == 0 {
+		slog.Warn("budget expired during the suite; results printed are partial", "cause", err)
+		exitCode = exitCanceled
+	}
 }
 
 func scaled(sizes []int, scale int) []int {
@@ -271,6 +313,11 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// exitCode is the process status set on the graceful-cancellation path;
+// the deferred block in main applies it after the exit hooks have run,
+// so profiles flush even on a canceled suite.
+var exitCode int
 
 // exitHooks run once, either on normal return from main (via defer) or
 // from fatal before os.Exit, so profiles are flushed on every path.

@@ -7,19 +7,28 @@
 // Usage:
 //
 //	synthgen -n 50000 -function 2 -perturb 0.05 -outliers 0.10 > data.csv
+//
+// Exit codes: 0 success, 1 fatal error, 2 usage, 3 canceled (SIGINT or
+// -timeout) — rows generated before cancellation are flushed first.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"arcs/internal/dataset"
 	"arcs/internal/obs"
 	"arcs/internal/synth"
 )
+
+const exitCanceled = 3
 
 func main() {
 	var (
@@ -30,6 +39,7 @@ func main() {
 		fracA     = flag.Float64("fraca", 0.40, "target fraction of Group A (0 disables)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		out       = flag.String("out", "", "output file (default stdout)")
+		timeout   = flag.Duration("timeout", 0, "generation budget; on expiry flush the rows written so far and exit 3")
 		verbose   = flag.Bool("v", false, "debug logging")
 		logFormat = flag.String("log-format", "text", "log output format: text, json")
 	)
@@ -38,6 +48,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "synthgen:", err)
 		os.Exit(2)
 	}
+
+	// SIGINT/SIGTERM and -timeout cancel generation cooperatively: the
+	// pass stops at its next checkpoint, the rows already emitted are
+	// flushed (output truncated at a row boundary), and the process
+	// exits 3.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// After the first cancellation, restore default signal handling so a
+	// second Ctrl-C kills the process the ordinary way instead of being
+	// swallowed while the partial output flushes.
+	go func() { <-ctx.Done(); stopSignals() }()
 
 	gen, err := synth.New(synth.Config{
 		Function:        *function,
@@ -61,11 +87,16 @@ func main() {
 		w = f
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if err := dataset.WriteCSV(bw, gen); err != nil {
-		fatal(err)
-	}
+	writeErr := dataset.WriteCSVContext(ctx, bw, gen)
 	if err := bw.Flush(); err != nil {
 		fatal(err)
+	}
+	if writeErr != nil {
+		if errors.Is(writeErr, context.Canceled) || errors.Is(writeErr, context.DeadlineExceeded) {
+			slog.Warn("generation canceled; partial output flushed", "cause", writeErr)
+			os.Exit(exitCanceled)
+		}
+		fatal(writeErr)
 	}
 	slog.Debug("generated synthetic data",
 		"tuples", *n, "function", *function, "perturb", *perturb, "outliers", *outliers)

@@ -65,6 +65,37 @@ func DiscretizeCriterion(src Source, attr string, lo, hi float64, bins int) (Sou
 	return dataset.Discretize(src, attr, b)
 }
 
+// Data robustness re-exports: wrap flaky sources in a Resilient to get
+// retry-with-backoff on transient errors and bounded row quarantine.
+type (
+	// RowError locates one bad input row (path, 1-based row number,
+	// machine-readable reason).
+	RowError = dataset.RowError
+	// Retry configures exponential backoff for transient source errors.
+	Retry = dataset.Retry
+	// Quarantine bounds how many bad rows a pass may skip.
+	Quarantine = dataset.Quarantine
+	// Resilient is a Source wrapper applying Retry and Quarantine.
+	Resilient = dataset.Resilient
+	// ResilientStats counts retries and quarantined rows by reason.
+	ResilientStats = dataset.ResilientStats
+)
+
+// ErrTooManyBadRows reports a pass that exceeded Quarantine.MaxBadRows.
+var ErrTooManyBadRows = dataset.ErrTooManyBadRows
+
+// NewResilient wraps a source with retry and quarantine policies.
+func NewResilient(src Source, retry Retry, q Quarantine) *Resilient {
+	return dataset.NewResilient(src, retry, q)
+}
+
+// AsRowError extracts a *RowError from err's chain, nil when absent.
+func AsRowError(err error) *RowError { return dataset.AsRowError(err) }
+
+// IsTransient reports whether any error in err's chain declares itself
+// transient (worth retrying).
+func IsTransient(err error) bool { return dataset.IsTransient(err) }
+
 // clusterCombine adapts the internal combination entry point.
 func clusterCombine(a, b []ClusteredRule) ([]MultiRule, error) { return cluster.Combine(a, b) }
 

@@ -9,6 +9,7 @@
 package binarray
 
 import (
+	"context"
 	"fmt"
 
 	"arcs/internal/binning"
@@ -28,11 +29,54 @@ type BinArray struct {
 	n      uint64 // total tuples added
 }
 
+// DefaultMemBudget caps the count array New will allocate, in bytes.
+// The paper's design point is a grid that comfortably fits main memory
+// (50×50×3 ≈ 30 KB; even 1000×1000×16 is 68 MB), so the default — 1 GiB
+// — only rejects absurd grids that would otherwise OOM-kill the process
+// or wrap the int size arithmetic. Adjustable for constrained or
+// oversized deployments.
+var DefaultMemBudget int64 = 1 << 30
+
+// MemNeeded reports the bytes a BinArray of the given dimensions
+// requires, or an error when the element count overflows int.
+func MemNeeded(nx, ny, nseg int) (int64, error) {
+	// Multiply stepwise in uint64 and re-check against the int range so
+	// nx*ny*(nseg+1) can never wrap silently on any platform.
+	const maxInt = int64(^uint(0) >> 1)
+	cells := uint64(nx) * uint64(ny)
+	if nx != 0 && cells/uint64(nx) != uint64(ny) || cells > uint64(maxInt) {
+		return 0, fmt.Errorf("binarray: %d×%d cells overflows", nx, ny)
+	}
+	elems := cells * uint64(nseg+1)
+	if cells != 0 && elems/cells != uint64(nseg+1) || elems > uint64(maxInt)/4 {
+		return 0, fmt.Errorf("binarray: %d×%d×(%d+1) elements overflows", nx, ny, nseg)
+	}
+	return int64(elems) * 4, nil
+}
+
 // New allocates a BinArray for an nx × ny grid with an RHS attribute of
-// cardinality nseg.
+// cardinality nseg, under DefaultMemBudget.
 func New(nx, ny, nseg int) (*BinArray, error) {
+	return NewBudget(nx, ny, nseg, DefaultMemBudget)
+}
+
+// NewBudget is New with an explicit memory budget in bytes: the computed
+// size of the count array is validated before allocation, so an absurd
+// grid (overflowing index arithmetic, or simply bigger than the machine)
+// returns an error naming the size instead of panicking mid-make or
+// invoking the OOM killer. A non-positive budget disables the check
+// (overflow is still rejected).
+func NewBudget(nx, ny, nseg int, budget int64) (*BinArray, error) {
 	if nx <= 0 || ny <= 0 || nseg <= 0 {
 		return nil, fmt.Errorf("binarray: invalid dimensions %d×%d×%d", nx, ny, nseg)
+	}
+	bytes, err := MemNeeded(nx, ny, nseg)
+	if err != nil {
+		return nil, err
+	}
+	if budget > 0 && bytes > budget {
+		return nil, fmt.Errorf("binarray: %d×%d×(%d+1) grid needs %d bytes, over the %d-byte budget",
+			nx, ny, nseg, bytes, budget)
 	}
 	return &BinArray{
 		nx:     nx,
@@ -163,12 +207,20 @@ func (b *BinArray) Reset() {
 // and the criterion attribute through its category code, and accumulates
 // the counts. xIdx, yIdx and critIdx are schema attribute positions.
 func Build(src dataset.Source, xIdx, yIdx, critIdx int, xb, yb binning.Binner, nseg int) (*BinArray, error) {
+	return BuildContext(context.Background(), src, xIdx, yIdx, critIdx, xb, yb, nseg)
+}
+
+// BuildContext is Build with cooperative cancellation: the binning pass
+// checks the context at the dataset layer's checkpoint granularity and
+// returns the cancellation error, discarding the partial array. A
+// background context adds no per-row cost.
+func BuildContext(ctx context.Context, src dataset.Source, xIdx, yIdx, critIdx int, xb, yb binning.Binner, nseg int) (*BinArray, error) {
 	ba, err := New(xb.NumBins(), yb.NumBins(), nseg)
 	if err != nil {
 		return nil, err
 	}
 	width := src.Schema().Len()
-	err = dataset.ForEach(src, func(t dataset.Tuple) error {
+	err = dataset.ForEachContext(ctx, src, func(t dataset.Tuple) error {
 		if len(t) != width {
 			return dataset.ErrSchemaMismatch
 		}

@@ -1,0 +1,95 @@
+package binarray
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"arcs/internal/binning"
+	"arcs/internal/dataset"
+)
+
+func TestNewBudgetRejectsOversizedGrid(t *testing.T) {
+	// 1000×1000×(9+1) uint32 = 40 MB; a 1 MB budget must refuse it and
+	// name both the computed size and the budget so operators can tune.
+	_, err := NewBudget(1000, 1000, 9, 1<<20)
+	if err == nil {
+		t.Fatal("oversized grid accepted")
+	}
+	if !strings.Contains(err.Error(), "40000000 bytes") || !strings.Contains(err.Error(), "1048576") {
+		t.Errorf("error should carry computed size and budget: %v", err)
+	}
+}
+
+func TestNewBudgetDisabledStillRejectsOverflow(t *testing.T) {
+	// Element count overflowing the int range must fail even with the
+	// budget check disabled — this is the guard against silent index
+	// wraparound, not a tunable.
+	if _, err := NewBudget(1<<31, 1<<31, 1<<31, 0); err == nil {
+		t.Fatal("overflowing dimensions accepted with budget disabled")
+	}
+	if _, err := MemNeeded(1<<31, 1<<31, 1<<62-2); err == nil {
+		t.Fatal("element-count overflow accepted")
+	}
+}
+
+func TestMemNeeded(t *testing.T) {
+	got, err := MemNeeded(50, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(50 * 50 * 3 * 4); got != want {
+		t.Errorf("MemNeeded(50,50,2) = %d, want %d", got, want)
+	}
+}
+
+func TestNewUsesDefaultBudget(t *testing.T) {
+	old := DefaultMemBudget
+	DefaultMemBudget = 1 << 10
+	defer func() { DefaultMemBudget = old }()
+	if _, err := New(100, 100, 3); err == nil {
+		t.Error("New ignored DefaultMemBudget")
+	}
+	if _, err := New(4, 4, 3); err != nil {
+		t.Errorf("small grid rejected under tight budget: %v", err)
+	}
+}
+
+func TestBuildContextCancel(t *testing.T) {
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "x", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "y", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "g", Kind: dataset.Categorical},
+	)
+	src := dataset.NewFuncSource(schema, 100_000, func(i int, out dataset.Tuple) {
+		out[0] = float64(i % 100)
+		out[1] = float64(i % 50)
+		out[2] = float64(i % 2)
+	})
+	xb, err := binning.NewEquiWidth(0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb, err := binning.NewEquiWidth(0, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ba, err := BuildContext(ctx, src, 0, 1, 2, xb, yb, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ba != nil {
+		t.Error("canceled build returned a partial array")
+	}
+	// Same source, live context: the pass completes identically to Build.
+	ba, err = BuildContext(context.Background(), src, 0, 1, 2, xb, yb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba.N() != 100_000 {
+		t.Errorf("N = %d, want 100000", ba.N())
+	}
+}

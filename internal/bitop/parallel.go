@@ -1,11 +1,40 @@
 package bitop
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
+	"arcs/internal/cancelcheck"
 	"arcs/internal/grid"
 )
+
+// anchorCheckEvery is the cooperative-cancellation granularity inside a
+// parallel enumeration: each worker polls the context once per this many
+// anchor rows. Sweeps are short (a mask pass over the grid), so a small
+// stride keeps latency low without touching the per-word hot loop.
+const anchorCheckEvery = 4
+
+// testPanicAnchor, when >= 0, makes the worker processing that anchor row
+// panic — the fault-injection seam for exercising the worker panic
+// capture below. Always -1 outside tests.
+var testPanicAnchor = -1
+
+// WorkerPanic carries a panic that escaped a bitop worker goroutine: the
+// original panic value plus the worker's stack at the point of panic. It
+// is re-panicked on the calling goroutine so a caller-side recover (the
+// probe isolation layer in core) observes worker crashes exactly like
+// same-goroutine ones, with the true stack preserved.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (p *WorkerPanic) String() string {
+	return fmt.Sprintf("bitop worker panic: %v\n%s", p.Value, p.Stack)
+}
 
 // EnumerateParallel is Enumerate with the anchor rows partitioned across
 // worker goroutines — the parallel implementation the paper's conclusion
@@ -14,10 +43,19 @@ import (
 // Enumerate (candidates are merged back in anchor-row order).
 // workers <= 0 selects GOMAXPROCS.
 func EnumerateParallel(bm *grid.Bitmap, workers int) []grid.Rect {
-	return enumerateParallel(bm, workers, nil)
+	out, _ := enumerateParallel(nil, bm, workers, nil)
+	return out
 }
 
-func enumerateParallel(bm *grid.Bitmap, workers int, st *Stats) []grid.Rect {
+// EnumerateParallelContext is EnumerateParallel with checkpointed
+// cancellation: workers poll the context between anchor rows and stop
+// early; the cancellation error is returned and partial candidates are
+// discarded. A nil or background context adds no per-sweep cost.
+func EnumerateParallelContext(ctx context.Context, bm *grid.Bitmap, workers int) ([]grid.Rect, error) {
+	return enumerateParallel(cancelcheck.New(ctx), bm, workers, nil)
+}
+
+func enumerateParallel(ck *cancelcheck.Checker, bm *grid.Bitmap, workers int, st *Stats) ([]grid.Rect, error) {
 	rows := bm.Rows()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -26,7 +64,10 @@ func enumerateParallel(bm *grid.Bitmap, workers int, st *Stats) []grid.Rect {
 		workers = rows
 	}
 	if workers <= 1 {
-		return enumerate(bm, st)
+		if err := ck.Err(); err != nil {
+			return nil, err
+		}
+		return enumerate(bm, st), nil
 	}
 	cols := bm.Cols()
 	perAnchor := make([][]grid.Rect, rows)
@@ -36,14 +77,41 @@ func enumerateParallel(bm *grid.Bitmap, workers int, st *Stats) []grid.Rect {
 		next <- top
 	}
 	close(next)
+	var firstErr error
+	var firstPanic *WorkerPanic
+	var errMu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panic on a worker goroutine would crash the whole process
+			// before the caller's recover could run; capture it (with the
+			// worker's stack) and re-panic it after Wait on the caller.
+			defer func() {
+				if v := recover(); v != nil {
+					errMu.Lock()
+					if firstPanic == nil {
+						firstPanic = &WorkerPanic{Value: v, Stack: debug.Stack()}
+					}
+					errMu.Unlock()
+				}
+			}()
 			mask := make([]uint64, bm.WordsPerRow())
 			nextMask := make([]uint64, bm.WordsPerRow())
 			myRows := int64(0)
+			point := ck.Point(anchorCheckEvery)
 			for top := range next {
+				if err := point.Check(); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					break
+				}
+				if testPanicAnchor >= 0 && top == testPanicAnchor {
+					panic(fmt.Sprintf("injected panic at anchor %d", top))
+				}
 				var rects []grid.Rect
 				sweepAnchor(bm, top, rows, cols, mask, nextMask, &rects, st)
 				perAnchor[top] = rects
@@ -53,11 +121,17 @@ func enumerateParallel(bm *grid.Bitmap, workers int, st *Stats) []grid.Rect {
 		}()
 	}
 	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	var out []grid.Rect
 	for _, rects := range perAnchor {
 		out = append(out, rects...)
 	}
-	return out
+	return out, nil
 }
 
 // sweepAnchor runs the downward mask sweep for one anchor row, reusing
@@ -102,6 +176,21 @@ func sweepAnchor(bm *grid.Bitmap, top, rows, cols int, mask, next []uint64, out 
 // greedy round parallelized. It produces exactly the same clusters as
 // Cluster.
 func ClusterParallel(bm *grid.Bitmap, opts Options, workers int) []grid.Rect {
+	out, _ := clusterParallel(nil, bm, opts, workers)
+	return out
+}
+
+// ClusterParallelContext is ClusterParallel with cooperative
+// cancellation: the context is checked at the top of every greedy round
+// and inside each round's enumeration, and the cancellation error is
+// returned with the clusters found so far (a usable partial clustering —
+// greedy rounds are ordered best-first). A nil or background context
+// adds no measurable cost.
+func ClusterParallelContext(ctx context.Context, bm *grid.Bitmap, opts Options, workers int) ([]grid.Rect, error) {
+	return clusterParallel(cancelcheck.New(ctx), bm, opts, workers)
+}
+
+func clusterParallel(ck *cancelcheck.Checker, bm *grid.Bitmap, opts Options, workers int) ([]grid.Rect, error) {
 	minArea := opts.MinArea
 	if minArea < 1 {
 		minArea = 1
@@ -109,11 +198,17 @@ func ClusterParallel(bm *grid.Bitmap, opts Options, workers int) []grid.Rect {
 	work := bm.Clone()
 	var clusters []grid.Rect
 	for work.Any() {
+		if err := ck.Err(); err != nil {
+			return clusters, err
+		}
 		if opts.MaxClusters > 0 && len(clusters) >= opts.MaxClusters {
 			break
 		}
 		opts.Stats.addRound()
-		cands := enumerateParallel(work, workers, opts.Stats)
+		cands, err := enumerateParallel(ck, work, workers, opts.Stats)
+		if err != nil {
+			return clusters, err
+		}
 		if len(cands) == 0 {
 			break
 		}
@@ -124,5 +219,5 @@ func ClusterParallel(bm *grid.Bitmap, opts Options, workers int) []grid.Rect {
 		clusters = append(clusters, best)
 		work.ClearRect(best)
 	}
-	return clusters
+	return clusters, nil
 }

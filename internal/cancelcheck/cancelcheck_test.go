@@ -1,0 +1,109 @@
+package cancelcheck
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestNilCheckerIsFree(t *testing.T) {
+	var c *Checker
+	if err := c.Err(); err != nil {
+		t.Fatalf("nil checker Err = %v", err)
+	}
+	p := c.Point(64)
+	for i := 0; i < 1000; i++ {
+		if err := p.Check(); err != nil {
+			t.Fatalf("nil checker Check = %v", err)
+		}
+	}
+}
+
+func TestNewRejectsUncancellable(t *testing.T) {
+	if New(nil) != nil {
+		t.Error("New(nil) should be nil")
+	}
+	if New(context.Background()) != nil {
+		t.Error("New(Background) should be nil")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if New(ctx) == nil {
+		t.Error("New(cancellable) should be non-nil")
+	}
+}
+
+func TestCheckpointGranularity(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx)
+	p := c.Point(10)
+	cancel()
+	// The first 9 checks fall between checkpoints and stay nil; the
+	// 10th polls the context and fires.
+	for i := 1; i <= 9; i++ {
+		if err := p.Check(); err != nil {
+			t.Fatalf("check %d fired early: %v", i, err)
+		}
+	}
+	if err := p.Check(); !IsCancel(err) {
+		t.Fatalf("checkpoint did not fire: %v", err)
+	}
+}
+
+func TestErrCarriesCause(t *testing.T) {
+	cause := errors.New("probe budget exhausted")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	err := New(ctx).Err()
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err %v should be context.Canceled", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("err %v should carry the cause", err)
+	}
+	if !IsCancel(err) {
+		t.Errorf("IsCancel(%v) = false", err)
+	}
+}
+
+func TestIsCancelClassification(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	if err := New(ctx).Err(); !IsCancel(err) {
+		t.Errorf("deadline error not classified: %v", err)
+	}
+	if IsCancel(errors.New("disk on fire")) {
+		t.Error("ordinary error misclassified as cancellation")
+	}
+	if IsCancel(nil) {
+		t.Error("nil misclassified as cancellation")
+	}
+	if !IsCancel(fmt.Errorf("outer: %w", context.Canceled)) {
+		t.Error("wrapped cancellation not classified")
+	}
+}
+
+func BenchmarkPointNilChecker(b *testing.B) {
+	var c *Checker
+	p := c.Point(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.Check(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointLiveChecker(b *testing.B) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := New(ctx).Point(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.Check(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -211,6 +211,14 @@ type Config struct {
 	// path then performs no allocations and no atomic work beyond the
 	// existing cache stats, and no pprof phase labels are applied.
 	Observer *obs.Observer
+
+	// ProbeHook, when set, runs at the start of every probe evaluation
+	// (cache misses only) with the probe's criterion code and thresholds.
+	// It is the fault-injection seam for chaos tests: a hook that panics
+	// exercises the probe isolation layer — the panic is recovered, the
+	// probe fails with a PanicError, and the search continues. Production
+	// configs leave it nil.
+	ProbeHook func(seg int, minSup, minConf float64)
 }
 
 // withDefaults fills the zero values with the paper's defaults.

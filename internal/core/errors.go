@@ -1,0 +1,76 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"arcs/internal/optimizer"
+)
+
+// RunError is the structured failure of a pipeline run: which top-level
+// phase failed ("init", "search", "mine-final", "verify-final"), the
+// underlying cause, and whether a usable partial Result accompanies the
+// error. Cancellation mid-search produces Partial=true together with a
+// degraded best-so-far Result; everything earlier fails outright.
+type RunError struct {
+	// Phase is the pipeline stage the error escaped from, matching the
+	// PhaseTiming names.
+	Phase string
+	// Err is the underlying cause; errors.Is/As see through it, so
+	// context.Canceled and context.DeadlineExceeded remain matchable.
+	Err error
+	// Partial reports that the call returned a non-nil degraded Result
+	// next to this error.
+	Partial bool
+}
+
+// Error renders the phase ahead of the cause.
+func (e *RunError) Error() string {
+	if e.Partial {
+		return fmt.Sprintf("core: %s: %v (partial result available)", e.Phase, e.Err)
+	}
+	return fmt.Sprintf("core: %s: %v", e.Phase, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// AsRunError extracts a *RunError from err's chain, nil when absent.
+func AsRunError(err error) *RunError {
+	var re *RunError
+	if errors.As(err, &re) {
+		return re
+	}
+	return nil
+}
+
+// PanicError is a panic recovered inside a single threshold probe: the
+// panic value and the stack captured at the point of panic (the worker's
+// own stack for panics escaping bitop worker goroutines). It unwraps to
+// optimizer.ErrProbeFailed, so the search strategies treat it as an
+// isolated failure — the probe is skipped and the search continues.
+type PanicError struct {
+	// Phase names where the panic surfaced (always "probe" today).
+	Phase string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at the point of panic.
+	Stack []byte
+}
+
+// Error summarizes the panic; the stack is available on the struct.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: recovered panic in %s: %v", e.Phase, e.Value)
+}
+
+// Unwrap marks the error as an isolated probe failure.
+func (e *PanicError) Unwrap() error { return optimizer.ErrProbeFailed }
+
+// AsPanicError extracts a *PanicError from err's chain, nil when absent.
+func AsPanicError(err error) *PanicError {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return pe
+	}
+	return nil
+}

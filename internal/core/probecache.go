@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -74,12 +75,22 @@ func newProbeCache() *probeCache {
 }
 
 // do returns the memoized evaluation for key, computing it at most once
-// across all concurrent callers via s.evaluateProbe. hit reports whether
-// an entry already existed (possibly still in flight) when this caller
-// arrived. Taking the System and span instead of a closure keeps the
-// warm-hit path allocation-free: the compute closure is only built for
-// entries that are not settled yet.
-func (c *probeCache) do(s *System, parent obs.Span, key probeKey) (cost float64, numRules int, hit bool, err error) {
+// across all concurrent callers via s.safeEvaluateProbe. hit reports
+// whether an entry already existed (possibly still in flight) when this
+// caller arrived. Taking the System and span instead of a closure keeps
+// the warm-hit path allocation-free: the compute closure is only built
+// for entries that are not settled yet.
+//
+// Failed evaluations are never memoized: a cancellation or recovered
+// panic settles the entry for the waiters that already joined it (they
+// share the error), but the entry is then dropped so the next request
+// recomputes instead of replaying a stale failure forever.
+//
+// The panic recovery sits INSIDE the compute call (safeEvaluateProbe):
+// sync.Once marks itself done even when its function panics, so a
+// recover outside the closure would leave a half-written entry that
+// every waiter reads as a silent zero-cost success.
+func (c *probeCache) do(ctx context.Context, s *System, parent obs.Span, key probeKey) (cost float64, numRules int, hit bool, err error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -89,9 +100,16 @@ func (c *probeCache) do(s *System, parent obs.Span, key probeKey) (cost float64,
 	c.mu.Unlock()
 	if !e.ready.Load() {
 		e.once.Do(func() {
-			e.cost, e.numRules, e.err = s.evaluateProbe(parent, key.seg, key.sup, key.conf)
+			e.cost, e.numRules, e.err = s.safeEvaluateProbe(ctx, parent, key.seg, key.sup, key.conf)
 			e.ready.Store(true)
 		})
+		if e.err != nil {
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+		}
 	}
 	if ok {
 		c.hits.Add(1)

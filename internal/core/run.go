@@ -1,16 +1,20 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"arcs/internal/bitop"
+	"arcs/internal/cancelcheck"
 	"arcs/internal/engine"
 	"arcs/internal/grid"
 	"arcs/internal/mdl"
@@ -57,6 +61,15 @@ type Result struct {
 	// populated — the three time stamps cost nothing — so reports and
 	// benchmarks get per-phase timings even without an Observer.
 	Phases []PhaseTiming
+	// Degraded reports that the threshold search was cut short by
+	// cancellation and this result carries the best thresholds found up
+	// to that point (re-mined and verified to completion — the final mine
+	// and verify run detached from the canceled context). The
+	// accompanying error is a RunError with Partial set.
+	Degraded bool
+	// FailedProbes counts search probes skipped after an isolated failure
+	// (recovered panic); see optimizer.Best.Failures.
+	FailedProbes int
 }
 
 // PhaseTiming is the wall-clock duration of one pipeline stage of a run.
@@ -175,6 +188,11 @@ type segObjective struct {
 	// span is the enclosing search span (zero outside an observed
 	// RunValue); probe batches and probes nest under it.
 	span obs.Span
+	// ctx/ck carry the run's cancellation scope into the probes. Both are
+	// nil for uncancellable runs: ck's nil methods keep the hot path
+	// branch-free beyond a single predictable comparison.
+	ctx context.Context
+	ck  *cancelcheck.Checker
 
 	hits, misses atomic.Int64
 }
@@ -199,8 +217,12 @@ func (o *segObjective) ConfidenceLevels(support float64) ([]float64, error) {
 
 // Evaluate implements optimizer.Objective, memoized through the System's
 // probe cache: concurrent and repeated requests for the same
-// (seg, support, confidence) run the pipeline exactly once.
+// (seg, support, confidence) run the pipeline exactly once. Under a
+// cancellable run the probe is refused once the context is canceled.
 func (o *segObjective) Evaluate(minSup, minConf float64) (float64, int, error) {
+	if err := o.ck.Err(); err != nil {
+		return 0, 0, err
+	}
 	cost, n, _, err := o.evaluate(o.span, minSup, minConf)
 	return cost, n, err
 }
@@ -214,17 +236,45 @@ func (o *segObjective) Evaluate(minSup, minConf float64) (float64, int, error) {
 func (o *segObjective) evaluate(parent obs.Span, minSup, minConf float64) (float64, int, bool, error) {
 	s := o.sys
 	if s.cfg.DisableProbeCache {
-		cost, n, err := s.evaluateProbe(parent, o.seg, minSup, minConf)
+		cost, n, err := s.safeEvaluateProbe(o.ctx, parent, o.seg, minSup, minConf)
 		o.misses.Add(1)
 		return cost, n, false, err
 	}
-	cost, n, hit, err := s.probes.do(s, parent, probeKey{seg: o.seg, sup: minSup, conf: minConf})
+	cost, n, hit, err := s.probes.do(o.ctx, s, parent, probeKey{seg: o.seg, sup: minSup, conf: minConf})
 	if hit {
 		o.hits.Add(1)
 	} else {
 		o.misses.Add(1)
 	}
 	return cost, n, hit, err
+}
+
+// safeEvaluateProbe is the probe isolation layer: it runs the configured
+// ProbeHook (the chaos-test fault seam) and the probe pipeline with a
+// recover, so a panic anywhere inside one probe — including panics
+// re-raised from bitop worker goroutines — fails only that probe. The
+// recovered panic comes back as a *PanicError (stack attached, counted
+// on probe_panics_recovered_total) which unwraps to
+// optimizer.ErrProbeFailed so the search strategies skip the probe.
+func (s *System) safeEvaluateProbe(ctx context.Context, parent obs.Span, seg int, minSup, minConf float64) (cost float64, numRules int, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stack := debug.Stack()
+			// A bitop worker panic already carries the worker's stack —
+			// prefer it over this goroutine's unwinding stack.
+			if wp, ok := v.(*bitop.WorkerPanic); ok {
+				stack = wp.Stack
+				v = wp.Value
+			}
+			s.mPanics.Inc()
+			cost, numRules = 0, 0
+			err = &PanicError{Phase: "probe", Value: v, Stack: stack}
+		}
+	}()
+	if s.cfg.ProbeHook != nil {
+		s.cfg.ProbeHook(seg, minSup, minConf)
+	}
+	return s.evaluateProbe(ctx, parent, seg, minSup, minConf)
 }
 
 // EvaluateBatch implements optimizer.ObjectiveBatch: the probes are
@@ -248,6 +298,13 @@ func (o *segObjective) EvaluateBatch(probes []optimizer.Probe) []optimizer.Probe
 	o.sys.mPoolWork.Set(int64(workers))
 	if workers <= 1 {
 		for i, p := range probes {
+			if err := o.ck.Err(); err != nil {
+				// Canceled: refuse this and every later probe without
+				// running the pipeline. The strategies stop at the first
+				// cancellation error in merge order.
+				out[i].Err = err
+				continue
+			}
 			out[i].Cost, out[i].NumRules, out[i].CacheHit, out[i].Err = o.evaluate(sp, p.Support, p.Confidence)
 		}
 		sp.End()
@@ -264,6 +321,13 @@ func (o *segObjective) EvaluateBatch(probes []optimizer.Probe) []optimizer.Probe
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if err := o.ck.Err(); err != nil {
+					// Canceled: stop starting probes; drain the queue
+					// marking the rest refused so the merge sees the
+					// cancellation in order.
+					out[i].Err = err
+					continue
+				}
 				o.sys.mQueueDepth.Set(int64(len(next)))
 				p := probes[i]
 				out[i].Cost, out[i].NumRules, out[i].CacheHit, out[i].Err = o.evaluate(sp, p.Support, p.Confidence)
@@ -290,7 +354,7 @@ func (o *segObjective) cacheStats() CacheStats {
 // with "mine"/"cluster"/"verify"/"mdl" children under parent; probes
 // run only on cache misses, so the span cost sits beside a full mining
 // pass.
-func (s *System) evaluateProbe(parent obs.Span, seg int, minSup, minConf float64) (float64, int, error) {
+func (s *System) evaluateProbe(ctx context.Context, parent obs.Span, seg int, minSup, minConf float64) (float64, int, error) {
 	sp := parent.Child("probe",
 		obs.Float("support", minSup), obs.Float("confidence", minConf))
 	rs, err := s.mineAtSeg(sp, seg, minSup, minConf)
@@ -307,7 +371,7 @@ func (s *System) evaluateProbe(parent obs.Span, seg int, minSup, minConf float64
 	rng := rand.New(rand.NewSource(s.cfg.Seed + 1))
 	var meanErrors float64
 	s.labeled("verify", func() {
-		meanErrors, _, err = s.vindex.MeasureRepeated(rs, rng,
+		meanErrors, _, err = s.vindex.MeasureRepeatedContext(ctx, rs, rng,
 			s.cfg.SampleRounds, s.cfg.SampleK, seg)
 	})
 	vsp.End()
@@ -344,16 +408,39 @@ func (s *System) evaluateProbe(parent obs.Span, seg int, minSup, minConf float64
 
 // Run executes the full feedback loop for the configured criterion value.
 func (s *System) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation; see RunValueContext
+// for the degraded-result contract.
+func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	if s.cfg.CritValue == "" {
 		return nil, fmt.Errorf("core: Config.CritValue is required for Run; use SegmentAll for every value")
 	}
-	return s.RunValue(s.cfg.CritValue)
+	return s.RunValueContext(ctx, s.cfg.CritValue)
 }
 
 // RunValue executes the full feedback loop for an arbitrary criterion
 // value, reusing the BinArray (no re-binning, §3.1). It is safe to call
 // concurrently for different values.
 func (s *System) RunValue(label string) (*Result, error) {
+	return s.RunValueContext(context.Background(), label)
+}
+
+// RunValueContext is RunValue with cooperative cancellation and graceful
+// degradation. When the context is canceled (or its deadline expires)
+// mid-search, the run does not discard the work already done: if the
+// search had an incumbent best, the final mine and verify execute
+// DETACHED from the canceled context (they are bounded — one pipeline
+// pass at known thresholds) and the call returns that best-so-far Result
+// with Degraded set, alongside a *RunError{Phase: "search", Partial:
+// true} wrapping the cancellation. Callers that only check err != nil
+// stay correct — they just lose the partial result; callers that want it
+// check RunError.Partial or Result != nil.
+//
+// Cancellation before any probe settles returns a nil Result and a
+// non-partial RunError.
+func (s *System) RunValueContext(ctx context.Context, label string) (*Result, error) {
 	seg, err := s.segCode(label)
 	if err != nil {
 		return nil, err
@@ -362,7 +449,7 @@ func (s *System) RunValue(label string) (*Result, error) {
 		obs.Str("strategy", s.cfg.Search.String()))
 	var phases []PhaseTiming
 
-	obj := &segObjective{sys: s, seg: seg}
+	obj := &segObjective{sys: s, seg: seg, ctx: ctx, ck: cancelcheck.New(ctx)}
 	var best optimizer.Best
 	serr := s.timed(root, &phases, "search", func(sp obs.Span) error {
 		obj.span = sp
@@ -387,25 +474,44 @@ func (s *System) RunValue(label string) (*Result, error) {
 			}
 			return nil
 		case SearchWalk:
-			best, err = s.cfg.Walk.Optimize(obj)
+			best, err = s.cfg.Walk.OptimizeContext(ctx, obj)
 		case SearchAnneal:
-			best, err = s.cfg.Anneal.Optimize(obj)
+			best, err = s.cfg.Anneal.OptimizeContext(ctx, obj)
 		case SearchFactorial:
-			best, err = s.cfg.Factorial.Optimize(obj)
+			best, err = s.cfg.Factorial.OptimizeContext(ctx, obj)
 		default:
 			return fmt.Errorf("core: unknown search strategy %v", s.cfg.Search)
 		}
 		if err != nil {
+			if cancelcheck.IsCancel(err) {
+				return err // classified by the caller; keep the chain bare
+			}
 			return fmt.Errorf("core: optimizing %q: %w", label, err)
 		}
 		return nil
 	})
+	degraded := false
 	if serr != nil {
-		root.End()
-		return nil, serr
+		// Cancellation with an incumbent best degrades to a partial
+		// result; everything else — including cancellation before any
+		// probe produced rules — fails the run.
+		if !cancelcheck.IsCancel(serr) || best.NumRules == 0 || math.IsInf(best.Cost, 1) {
+			root.End(obs.Str("error", serr.Error()))
+			if cancelcheck.IsCancel(serr) {
+				return nil, &RunError{Phase: "search", Err: serr}
+			}
+			return nil, serr
+		}
+		degraded = true
+		s.mDegraded.Inc()
 	}
 	s.annotateSearchTrace(best.Trace)
 
+	// The final mine and verify run detached from ctx even on the
+	// degraded path: re-mining at the chosen thresholds is one bounded
+	// pipeline pass, and a Degraded result must still be internally
+	// consistent (rules, error counts and cost all from the same
+	// thresholds).
 	var finalRules []rules.ClusteredRule
 	if err := s.timed(root, &phases, "mine-final", func(sp obs.Span) error {
 		var err error
@@ -413,7 +519,7 @@ func (s *System) RunValue(label string) (*Result, error) {
 		return err
 	}); err != nil {
 		root.End()
-		return nil, err
+		return nil, &RunError{Phase: "mine-final", Err: err}
 	}
 	var errs verify.ErrorCounts
 	_ = s.timed(root, &phases, "verify-final", func(obs.Span) error {
@@ -421,7 +527,7 @@ func (s *System) RunValue(label string) (*Result, error) {
 		return nil
 	})
 	root.End(obs.Int("rules", len(finalRules)), obs.Int("evaluations", best.Evaluations))
-	return &Result{
+	res := &Result{
 		CritValue:     label,
 		Rules:         finalRules,
 		MinSupport:    best.Support,
@@ -433,7 +539,13 @@ func (s *System) RunValue(label string) (*Result, error) {
 		Cache:         obj.cacheStats(),
 		Provenance:    summarizeProvenance(best.Trace),
 		Phases:        phases,
-	}, nil
+		Degraded:      degraded,
+		FailedProbes:  best.Failures,
+	}
+	if degraded {
+		return res, &RunError{Phase: "search", Err: serr, Partial: true}
+	}
+	return res, nil
 }
 
 // annotateSearchTrace replays the finished search trace into the span
@@ -473,6 +585,17 @@ func (s *System) annotateSearchTrace(trace []optimizer.Step) {
 // read shared state, so they execute concurrently (bounded by
 // GOMAXPROCS). Results are keyed by criterion label.
 func (s *System) SegmentAll() (map[string]*Result, error) {
+	return s.SegmentAllContext(context.Background())
+}
+
+// SegmentAllContext is SegmentAll with cooperative cancellation. The
+// per-value runs share the context; on cancellation the map still holds
+// every value whose run completed — including degraded best-so-far
+// results from runs that were mid-search — and the error is a
+// *RunError{Phase: "segment-all"} whose Partial flag reports whether the
+// map is non-empty. Non-cancellation failures of any value fail the
+// whole segmentation with a nil map, as before.
+func (s *System) SegmentAllContext(ctx context.Context) (map[string]*Result, error) {
 	labels := s.schema.At(s.critIdx).Categories()
 	sort.Strings(labels)
 	type outcome struct {
@@ -488,7 +611,7 @@ func (s *System) SegmentAll() (map[string]*Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := s.RunValue(label)
+			res, err := s.RunValueContext(ctx, label)
 			if err != nil && isNoThresholds(err) {
 				// A group too small to support any rules is reported as
 				// an empty result rather than failing the segmentation.
@@ -499,11 +622,27 @@ func (s *System) SegmentAll() (map[string]*Result, error) {
 	}
 	wg.Wait()
 	out := make(map[string]*Result, len(labels))
+	var cancelErr error
 	for i, label := range labels {
-		if outcomes[i].err != nil {
-			return nil, outcomes[i].err
+		res, err := outcomes[i].res, outcomes[i].err
+		if err != nil {
+			if cancelcheck.IsCancel(err) {
+				if cancelErr == nil {
+					cancelErr = err
+				}
+				// A degraded run still yields a usable result; a refused
+				// run yields nothing for this label.
+				if res != nil {
+					out[label] = res
+				}
+				continue
+			}
+			return nil, err
 		}
-		out[label] = outcomes[i].res
+		out[label] = res
+	}
+	if cancelErr != nil {
+		return out, &RunError{Phase: "segment-all", Err: cancelErr, Partial: len(out) > 0}
 	}
 	return out, nil
 }

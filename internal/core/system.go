@@ -12,6 +12,7 @@ import (
 	"arcs/internal/binarray"
 	"arcs/internal/binning"
 	"arcs/internal/bitop"
+	"arcs/internal/cancelcheck"
 	"arcs/internal/cluster"
 	"arcs/internal/dataset"
 	"arcs/internal/engine"
@@ -64,6 +65,10 @@ type System struct {
 	mRectHeight  *obs.Histogram
 	mMDLCluster  *obs.Histogram
 	mMDLError    *obs.Histogram
+	// Robustness accounting: probes whose panics were recovered, and runs
+	// that returned a degraded (best-so-far) result after cancellation.
+	mPanics   *obs.Counter
+	mDegraded *obs.Counter
 
 	// mu guards the thresholds cache; everything else is read-only
 	// after New, so concurrent RunValue calls are safe.
@@ -77,6 +82,15 @@ type System struct {
 // (skipped for the binning when both ranges are fixed and the strategy is
 // equi-width), and one to fill the BinArray.
 func New(src dataset.Source, cfg Config) (*System, error) {
+	return NewContext(context.Background(), src, cfg)
+}
+
+// NewContext is New with cooperative cancellation of the two data passes:
+// both the fit/sample pass and the binning pass poll the context at the
+// dataset layer's checkpoint granularity, and construction fails with a
+// RunError{Phase: "init"} wrapping the cancellation. There is no partial
+// System — a half-filled BinArray would silently bias every later result.
+func NewContext(ctx context.Context, src dataset.Source, cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -98,6 +112,8 @@ func New(src dataset.Source, cfg Config) (*System, error) {
 	s.mRectHeight = reg.HistogramBuckets("cluster_rect_height", obs.SizeBuckets)
 	s.mMDLCluster = reg.HistogramBuckets("mdl_cluster_term_bits", obs.SizeBuckets)
 	s.mMDLError = reg.HistogramBuckets("mdl_error_term_bits", obs.SizeBuckets)
+	s.mPanics = reg.Counter("probe_panics_recovered_total")
+	s.mDegraded = reg.Counter("runs_degraded_total")
 	init := s.obs.Root("init",
 		obs.Str("x_attr", cfg.XAttr), obs.Str("y_attr", cfg.YAttr),
 		obs.Str("crit_attr", cfg.CritAttr))
@@ -123,8 +139,8 @@ func New(src dataset.Source, cfg Config) (*System, error) {
 	}
 
 	sp := init.Child("fit-sample")
-	if err := s.fitAndSample(src); err != nil {
-		return nil, err
+	if err := s.fitAndSample(ctx, src); err != nil {
+		return nil, initErr(err)
 	}
 	sp.End(obs.Int("sample", s.sample.Len()))
 
@@ -134,10 +150,10 @@ func New(src dataset.Source, cfg Config) (*System, error) {
 	}
 	sp = init.Child("bin")
 	s.labeled("bin", func() {
-		s.ba, err = binarray.Build(src, s.xIdx, s.yIdx, s.critIdx, s.xb, s.yb, nseg)
+		s.ba, err = binarray.BuildContext(ctx, src, s.xIdx, s.yIdx, s.critIdx, s.xb, s.yb, nseg)
 	})
 	if err != nil {
-		return nil, err
+		return nil, initErr(err)
 	}
 	if s.ba.N() == 0 {
 		return nil, fmt.Errorf("core: source yielded no tuples")
@@ -240,8 +256,18 @@ func (s *System) buildVerifyIndex() error {
 	return nil
 }
 
+// initErr wraps construction-pass failures as RunError{Phase: "init"}
+// when they stem from cancellation, leaving other errors untouched so
+// existing callers keep their error shapes.
+func initErr(err error) error {
+	if cancelcheck.IsCancel(err) {
+		return &RunError{Phase: "init", Err: err}
+	}
+	return err
+}
+
 // fitAndSample draws the verification sample and fits the binners.
-func (s *System) fitAndSample(src dataset.Source) error {
+func (s *System) fitAndSample(ctx context.Context, src dataset.Source) error {
 	cfg := s.cfg
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	fitSize := cfg.SampleSize
@@ -252,7 +278,7 @@ func (s *System) fitAndSample(src dataset.Source) error {
 	buf := make([]dataset.Tuple, 0, fitSize)
 	xLo, xHi := math.Inf(1), math.Inf(-1)
 	yLo, yHi := math.Inf(1), math.Inf(-1)
-	err := dataset.ForEach(src, func(t dataset.Tuple) error {
+	err := dataset.ForEachContext(ctx, src, func(t dataset.Tuple) error {
 		if v := t[s.xIdx]; v < xLo {
 			xLo = v
 		}

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -113,13 +114,20 @@ func inferSchema(header []string, records [][]string) *Schema {
 // WriteCSV streams src as comma-separated text with a header row,
 // rendering categorical codes back to their labels.
 func WriteCSV(w io.Writer, src Source) error {
+	return WriteCSVContext(context.Background(), w, src)
+}
+
+// WriteCSVContext is WriteCSV with checkpointed cancellation: a canceled
+// context stops the pass at the next checkpoint, leaving the output
+// truncated at a row boundary. A background context adds no per-row cost.
+func WriteCSVContext(ctx context.Context, w io.Writer, src Source) error {
 	cw := csv.NewWriter(w)
 	schema := src.Schema()
 	if err := cw.Write(schema.Names()); err != nil {
 		return err
 	}
 	rec := make([]string, schema.Len())
-	err := ForEach(src, func(t Tuple) error {
+	err := ForEachContext(ctx, src, func(t Tuple) error {
 		if len(t) != schema.Len() {
 			return ErrSchemaMismatch
 		}

@@ -3,6 +3,7 @@ package dataset
 import (
 	"bufio"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -68,6 +69,13 @@ func InferCSVSchema(path string, sampleRows int) (*Schema, error) {
 			break
 		}
 		if err != nil {
+			// Malformed rows don't invalidate inference — the streaming
+			// pass reports them per-row (see Next); skip them here so one
+			// dirty row cannot block opening the file.
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				continue
+			}
 			return nil, err
 		}
 		records = append(records, append([]string(nil), rec...))
@@ -79,11 +87,17 @@ func InferCSVSchema(path string, sampleRows int) (*Schema, error) {
 func (s *CSVStream) Schema() *Schema { return s.schema }
 
 // Reset implements Source: it reopens the file and re-validates the
-// header.
+// header. A close error on the previous pass's handle is reported
+// rather than dropped — on some filesystems close is where write-back
+// and revalidation errors surface.
 func (s *CSVStream) Reset() error {
 	if s.file != nil {
-		s.file.Close()
+		err := s.file.Close()
 		s.file = nil
+		s.cr = nil
+		if err != nil {
+			return fmt.Errorf("dataset: closing %s before reset: %w", s.path, err)
+		}
 	}
 	f, err := os.Open(s.path)
 	if err != nil {
@@ -113,6 +127,11 @@ func (s *CSVStream) Reset() error {
 }
 
 // Next implements Source. The returned tuple is reused between calls.
+//
+// Errors confined to one row — malformed CSV syntax, a wrong field
+// count, an unparseable cell — come back as *RowError carrying the
+// file:line position; the stream stays positioned so the following Next
+// yields the next row. I/O errors propagate unwrapped and are fatal.
 func (s *CSVStream) Next() (Tuple, error) {
 	if s.cr == nil {
 		return nil, io.EOF
@@ -122,11 +141,25 @@ func (s *CSVStream) Next() (Tuple, error) {
 		return nil, io.EOF
 	}
 	if err != nil {
-		return nil, fmt.Errorf("dataset: CSV row %d: %w", s.row+1, err)
+		s.row++
+		var pe *csv.ParseError
+		if errors.As(err, &pe) {
+			// csv.Reader keeps its position after a parse error, so the
+			// row is skippable. Its error already carries "line N" —
+			// prefer its line accounting (it counts physical lines,
+			// which diverge from records on embedded newlines).
+			reason := "malformed"
+			if errors.Is(err, csv.ErrFieldCount) {
+				reason = "field-count"
+			}
+			return nil, &RowError{Path: s.path, Row: pe.Line, Reason: reason, Err: err}
+		}
+		return nil, fmt.Errorf("dataset: %s:%d: %w", s.path, s.row, err)
 	}
 	s.row++
 	if len(rec) != s.schema.Len() {
-		return nil, fmt.Errorf("dataset: CSV row %d has %d fields, want %d", s.row, len(rec), s.schema.Len())
+		return nil, &RowError{Path: s.path, Row: s.row, Reason: "field-count",
+			Err: fmt.Errorf("has %d fields, want %d", len(rec), s.schema.Len())}
 	}
 	for i, field := range rec {
 		a := s.schema.At(i)
@@ -134,13 +167,15 @@ func (s *CSVStream) Next() (Tuple, error) {
 		case Quantitative:
 			v, err := strconv.ParseFloat(field, 64)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: CSV row %d, attribute %q: %w", s.row, a.Name, err)
+				return nil, &RowError{Path: s.path, Row: s.row, Reason: "parse",
+					Err: fmt.Errorf("attribute %q: %w", a.Name, err)}
 			}
 			s.buf[i] = v
 		case Categorical:
 			code, err := a.CategoryCode(field)
 			if err != nil {
-				return nil, err
+				return nil, &RowError{Path: s.path, Row: s.row, Reason: "category",
+					Err: fmt.Errorf("attribute %q: %w", a.Name, err)}
 			}
 			s.buf[i] = float64(code)
 		}

@@ -1,0 +1,299 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"arcs/internal/obs"
+)
+
+// flakySource yields n tuples, failing transiently on configured
+// positions and permanently on others.
+type flakySource struct {
+	schema    *Schema
+	n         int
+	pos       int
+	transient map[int]int // position -> remaining transient failures
+	fatalAt   int         // position of a permanent error, -1 disables
+	rowErrAt  int         // position of a RowError, -1 disables
+	nanAt     int         // position with a NaN x value, -1 disables
+	buf       Tuple
+}
+
+type transientErr struct{ msg string }
+
+func (e transientErr) Error() string   { return e.msg }
+func (e transientErr) Transient() bool { return true }
+
+func newFlakySchema(t *testing.T) *Schema {
+	t.Helper()
+	schema := NewSchema(
+		Attribute{Name: "x", Kind: Quantitative},
+		Attribute{Name: "g", Kind: Categorical},
+	)
+	if _, err := schema.At(1).CategoryCode("A"); err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+func newFlaky(schema *Schema, n int) *flakySource {
+	return &flakySource{schema: schema, n: n, transient: map[int]int{},
+		fatalAt: -1, rowErrAt: -1, nanAt: -1, buf: make(Tuple, 2)}
+}
+
+func (f *flakySource) Schema() *Schema { return f.schema }
+func (f *flakySource) Reset() error    { f.pos = 0; return nil }
+
+func (f *flakySource) Next() (Tuple, error) {
+	if f.pos >= f.n {
+		return nil, io.EOF
+	}
+	if left := f.transient[f.pos]; left > 0 {
+		f.transient[f.pos] = left - 1
+		return nil, transientErr{fmt.Sprintf("transient at %d", f.pos)}
+	}
+	i := f.pos
+	f.pos++
+	switch i {
+	case f.fatalAt:
+		return nil, errors.New("disk on fire")
+	case f.rowErrAt:
+		return nil, &RowError{Row: i + 1, Reason: "parse", Err: errors.New("bad cell")}
+	}
+	f.buf[0] = float64(i)
+	if i == f.nanAt {
+		f.buf[0] = math.NaN()
+	}
+	f.buf[1] = 0
+	return f.buf, nil
+}
+
+func noSleepRetry(max int) Retry {
+	return Retry{Max: max, Base: time.Microsecond, Sleep: func(time.Duration) {}}
+}
+
+func TestResilientRetriesTransient(t *testing.T) {
+	src := newFlaky(newFlakySchema(t), 10)
+	src.transient[3] = 2
+	r := NewResilient(src, noSleepRetry(3), Quarantine{})
+	n, err := Count(r)
+	if err != nil || n != 10 {
+		t.Fatalf("Count = %d, %v; want 10, nil", n, err)
+	}
+	if st := r.Stats(); st.Retries != 2 {
+		t.Errorf("retries = %d, want 2", st.Retries)
+	}
+}
+
+func TestResilientRetryBudgetExhausted(t *testing.T) {
+	src := newFlaky(newFlakySchema(t), 10)
+	src.transient[3] = 5
+	r := NewResilient(src, noSleepRetry(2), Quarantine{})
+	_, err := Count(r)
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("want transient error after retries, got %v", err)
+	}
+}
+
+func TestResilientQuarantinesRowErrorsAndNaN(t *testing.T) {
+	src := newFlaky(newFlakySchema(t), 10)
+	src.rowErrAt = 2
+	src.nanAt = 5
+	reg := obs.NewRegistry()
+	r := NewResilient(src, Retry{}, Quarantine{MaxBadRows: 5})
+	r.Observe(reg)
+	n, err := Count(r)
+	if err != nil || n != 8 {
+		t.Fatalf("Count = %d, %v; want 8, nil", n, err)
+	}
+	st := r.Stats()
+	if st.Quarantined["parse"] != 1 || st.Quarantined["non-finite"] != 1 {
+		t.Errorf("quarantine reasons = %v", st.Quarantined)
+	}
+	if got := reg.Counter("rows_quarantined_total").Value(); got != 2 {
+		t.Errorf("rows_quarantined_total = %d, want 2", got)
+	}
+	if got := reg.Counter("rows_quarantined_non-finite").Value(); got != 1 {
+		t.Errorf("rows_quarantined_non-finite = %d, want 1", got)
+	}
+}
+
+func TestResilientBadRowBudget(t *testing.T) {
+	src := newFlaky(newFlakySchema(t), 10)
+	src.rowErrAt = 2
+	r := NewResilient(src, Retry{}, Quarantine{MaxBadRows: 0})
+	_, err := Count(r)
+	if !errors.Is(err, ErrTooManyBadRows) {
+		t.Fatalf("want ErrTooManyBadRows, got %v", err)
+	}
+}
+
+func TestResilientBudgetIsPerPass(t *testing.T) {
+	src := newFlaky(newFlakySchema(t), 10)
+	src.rowErrAt = 2
+	r := NewResilient(src, Retry{}, Quarantine{MaxBadRows: 1})
+	for pass := 0; pass < 3; pass++ {
+		if _, err := Count(r); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+	}
+	if st := r.Stats(); st.Total() != 3 {
+		t.Errorf("cumulative quarantined = %d, want 3", st.Total())
+	}
+}
+
+func TestResilientFatalErrorsPropagate(t *testing.T) {
+	src := newFlaky(newFlakySchema(t), 10)
+	src.fatalAt = 4
+	r := NewResilient(src, noSleepRetry(3), Quarantine{MaxBadRows: -1})
+	_, err := Count(r)
+	if err == nil || IsTransient(err) || errors.Is(err, ErrTooManyBadRows) {
+		t.Fatalf("fatal error should propagate unchanged, got %v", err)
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	src := newFlaky(newFlakySchema(t), 100_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	rows := 0
+	err := ForEachContext(ctx, src, func(Tuple) error {
+		rows++
+		if rows == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Cancellation is checkpointed: the pass stops within one checkpoint
+	// interval of the cancel, not at the very next row.
+	if rows > 10+forEachCheckEvery {
+		t.Errorf("pass ran %d rows past cancel, granularity is %d", rows-10, forEachCheckEvery)
+	}
+}
+
+func TestCSVStreamRowErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dirty.csv")
+	content := "x,g\n1,A\nnot-a-number,A\n3,A\n4,B,extra\n5,B\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Infer from the clean first row only: sampling the dirty rows would
+	// (correctly) flip x to categorical and hide the parse errors.
+	schema, err := InferCSVSchema(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := OpenCSVStream(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+
+	var rowErrs []*RowError
+	var vals []float64
+	for {
+		tp, err := cs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			re := AsRowError(err)
+			if re == nil {
+				t.Fatalf("non-row error from dirty row: %v", err)
+			}
+			rowErrs = append(rowErrs, re)
+			continue
+		}
+		vals = append(vals, tp[0])
+	}
+	if len(vals) != 3 {
+		t.Fatalf("clean rows = %v, want [1 3 5]", vals)
+	}
+	if len(rowErrs) != 2 {
+		t.Fatalf("row errors = %d, want 2", len(rowErrs))
+	}
+	if rowErrs[0].Reason != "parse" || rowErrs[0].Row != 3 || rowErrs[0].Path != path {
+		t.Errorf("first row error = %+v, want parse at %s:3", rowErrs[0], path)
+	}
+	if rowErrs[1].Reason != "field-count" {
+		t.Errorf("second row error reason = %q, want field-count", rowErrs[1].Reason)
+	}
+	if want := fmt.Sprintf("%s:3", path); !contains(rowErrs[0].Error(), want) {
+		t.Errorf("error %q should carry file:line %q", rowErrs[0].Error(), want)
+	}
+}
+
+func TestResilientOverCSVStream(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dirty.csv")
+	content := "x,g\n1,A\nnot-a-number,A\n3,A\nNaN,B\n5,B\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	schema, err := InferCSVSchema(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := OpenCSVStream(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewResilient(cs, Retry{}, Quarantine{MaxBadRows: 10})
+	defer r.Close()
+	tb, err := Materialize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 3 {
+		t.Errorf("clean rows = %d, want 3", tb.Len())
+	}
+	st := r.Stats()
+	if st.Quarantined["parse"] != 1 || st.Quarantined["non-finite"] != 1 {
+		t.Errorf("quarantined = %v", st.Quarantined)
+	}
+}
+
+func TestLimitForwardsClose(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ok.csv")
+	if err := os.WriteFile(path, []byte("x,g\n1,A\n2,B\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	schema, err := InferCSVSchema(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := OpenCSVStream(path, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := Limit(cs, 1)
+	if n, err := Count(lim); err != nil || n != 1 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+	closer, ok := lim.(interface{ Close() error })
+	if !ok {
+		t.Fatal("Limit over a closeable source should forward Close")
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The underlying stream is closed: Next without Reset reports EOF.
+	if _, err := cs.Next(); err != io.EOF {
+		t.Errorf("closed stream Next = %v, want EOF", err)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

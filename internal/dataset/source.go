@@ -1,9 +1,12 @@
 package dataset
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+
+	"arcs/internal/cancelcheck"
 )
 
 // Tuple is a single record: one encoded float64 per schema attribute.
@@ -46,14 +49,86 @@ type SizedSource interface {
 // schema it is being used with.
 var ErrSchemaMismatch = errors.New("dataset: tuple width does not match schema")
 
+// RowError marks an error confined to a single input row — a cell that
+// fails to parse, a wrong field count, a non-finite value. The source
+// remains usable: the next Next call yields the following row. Consumers
+// that tolerate dirty input (see Resilient) skip or quarantine RowErrors;
+// everything else propagates them like any other error.
+type RowError struct {
+	// Path is the originating file ("" for non-file sources) and Row the
+	// 1-based row number including the header, so Error renders the
+	// conventional file:line position.
+	Path string
+	Row  int
+	// Reason is a short classification key ("parse", "field-count",
+	// "category", "non-finite", ...) used for quarantine accounting.
+	Reason string
+	Err    error
+}
+
+// Error renders the file:line position ahead of the underlying cause.
+func (e *RowError) Error() string {
+	pos := fmt.Sprintf("row %d", e.Row)
+	if e.Path != "" {
+		pos = fmt.Sprintf("%s:%d", e.Path, e.Row)
+	}
+	return fmt.Sprintf("dataset: %s: %v", pos, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *RowError) Unwrap() error { return e.Err }
+
+// AsRowError extracts a *RowError from err's chain, nil when absent.
+func AsRowError(err error) *RowError {
+	var re *RowError
+	if errors.As(err, &re) {
+		return re
+	}
+	return nil
+}
+
+// Transient marks errors worth retrying (injected I/O hiccups, flaky
+// network sources). Implementations return true from Transient(); see
+// IsTransient for classification.
+type Transient interface{ Transient() bool }
+
+// IsTransient reports whether any error in err's chain declares itself
+// retryable via the Transient interface.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(Transient); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
 // ForEach streams src from the beginning and invokes fn for every tuple.
 // It resets the source first, so the caller always sees a full pass.
 // Iteration stops at the first error from fn.
 func ForEach(src Source, fn func(Tuple) error) error {
+	return ForEachContext(context.Background(), src, fn)
+}
+
+// forEachCheckEvery is the cooperative-cancellation granularity of a
+// streaming pass: the context is polled once per this many tuples, so a
+// canceled pass stops within a bounded slice of work without putting a
+// context poll on every row.
+const forEachCheckEvery = 1024
+
+// ForEachContext is ForEach with checkpointed cancellation: the context
+// is polled every forEachCheckEvery tuples and iteration stops with the
+// cancellation error. A background context adds no per-row cost.
+func ForEachContext(ctx context.Context, src Source, fn func(Tuple) error) error {
 	if err := src.Reset(); err != nil {
 		return fmt.Errorf("dataset: reset: %w", err)
 	}
+	point := cancelcheck.New(ctx).Point(forEachCheckEvery)
 	for {
+		if err := point.Check(); err != nil {
+			return err
+		}
 		t, err := src.Next()
 		if err == io.EOF {
 			return nil
@@ -119,7 +194,10 @@ func (l *limitSource) Next() (Tuple, error) {
 
 func (l *limitSource) Reset() error {
 	l.seen = 0
-	return l.src.Reset()
+	if err := l.src.Reset(); err != nil {
+		return fmt.Errorf("dataset: limit reset: %w", err)
+	}
+	return nil
 }
 
 func (l *limitSource) Len() int {
@@ -129,6 +207,16 @@ func (l *limitSource) Len() int {
 		}
 	}
 	return l.limit
+}
+
+// Close forwards to the wrapped source when it is closeable, so wrapping
+// a CSVStream in Limit does not leak the underlying file handle or
+// swallow its close error.
+func (l *limitSource) Close() error {
+	if c, ok := l.src.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // FuncSource adapts a generator function into a Source. The function is

@@ -1,0 +1,159 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"arcs/internal/dataset"
+)
+
+func fixtureSource(n int) *dataset.FuncSource {
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "x", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "y", Kind: dataset.Quantitative},
+	)
+	return dataset.NewFuncSource(schema, n, func(i int, out dataset.Tuple) {
+		out[0] = float64(i)
+		out[1] = float64(i * 2)
+	})
+}
+
+// drain reads the source to EOF, returning good rows and non-EOF errors
+// in encounter order.
+func drain(t *testing.T, src dataset.Source) (rows int, errs []error) {
+	t.Helper()
+	for {
+		_, err := src.Next()
+		if err == io.EOF {
+			return rows, errs
+		}
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		rows++
+	}
+}
+
+func TestRowErrorEvery(t *testing.T) {
+	f := Wrap(fixtureSource(10), Schedule{RowErrorEvery: 3})
+	rows, errs := drain(t, f)
+	if rows != 7 || len(errs) != 3 {
+		t.Fatalf("rows=%d errs=%d, want 7 good rows and 3 injected errors", rows, len(errs))
+	}
+	for _, err := range errs {
+		re := dataset.AsRowError(err)
+		if re == nil || re.Reason != "injected" {
+			t.Fatalf("injected error %v is not a RowError(injected)", err)
+		}
+	}
+	if f.Stats().RowErrors != 3 {
+		t.Fatalf("stats.RowErrors = %d, want 3", f.Stats().RowErrors)
+	}
+}
+
+func TestTransientEveryIsRetryable(t *testing.T) {
+	f := Wrap(fixtureSource(6), Schedule{TransientEvery: 4, TransientFailures: 2})
+	rows, errs := drain(t, f)
+	if rows != 6 {
+		t.Fatalf("rows = %d, want all 6 (transient errors do not consume rows)", rows)
+	}
+	if len(errs) == 0 {
+		t.Fatal("no transient errors injected")
+	}
+	for _, err := range errs {
+		if !dataset.IsTransient(err) {
+			t.Fatalf("injected error %v is not transient", err)
+		}
+		var te *TransientError
+		if !errors.As(err, &te) {
+			t.Fatalf("injected error %v is not a *TransientError", err)
+		}
+	}
+}
+
+func TestTruncateAfter(t *testing.T) {
+	f := Wrap(fixtureSource(100), Schedule{TruncateAfter: 7})
+	rows, errs := drain(t, f)
+	if rows != 7 || len(errs) != 0 {
+		t.Fatalf("rows=%d errs=%d, want exactly 7 rows then clean EOF", rows, len(errs))
+	}
+}
+
+func TestScheduleReplaysAcrossPasses(t *testing.T) {
+	f := Wrap(fixtureSource(50), Schedule{Seed: 42, RowErrorProb: 0.2})
+	firstRows, firstErrs := drain(t, f)
+	if err := f.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	secondRows, secondErrs := drain(t, f)
+	if firstRows != secondRows || len(firstErrs) != len(secondErrs) {
+		t.Fatalf("pass 1 (%d rows, %d errs) != pass 2 (%d rows, %d errs): schedule not deterministic",
+			firstRows, len(firstErrs), secondRows, len(secondErrs))
+	}
+	if len(firstErrs) == 0 {
+		t.Fatal("probabilistic schedule injected nothing at p=0.2 over 50 rows")
+	}
+}
+
+func TestPanicAtRow(t *testing.T) {
+	f := Wrap(fixtureSource(10), Schedule{PanicAtRow: 3})
+	for i := 0; i < 2; i++ {
+		if _, err := f.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row 3 did not panic")
+		}
+	}()
+	f.Next()
+}
+
+func TestResilientAbsorbsInjectedFaults(t *testing.T) {
+	f := Wrap(fixtureSource(60), Schedule{RowErrorEvery: 10, TransientEvery: 17})
+	r := dataset.NewResilient(f,
+		dataset.Retry{Max: 3, Sleep: func(time.Duration) {}},
+		dataset.Quarantine{MaxBadRows: -1})
+	var rows int
+	if err := dataset.ForEach(r, func(dataset.Tuple) error { rows++; return nil }); err != nil {
+		t.Fatalf("resilient pass failed: %v", err)
+	}
+	if rows != 54 {
+		t.Fatalf("rows = %d, want 54 (60 minus 6 quarantined)", rows)
+	}
+	st := r.Stats()
+	if st.Quarantined["injected"] != 6 || st.Retries == 0 {
+		t.Fatalf("stats = %+v, want 6 quarantined injected rows and >0 retries", st)
+	}
+}
+
+func TestPanicOnProbe(t *testing.T) {
+	hook := PanicOnProbe(2)
+	hook(0, 0.1, 0.5) // first call passes
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second probe call did not panic")
+		}
+	}()
+	hook(0, 0.1, 0.5)
+}
+
+func TestLatency(t *testing.T) {
+	f := Wrap(fixtureSource(3), Schedule{Latency: time.Millisecond})
+	start := time.Now()
+	rows, _ := drain(t, f)
+	if rows != 3 {
+		t.Fatalf("rows = %d, want 3", rows)
+	}
+	// 3 rows + EOF call, 1ms each.
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("elapsed %v, want >= 3ms of injected latency", elapsed)
+	}
+	if f.Stats().Latencies < 3 {
+		t.Fatalf("stats.Latencies = %d, want >= 3", f.Stats().Latencies)
+	}
+}

@@ -17,11 +17,14 @@
 package optimizer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"time"
+
+	"arcs/internal/cancelcheck"
 )
 
 // Objective is the feedback loop the optimizer drives: evaluating a
@@ -85,7 +88,10 @@ func evaluateAll(obj Objective, probes []Probe) []ProbeResult {
 	for _, p := range probes {
 		cost, n, err := obj.Evaluate(p.Support, p.Confidence)
 		out = append(out, ProbeResult{Cost: cost, NumRules: n, Err: err})
-		if err != nil {
+		// Isolated probe failures don't invalidate the rest of the batch —
+		// keep going so the sequential path matches the batch path, which
+		// always returns one result per probe.
+		if err != nil && !IsProbeFailure(err) {
 			break
 		}
 	}
@@ -104,7 +110,21 @@ const (
 	ReasonNoImprovement = "no-improvement"
 	// ReasonFixed marks the single probe of a fixed-threshold run.
 	ReasonFixed = "fixed"
+	// ReasonProbeFailed marks a probe whose evaluation failed in a way the
+	// objective declares isolated (see ErrProbeFailed) — typically a
+	// recovered worker panic. The probe is skipped; the search continues.
+	ReasonProbeFailed = "probe-failed"
 )
+
+// ErrProbeFailed marks probe errors confined to that single evaluation:
+// an objective that recovers a crash inside one probe wraps it so the
+// strategies skip the probe (recording a ReasonProbeFailed step and
+// counting it in Best.Failures) instead of aborting the whole search.
+// Errors not wrapping ErrProbeFailed abort the search as before.
+var ErrProbeFailed = errors.New("optimizer: probe failed")
+
+// IsProbeFailure reports whether err is an isolated probe failure.
+func IsProbeFailure(err error) bool { return errors.Is(err, ErrProbeFailed) }
 
 // Step records one probe of the search, for traces and reports.
 type Step struct {
@@ -128,7 +148,10 @@ type Best struct {
 	Cost                float64
 	NumRules            int
 	Evaluations         int
-	Trace               []Step
+	// Failures counts probes skipped as isolated failures (ErrProbeFailed);
+	// they are included in Evaluations.
+	Failures int
+	Trace    []Step
 }
 
 // ErrNoThresholds is returned when the data admits no rules at all.
@@ -137,6 +160,45 @@ var ErrNoThresholds = errors.New("optimizer: no candidate thresholds (no occupie
 // Strategy is a search procedure over the objective.
 type Strategy interface {
 	Optimize(obj Objective) (Best, error)
+}
+
+// ContextStrategy is a Strategy supporting cooperative cancellation: on
+// context cancellation OptimizeContext stops between probe batches and
+// returns the best threshold pair found so far together with the
+// cancellation error, so the caller can degrade to a partial result. All
+// strategies in this package implement it.
+type ContextStrategy interface {
+	Strategy
+	OptimizeContext(ctx context.Context, obj Objective) (Best, error)
+}
+
+// noBest classifies a search that finished without a measured incumbent:
+// when every recorded probe failed, the error says so (wrapping
+// ErrProbeFailed) instead of claiming the data admits no rules —
+// otherwise callers that tolerate ErrNoThresholds (SegmentAll's
+// empty-group handling) would silently swallow a crashed search.
+func noBest(best Best) error {
+	if best.Failures > 0 && best.Failures == best.Evaluations {
+		return fmt.Errorf("optimizer: all %d probes failed: %w", best.Failures, ErrProbeFailed)
+	}
+	return ErrNoThresholds
+}
+
+// probeErr handles one failed probe. Isolated failures (ErrProbeFailed)
+// are recorded on the trace and skipped — it returns nil and the search
+// continues. Cancellation propagates unwrapped so callers can classify
+// it; anything else is wrapped with the probe position and aborts.
+func probeErr(best *Best, sup, conf float64, err error) error {
+	if cancelcheck.IsCancel(err) {
+		return err
+	}
+	if IsProbeFailure(err) {
+		best.Evaluations++
+		best.Failures++
+		best.Trace = append(best.Trace, Step{Support: sup, Confidence: conf, Reason: ReasonProbeFailed})
+		return nil
+	}
+	return fmt.Errorf("optimizer: evaluating (%g, %g): %w", sup, conf, err)
 }
 
 // ThresholdWalk is the paper's search: begin with a low minimum support
@@ -199,7 +261,15 @@ func (w ThresholdWalk) defaults() ThresholdWalk {
 
 // Optimize implements Strategy.
 func (w ThresholdWalk) Optimize(obj Objective) (Best, error) {
+	return w.OptimizeContext(context.Background(), obj)
+}
+
+// OptimizeContext implements ContextStrategy: the context is checked
+// between support levels and across each level's probe batch, and on
+// cancellation the walk returns the incumbent best with the error.
+func (w ThresholdWalk) OptimizeContext(ctx context.Context, obj Objective) (Best, error) {
 	w = w.defaults()
+	ck := cancelcheck.New(ctx)
 	allSupports, err := obj.SupportLevels()
 	if err != nil {
 		return Best{}, fmt.Errorf("optimizer: support levels: %w", err)
@@ -218,6 +288,9 @@ func (w ThresholdWalk) Optimize(obj Objective) (Best, error) {
 	best := Best{Cost: math.Inf(1)}
 	sinceImprove := 0
 	for _, sup := range supports {
+		if err := ck.Err(); err != nil {
+			return best, err
+		}
 		if best.Evaluations >= w.MaxEvals || expired() {
 			break
 		}
@@ -239,7 +312,10 @@ func (w ThresholdWalk) Optimize(obj Objective) (Best, error) {
 		levelBest := math.Inf(1)
 		for i, r := range evaluateAll(obj, probes) {
 			if r.Err != nil {
-				return best, fmt.Errorf("optimizer: evaluating (%g, %g): %w", sup, confs[i], r.Err)
+				if perr := probeErr(&best, sup, confs[i], r.Err); perr != nil {
+					return best, perr
+				}
+				continue
 			}
 			best.Evaluations++
 			step := Step{Support: sup, Confidence: confs[i],
@@ -274,7 +350,7 @@ func (w ThresholdWalk) Optimize(obj Objective) (Best, error) {
 		}
 	}
 	if math.IsInf(best.Cost, 1) {
-		return best, ErrNoThresholds
+		return best, noBest(best)
 	}
 	return best, nil
 }
@@ -333,7 +409,17 @@ func (a Anneal) defaults() Anneal {
 
 // Optimize implements Strategy.
 func (a Anneal) Optimize(obj Objective) (Best, error) {
+	return a.OptimizeContext(context.Background(), obj)
+}
+
+// OptimizeContext implements ContextStrategy: the context is checked
+// before every proposal, and on cancellation the chain stops and returns
+// the incumbent best with the error. An isolated probe failure rejects
+// only that proposal (the chain stays where it was, consuming the RNG
+// identically up to the failed evaluation).
+func (a Anneal) OptimizeContext(ctx context.Context, obj Objective) (Best, error) {
 	a = a.defaults()
+	ck := cancelcheck.New(ctx)
 	supports, err := obj.SupportLevels()
 	if err != nil {
 		return Best{}, fmt.Errorf("optimizer: support levels: %w", err)
@@ -344,10 +430,15 @@ func (a Anneal) Optimize(obj Objective) (Best, error) {
 	rng := rand.New(rand.NewSource(a.Seed))
 	best := Best{Cost: math.Inf(1)}
 
-	eval := func(si int, conf float64) (float64, int, error) {
+	// eval probes one state; ok=false marks an isolated probe failure
+	// (already recorded on the trace) that rejects just this proposal.
+	eval := func(si int, conf float64) (cost float64, ok bool, err error) {
 		cost, n, err := obj.Evaluate(supports[si], conf)
 		if err != nil {
-			return 0, 0, err
+			if perr := probeErr(&best, supports[si], conf, err); perr != nil {
+				return 0, false, perr
+			}
+			return 0, false, nil
 		}
 		best.Evaluations++
 		step := Step{Support: supports[si], Confidence: conf, Cost: cost, NumRules: n}
@@ -362,7 +453,7 @@ func (a Anneal) Optimize(obj Objective) (Best, error) {
 			step.Reason = ReasonNoImprovement
 		}
 		best.Trace = append(best.Trace, step)
-		return cost, n, nil
+		return cost, true, nil
 	}
 
 	// Start at the lowest support with its median confidence, matching
@@ -376,12 +467,20 @@ func (a Anneal) Optimize(obj Objective) (Best, error) {
 		return Best{}, ErrNoThresholds
 	}
 	conf := confs[len(confs)/2]
-	cur, _, err := eval(si, conf)
+	cur, ok, err := eval(si, conf)
 	if err != nil {
 		return best, err
 	}
+	if !ok {
+		// The chain has no measured starting cost: any successful proposal
+		// is an improvement over +Inf.
+		cur = math.Inf(1)
+	}
 	temp := a.InitialTemp
 	for it := 0; it < a.Iterations; it++ {
+		if err := ck.Err(); err != nil {
+			return best, err
+		}
 		// Propose a neighboring state: jitter the support index and pick
 		// a random candidate confidence for it.
 		nsi := si + rng.Intn(5) - 2
@@ -399,18 +498,18 @@ func (a Anneal) Optimize(obj Objective) (Best, error) {
 			continue
 		}
 		nconf := nconfs[rng.Intn(len(nconfs))]
-		cost, _, err := eval(nsi, nconf)
+		cost, ok, err := eval(nsi, nconf)
 		if err != nil {
 			return best, err
 		}
-		if cost <= cur || rng.Float64() < math.Exp((cur-cost)/temp) {
+		if ok && (cost <= cur || rng.Float64() < math.Exp((cur-cost)/temp)) {
 			si, conf, cur = nsi, nconf, cost
 		}
 		temp *= a.Cooling
 	}
 	_ = conf
 	if math.IsInf(best.Cost, 1) {
-		return best, ErrNoThresholds
+		return best, noBest(best)
 	}
 	return best, nil
 }
@@ -435,7 +534,15 @@ func (f Factorial) defaults() Factorial {
 
 // Optimize implements Strategy.
 func (f Factorial) Optimize(obj Objective) (Best, error) {
+	return f.OptimizeContext(context.Background(), obj)
+}
+
+// OptimizeContext implements ContextStrategy: the context is checked at
+// every round boundary, and on cancellation the design stops and returns
+// the incumbent best with the error.
+func (f Factorial) OptimizeContext(ctx context.Context, obj Objective) (Best, error) {
 	f = f.defaults()
+	ck := cancelcheck.New(ctx)
 	supports, err := obj.SupportLevels()
 	if err != nil {
 		return Best{}, fmt.Errorf("optimizer: support levels: %w", err)
@@ -459,6 +566,9 @@ func (f Factorial) Optimize(obj Objective) (Best, error) {
 	cs, cc := (supLo+supHi)/2, (confLo+confHi)/2 // box center
 	hs, hc := (supHi-supLo)/2, (confHi-confLo)/2 // half-widths
 	for round := 0; round < f.Rounds; round++ {
+		if err := ck.Err(); err != nil {
+			return best, err
+		}
 		corners := [][2]float64{
 			{cs - hs, cc - hc}, {cs - hs, cc + hc},
 			{cs + hs, cc - hc}, {cs + hs, cc + hc},
@@ -481,7 +591,10 @@ func (f Factorial) Optimize(obj Objective) (Best, error) {
 		var rbs, rbc float64
 		for i, r := range evaluateAll(obj, probes) {
 			if r.Err != nil {
-				return best, r.Err
+				if perr := probeErr(&best, probes[i].Support, probes[i].Confidence, r.Err); perr != nil {
+					return best, perr
+				}
+				continue
 			}
 			sup, conf := probes[i].Support, probes[i].Confidence
 			best.Evaluations++
@@ -510,7 +623,7 @@ func (f Factorial) Optimize(obj Objective) (Best, error) {
 		hc /= 2
 	}
 	if math.IsInf(best.Cost, 1) {
-		return best, ErrNoThresholds
+		return best, noBest(best)
 	}
 	return best, nil
 }

@@ -6,6 +6,7 @@
 package segment
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -106,7 +107,15 @@ func (a *Applier) Covers(t dataset.Tuple) bool {
 // Apply streams a source and invokes fn with every tuple and its segment
 // membership.
 func (a *Applier) Apply(src dataset.Source, fn func(t dataset.Tuple, covered bool) error) error {
-	return dataset.ForEach(src, func(t dataset.Tuple) error {
+	return a.ApplyContext(context.Background(), src, fn)
+}
+
+// ApplyContext is Apply with checkpointed cancellation: a canceled
+// context stops the pass at the next checkpoint and returns the
+// cancellation error; every tuple already handed to fn stays valid, so
+// callers can flush partial output.
+func (a *Applier) ApplyContext(ctx context.Context, src dataset.Source, fn func(t dataset.Tuple, covered bool) error) error {
+	return dataset.ForEachContext(ctx, src, func(t dataset.Tuple) error {
 		return fn(t, a.Covers(t))
 	})
 }

@@ -1,12 +1,14 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
 	"sync"
 
+	"arcs/internal/cancelcheck"
 	"arcs/internal/dataset"
 	"arcs/internal/grid"
 	"arcs/internal/obs"
@@ -281,17 +283,46 @@ func (ix *Index) MeasureIndices(rs []rules.ClusteredRule, idx []int, segCode int
 // MeasureRepeated, so with equal seeds the two return identical values.
 func (ix *Index) MeasureRepeated(rs []rules.ClusteredRule, rng *rand.Rand,
 	rounds, k, segCode int) (meanErrors, stdErrors float64, err error) {
+	return ix.MeasureRepeatedContext(context.Background(), rs, rng, rounds, k, segCode)
+}
+
+// measureCheckEvery is the cancellation checkpoint stride inside a
+// measurement round: one context poll per this many tuples scored.
+const measureCheckEvery = 2048
+
+// MeasureRepeatedContext is MeasureRepeated with checkpointed
+// cancellation: the sampling rounds poll the context every
+// measureCheckEvery scored tuples and the call returns the cancellation
+// error (with zero statistics — a half-measured error rate is not a
+// usable partial result). The RNG is still advanced identically to the
+// uncancelled call up to the point of cancellation. A background context
+// adds no measurable cost.
+func (ix *Index) MeasureRepeatedContext(ctx context.Context, rs []rules.ClusteredRule,
+	rng *rand.Rand, rounds, k, segCode int) (meanErrors, stdErrors float64, err error) {
 	n := len(ix.crit)
 	if k > n {
 		k = n
 	}
 	cv := ix.NewCoverage(rs)
 	defer cv.Release()
-	return stats.RepeatedKofN(rng, rounds, k, n, func(sample []int) float64 {
+	point := cancelcheck.New(ctx).Point(measureCheckEvery)
+	var cancelErr error
+	mean, std, err := stats.RepeatedKofN(rng, rounds, k, n, func(sample []int) float64 {
+		if cancelErr != nil {
+			return 0 // already canceled: drain remaining rounds without scoring
+		}
 		var e ErrorCounts
 		for _, i := range sample {
+			if cerr := point.Check(); cerr != nil {
+				cancelErr = cerr
+				return 0
+			}
 			e.addIndexed(cv, i, segCode)
 		}
 		return float64(e.Errors())
 	})
+	if cancelErr != nil {
+		return 0, 0, cancelErr
+	}
+	return mean, std, err
 }

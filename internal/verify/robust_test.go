@@ -1,0 +1,50 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestMeasureRepeatedContextMatchesBackground(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tb, xB, yB := indexFixture(t, rng, 500)
+	ix, err := NewIndex(tb, 0, 1, 2, xB, yB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := randomRules(rng, xB, yB, 6, false)
+	m1, s1, err := ix.MeasureRepeated(rs, rand.New(rand.NewSource(9)), 10, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, s2, err := ix.MeasureRepeatedContext(context.Background(), rs, rand.New(rand.NewSource(9)), 10, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 || s1 != s2 {
+		t.Errorf("context variant diverged: (%g, %g) vs (%g, %g)", m1, s1, m2, s2)
+	}
+}
+
+func TestMeasureRepeatedContextCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	// Enough tuples per round to guarantee at least one checkpoint fires
+	// (stride is measureCheckEvery tuples).
+	tb, xB, yB := indexFixture(t, rng, 3*measureCheckEvery)
+	ix, err := NewIndex(tb, 0, 1, 2, xB, yB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := randomRules(rng, xB, yB, 4, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mean, std, err := ix.MeasureRepeatedContext(ctx, rs, rand.New(rand.NewSource(9)), 5, tb.Len(), 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if mean != 0 || std != 0 {
+		t.Errorf("canceled measurement leaked partial statistics: %g, %g", mean, std)
+	}
+}
