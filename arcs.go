@@ -37,6 +37,7 @@ import (
 
 	"arcs/internal/cluster"
 	"arcs/internal/core"
+	"arcs/internal/counts"
 	"arcs/internal/dataset"
 	"arcs/internal/mdl"
 	"arcs/internal/optimizer"
@@ -64,6 +65,13 @@ type CacheStats = core.CacheStats
 
 // ClusteredRule is one clustered association rule of a segmentation.
 type ClusteredRule = rules.ClusteredRule
+
+// Counts is the read API of a System's built count substrate
+// (System.Counts): grid dimensions and the per-cell support/confidence
+// counts of paper §3.2. Implementations include the dense in-memory
+// array and the sharded parallel-ingest backend selected by
+// Config.IngestWorkers; both produce bit-identical counts.
+type Counts = counts.Backend
 
 // MDLWeights biases the cost function (wc, we of paper §3.6).
 type MDLWeights = mdl.Weights

@@ -60,6 +60,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "overall run budget; on expiry print the best-so-far result and exit 3")
 		maxBadRows = flag.Int("max-bad-rows", 0, "input rows to quarantine per pass before failing; -1 unlimited, 0 strict")
 		retries    = flag.Int("retries", 2, "retries per read for transient input errors")
+		ingestW    = flag.Int("ingest-workers", 0, "workers for the parallel counting pass (0/1 sequential; needs an in-memory source, so not with -stream)")
 		prof       obs.Profiler
 	)
 	prof.RegisterFlags(flag.CommandLine)
@@ -190,6 +191,9 @@ func main() {
 	if *stream {
 		defer cs.Close()
 		src = resilient
+		if *ingestW > 1 {
+			slog.Warn("-ingest-workers needs an in-memory source; streaming ingest stays sequential")
+		}
 	} else {
 		tb, err := dataset.Materialize(resilient)
 		if cerr := cs.Close(); err == nil && cerr != nil {
@@ -219,6 +223,7 @@ func main() {
 		FixedMinSupport:    *minSup,
 		FixedMinConfidence: *minConf,
 		Seed:               *seed,
+		IngestWorkers:      *ingestW,
 		Walk:               optimizer.ThresholdWalk{},
 		Observer:           observer,
 	}

@@ -18,6 +18,7 @@
 //	arcsbench -exp ablation            # design-choice ablations
 //	arcsbench -exp why                 # §1 motivation: rule-count comparison
 //	arcsbench -exp feedbackloop        # search-loop probes/sec + cache hit-rate
+//	arcsbench -exp ingest              # counting pass: dense vs sharded workers
 //	arcsbench -exp all                 # everything
 //
 // -scale shrinks every database size by the given factor for quick runs.
@@ -31,6 +32,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,7 +47,8 @@ const exitCanceled = 3
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: rules, fig11, fig12, fig13, fig14, fig15, table2, bins, smoothing, ablation, why, feedbackloop, all")
+		exp       = flag.String("exp", "all", "experiment: rules, fig11, fig12, fig13, fig14, fig15, table2, bins, smoothing, ablation, why, feedbackloop, ingest, all")
+		ingestW   = flag.String("ingest-workers", "2,4,8", "comma-separated worker counts for -exp ingest")
 		scale     = flag.Int("scale", 1, "divide every database size by this factor")
 		c45Cap    = flag.Int("c45cap", 200_000, "largest database C4.5 is attempted on (the paper's C4.5 ran out of memory beyond 100k)")
 		testN     = flag.Int("testn", 10_000, "held-out test table size")
@@ -271,6 +275,27 @@ func main() {
 		return nil
 	})
 
+	run("ingest", func() error {
+		fmt.Println("counting pass: sequential dense build vs sharded parallel ingest (byte-identity re-checked)")
+		workers, err := parseWorkers(*ingestW)
+		if err != nil {
+			return err
+		}
+		n := max(1_000_000 / *scale, 50_000)
+		report, err := experiments.IngestBench(n, 50, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderIngest(report))
+		const out = "BENCH_ingest.json"
+		rec := experiments.IngestBenchRecord(report, experiments.GitSHA(), time.Now())
+		if err := experiments.AppendBenchRecord(out, rec); err != nil {
+			return err
+		}
+		fmt.Printf("appended run to %s\n", out)
+		return nil
+	})
+
 	run("smoothing", func() error {
 		fmt.Println("Figure 7: rule grid before and after the low-pass filter")
 		before, after, err := experiments.SmoothingDemo(max(20_000 / *scale, 5_000), 30)
@@ -287,6 +312,22 @@ func main() {
 		slog.Warn("budget expired during the suite; results printed are partial", "cause", err)
 		exitCode = exitCanceled
 	}
+}
+
+// parseWorkers parses the -ingest-workers list ("2,4,8").
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -ingest-workers entry %q", part)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-ingest-workers is empty")
+	}
+	return out, nil
 }
 
 func scaled(sizes []int, scale int) []int {

@@ -178,11 +178,12 @@ func appendCmd(args []string) error {
 	return nil
 }
 
-// traceTuples pulls the tuple count from the init phase's bin span, the
-// one place the pipeline records the workload size.
+// traceTuples pulls the tuple count from the init phase's count span,
+// the one place the pipeline records the workload size. "bin" is the
+// span's pre-stage-pipeline name, accepted so old traces still parse.
 func traceTuples(t *obs.Trace) int {
 	for _, ev := range t.Events {
-		if ev.Type == obs.EventSpan && ev.Name == "bin" {
+		if ev.Type == obs.EventSpan && (ev.Name == "count" || ev.Name == "bin") {
 			if n, err := strconv.Atoi(ev.Attr("tuples")); err == nil {
 				return n
 			}

@@ -169,6 +169,23 @@ func (b *BinArray) Occupied(seg int, fn func(x, y int, segCount, cellTotal uint3
 	}
 }
 
+// Merge adds every count of other into b; dimensions must match. This
+// is how sharded ingest combines per-worker private arrays: uint32
+// addition is commutative and associative, so the merged counts are
+// identical to a single sequential pass no matter how the stream was
+// partitioned or in which order the shards land.
+func (b *BinArray) Merge(other *BinArray) error {
+	if other.nx != b.nx || other.ny != b.ny || other.nseg != b.nseg {
+		return fmt.Errorf("binarray: merge dimension mismatch: %d×%d×%d vs %d×%d×%d",
+			b.nx, b.ny, b.nseg, other.nx, other.ny, other.nseg)
+	}
+	for i, v := range other.counts {
+		b.counts[i] += v
+	}
+	b.n += other.n
+	return nil
+}
+
 // Stats summarizes a built array's shape and footprint for the
 // observability layer.
 type Stats struct {

@@ -1,0 +1,56 @@
+package binarray
+
+import "testing"
+
+func TestMergeAddsCounts(t *testing.T) {
+	a, err := New(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Add(0, 0, 0)
+	a.Add(2, 1, 1)
+	b.Add(0, 0, 0)
+	b.Add(0, 0, 1)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Count(0, 0, 0); got != 2 {
+		t.Errorf("Count(0,0,0) = %d, want 2", got)
+	}
+	if got := a.Count(0, 0, 1); got != 1 {
+		t.Errorf("Count(0,0,1) = %d, want 1", got)
+	}
+	if got := a.Count(2, 1, 1); got != 1 {
+		t.Errorf("Count(2,1,1) = %d, want 1", got)
+	}
+	if got := a.CellTotal(0, 0); got != 3 {
+		t.Errorf("CellTotal(0,0) = %d, want 3", got)
+	}
+	if got := a.N(); got != 4 {
+		t.Errorf("N() = %d, want 4", got)
+	}
+	// The merge source is untouched.
+	if got := b.N(); got != 2 {
+		t.Errorf("merge source N() = %d, want 2", got)
+	}
+}
+
+func TestMergeRejectsDimensionMismatch(t *testing.T) {
+	a, err := New(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dims := range [][3]int{{2, 2, 2}, {3, 3, 2}, {3, 2, 1}} {
+		b, err := New(dims[0], dims[1], dims[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Merge(b); err == nil {
+			t.Errorf("Merge of %v-dimensioned array succeeded, want error", dims)
+		}
+	}
+}

@@ -193,6 +193,15 @@ type Config struct {
 	// Seed drives all sampling; runs are deterministic per seed.
 	Seed int64
 
+	// IngestWorkers sets the parallelism of the counting pass. 0 or 1
+	// builds the dense count array sequentially; larger values shard the
+	// pass across that many workers when the source supports range
+	// sharding (in-memory tables, deterministic generators — see
+	// dataset.Sharder), falling back to the sequential build for
+	// streaming sources. Counts and results are bit-identical at any
+	// setting; only wall-clock time changes.
+	IngestWorkers int
+
 	// SerialSearch forces the optimizer's probe batches to evaluate one
 	// at a time instead of fanning out across the worker pool. Results
 	// are identical either way (the batch path merges in probe order and
@@ -278,6 +287,9 @@ func (c Config) validate() error {
 	}
 	if c.InterestLift < 0 {
 		return fmt.Errorf("core: interest lift %g is negative", c.InterestLift)
+	}
+	if c.IngestWorkers < 0 {
+		return fmt.Errorf("core: ingest workers %d is negative", c.IngestWorkers)
 	}
 	if c.Search == SearchFixed {
 		if c.FixedMinSupport < 0 || c.FixedMinSupport > 1 ||

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"arcs/internal/counts"
 	"arcs/internal/dataset"
 )
 
@@ -31,6 +32,10 @@ func (s *System) Extend(src dataset.Source) error {
 	remaps, err := s.compatibleRemaps(src.Schema())
 	if err != nil {
 		return err
+	}
+	adder, ok := s.ba.(counts.Adder)
+	if !ok {
+		return fmt.Errorf("core: count backend %T does not support incremental extension", s.ba)
 	}
 	nseg := s.ba.NSeg()
 	// Continue reservoir sampling over the logical concatenation of the
@@ -63,7 +68,7 @@ func (s *System) Extend(src dataset.Source) error {
 		if seg < 0 || seg >= nseg {
 			return fmt.Errorf("core: criterion value %d outside the original dictionary (0..%d)", seg, nseg-1)
 		}
-		s.ba.Add(s.xb.Bin(buf[s.xIdx]), s.yb.Bin(buf[s.yIdx]), seg)
+		adder.Add(s.xb.Bin(buf[s.xIdx]), s.yb.Bin(buf[s.yIdx]), seg)
 
 		// Algorithm-R continuation over the combined stream.
 		seen++

@@ -33,13 +33,16 @@ func TestObsCoreSpansAndMetrics(t *testing.T) {
 
 	// System construction: init with its stage children.
 	init := one("init")
-	for _, name := range []string{"fit-sample", "bin", "verify-index"} {
+	for _, name := range []string{"ingest", "binfit", "count", "verify-index"} {
 		if sp := one(name); sp.Parent != init.ID {
 			t.Errorf("%q span parent = %d, want init span %d", name, sp.Parent, init.ID)
 		}
 	}
-	if got := one("bin").Attr("tuples"); got == "" || got == "0" {
-		t.Errorf("bin span tuples attr = %q, want a positive count", got)
+	if got := one("count").Attr("tuples"); got == "" || got == "0" {
+		t.Errorf("count span tuples attr = %q, want a positive count", got)
+	}
+	if got := one("count").Attr("backend"); got != "dense" {
+		t.Errorf("count span backend attr = %q, want %q", got, "dense")
 	}
 
 	// The run itself: run → search/mine-final/verify-final, with
@@ -140,11 +143,18 @@ func TestObsCoreSpansAndMetrics(t *testing.T) {
 		}
 	}
 
-	// The bin span carries the method and occupancy attributes.
-	bin := one("bin")
-	for _, attr := range []string{"method_x", "method_y", "empty_fraction", "occupied_cells"} {
-		if bin.Attr(attr) == "" {
-			t.Errorf("bin span missing %q attr", attr)
+	// The binfit span carries the fitted methods; the count span carries
+	// the occupancy attributes from the post-build cell scan.
+	binfit := one("binfit")
+	for _, attr := range []string{"method_x", "method_y"} {
+		if binfit.Attr(attr) == "" {
+			t.Errorf("binfit span missing %q attr", attr)
+		}
+	}
+	count := one("count")
+	for _, attr := range []string{"empty_fraction", "occupied_cells", "mem_bytes"} {
+		if count.Attr(attr) == "" {
+			t.Errorf("count span missing %q attr", attr)
 		}
 	}
 	// The Figure 10 threshold structure is built exactly once per segment

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"arcs/internal/counts"
+	"arcs/internal/dataset"
+	"arcs/internal/obs"
+)
+
+// stageCount is the Count stage: fill the count backend with one pass
+// over the source. Three variants, all producing bit-identical counts:
+//
+//   - fused: a single pass doing reservoir sampling and counting
+//     together, taken when the binners needed no fitting pass (fixed
+//     ranges or categorical axes) and ingest is sequential;
+//   - sharded: IngestWorkers > 1 and the source shards by range — each
+//     worker fills a private dense array, merged deterministically;
+//   - dense: the sequential reference build (also the fallback when a
+//     streaming source cannot shard).
+func (s *System) stageCount(ctx context.Context, src dataset.Source, nseg int, fused bool) ([]obs.Attr, error) {
+	spec := counts.Spec{
+		XIdx: s.xIdx, YIdx: s.yIdx, CritIdx: s.critIdx,
+		XBinner: s.xb, YBinner: s.yb, NSeg: nseg,
+	}
+	mode, workers := "dense", 1
+	var err error
+	switch {
+	case fused:
+		mode = "fused"
+		sm := s.newSampler()
+		if s.ba, err = counts.BuildFused(ctx, src, spec, sm.observe); err != nil {
+			return nil, err
+		}
+		if s.ba.N() == 0 {
+			return nil, fmt.Errorf("core: source yielded no tuples")
+		}
+		if err = s.buildSample(sm.buf); err != nil {
+			return nil, err
+		}
+	default:
+		if s.ba, err = counts.Build(ctx, src, spec, s.cfg.IngestWorkers); err != nil {
+			return nil, err
+		}
+		if sh, ok := s.ba.(*counts.Sharded); ok {
+			mode, workers = "sharded", sh.Workers()
+		}
+		if s.ba.N() == 0 {
+			return nil, fmt.Errorf("core: source yielded no tuples")
+		}
+	}
+	attrs := []obs.Attr{
+		obs.Int("tuples", int(s.ba.N())),
+		obs.Int("grid_x", s.ba.NX()), obs.Int("grid_y", s.ba.NY()),
+		obs.Int("segments", nseg),
+		obs.Str("backend", mode), obs.Int("workers", workers),
+	}
+	if s.obs.Enabled() {
+		attrs = append(attrs, s.countMetrics()...)
+	}
+	return attrs, nil
+}
+
+// countMetrics scans the built backend once for occupancy metrics and
+// reports the occupancy span attributes. The cell scan runs once per
+// New with observability on, never on the probe path.
+func (s *System) countMetrics() []obs.Attr {
+	reg := s.obs.Registry()
+	occ := reg.HistogramBuckets("bin_cell_occupancy", obs.SizeBuckets)
+	occupied := 0
+	cells := s.ba.NX() * s.ba.NY()
+	for y := 0; y < s.ba.NY(); y++ {
+		for x := 0; x < s.ba.NX(); x++ {
+			if n := s.ba.CellTotal(x, y); n > 0 {
+				occupied++
+				occ.Observe(float64(n))
+			}
+		}
+	}
+	memBytes := 0
+	if szr, ok := s.ba.(counts.Sizer); ok {
+		memBytes = szr.Stats().MemBytes
+	}
+	reg.Gauge("binarray_mem_bytes").Set(int64(memBytes))
+	reg.Gauge("bin_cells_total").Set(int64(cells))
+	reg.Gauge("bin_cells_empty").Set(int64(cells - occupied))
+	emptyFrac := 0.0
+	if cells > 0 {
+		emptyFrac = float64(cells-occupied) / float64(cells)
+	}
+	return []obs.Attr{
+		obs.Int("occupied_cells", occupied),
+		obs.Float("empty_fraction", emptyFrac),
+		obs.Int("mem_bytes", memBytes),
+	}
+}

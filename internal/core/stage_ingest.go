@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"arcs/internal/dataset"
+	"arcs/internal/stats"
+)
+
+// ingestStats is the Ingest stage's product: the observed axis ranges
+// for the BinFit stage, plus the reservoir-sampled fit buffer that the
+// quantile/supervised binners and the verification sample draw from.
+type ingestStats struct {
+	xLo, xHi, yLo, yHi float64
+	buf                []dataset.Tuple
+}
+
+// sampler is the reservoir over the stream that both the standalone
+// Ingest stage and the fused Ingest+Count pass feed. Seeding and offer
+// order are identical on both paths, so the drawn sample — and with it
+// every verification measurement — does not depend on which path ran.
+type sampler struct {
+	res *stats.Reservoir
+	buf []dataset.Tuple
+}
+
+func (s *System) newSampler() *sampler {
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	fitSize := s.cfg.SampleSize
+	if fitSize < 4096 {
+		fitSize = 4096
+	}
+	return &sampler{
+		res: stats.NewReservoir(rng, fitSize),
+		buf: make([]dataset.Tuple, 0, fitSize),
+	}
+}
+
+// observe offers one tuple to the reservoir, cloning kept tuples (the
+// stream's buffer may be reused by the next row).
+func (sm *sampler) observe(t dataset.Tuple) {
+	if slot, keep := sm.res.Offer(); keep {
+		if slot == len(sm.buf) {
+			sm.buf = append(sm.buf, t.Clone())
+		} else {
+			sm.buf[slot] = t.Clone()
+		}
+	}
+}
+
+// stageIngest is the Ingest stage: one pass over the source collecting
+// the axis min/max for binner fitting and the reservoir sample. It is
+// sequential on purpose — reservoir sampling is order-dependent, so this
+// pass defines the sample bit-for-bit; only the Count stage shards.
+func (s *System) stageIngest(ctx context.Context, src dataset.Source) (*ingestStats, error) {
+	sm := s.newSampler()
+	ing := &ingestStats{
+		xLo: math.Inf(1), xHi: math.Inf(-1),
+		yLo: math.Inf(1), yHi: math.Inf(-1),
+	}
+	err := dataset.ForEachContext(ctx, src, func(t dataset.Tuple) error {
+		if v := t[s.xIdx]; v < ing.xLo {
+			ing.xLo = v
+		}
+		if v := t[s.xIdx]; v > ing.xHi {
+			ing.xHi = v
+		}
+		if v := t[s.yIdx]; v < ing.yLo {
+			ing.yLo = v
+		}
+		if v := t[s.yIdx]; v > ing.yHi {
+			ing.yHi = v
+		}
+		sm.observe(t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ing.buf = sm.buf
+	if err := s.buildSample(sm.buf); err != nil {
+		return nil, err
+	}
+	return ing, nil
+}
+
+// buildSample installs the verifier's sample — a uniform subsample of
+// the fit buffer — shared by the Ingest stage and the fused Count pass.
+func (s *System) buildSample(buf []dataset.Tuple) error {
+	if len(buf) == 0 {
+		return fmt.Errorf("core: source yielded no tuples")
+	}
+	sample := dataset.NewTable(s.schema)
+	limit := s.cfg.SampleSize
+	if limit > len(buf) {
+		limit = len(buf)
+	}
+	for _, t := range buf[:limit] {
+		if err := sample.Append(t); err != nil {
+			return err
+		}
+	}
+	s.sample = sample
+	return nil
+}

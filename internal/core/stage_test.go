@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"arcs/internal/binarray"
+	"arcs/internal/counts"
+	"arcs/internal/dataset"
+	"arcs/internal/obs"
+	"arcs/internal/synth"
+)
+
+// f2Table materializes the Function-2 generator into an in-memory table,
+// the shardable source the parallel-ingest tests need.
+func f2Table(t *testing.T, n int) *dataset.Table {
+	t.Helper()
+	gen, err := synth.New(synth.Config{
+		Function: 2, N: n, Seed: 42, Perturbation: 0.05, FracA: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := dataset.Materialize(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func f2Config(cfg Config) Config {
+	cfg.XAttr = synth.AttrAge
+	cfg.YAttr = synth.AttrSalary
+	cfg.CritAttr = synth.AttrGroup
+	cfg.CritValue = synth.GroupA
+	return cfg
+}
+
+// countsBytes snapshots a system's count backend through the dense
+// array's serialization — the byte-identity claim of the refactor.
+func countsBytes(t *testing.T, sys *System) []byte {
+	t.Helper()
+	var ba *binarray.BinArray
+	switch v := sys.Counts().(type) {
+	case *binarray.BinArray:
+		ba = v
+	case *counts.Sharded:
+		ba = v.Merged()
+	default:
+		t.Fatalf("backend %T has no dense form", v)
+	}
+	var buf bytes.Buffer
+	if err := ba.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// sameOutcome compares everything deterministic about two runs.
+func sameOutcome(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.MinSupport != b.MinSupport || a.MinConfidence != b.MinConfidence {
+		t.Errorf("%s: thresholds (%g, %g) vs (%g, %g)", label,
+			a.MinSupport, a.MinConfidence, b.MinSupport, b.MinConfidence)
+	}
+	if a.Cost != b.Cost {
+		t.Errorf("%s: cost %g vs %g", label, a.Cost, b.Cost)
+	}
+	if a.Evaluations != b.Evaluations {
+		t.Errorf("%s: evaluations %d vs %d", label, a.Evaluations, b.Evaluations)
+	}
+	if !reflect.DeepEqual(a.Rules, b.Rules) {
+		t.Errorf("%s: rules differ: %d vs %d", label, len(a.Rules), len(b.Rules))
+	}
+	if a.Errors != b.Errors {
+		t.Errorf("%s: verification errors %+v vs %+v", label, a.Errors, b.Errors)
+	}
+}
+
+// sameSample: the verification sample must be row-for-row identical —
+// it drives every verify measurement downstream.
+func sameSample(t *testing.T, label string, a, b *dataset.Table) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: sample sizes %d vs %d", label, a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !reflect.DeepEqual(a.Row(i), b.Row(i)) {
+			t.Fatalf("%s: sample row %d differs: %v vs %v", label, i, a.Row(i), b.Row(i))
+		}
+	}
+}
+
+// TestShardedSystemMatchesDense is the refactor's acceptance test: any
+// IngestWorkers setting yields a byte-identical count backend, the same
+// verification sample, and an identical end-to-end Result.
+func TestShardedSystemMatchesDense(t *testing.T) {
+	tab := f2Table(t, 20_000)
+	mk := func(workers int) *System {
+		t.Helper()
+		sys, err := New(tab, f2Config(Config{
+			NumBins: 20, Walk: walkBudget(), IngestWorkers: workers,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	ref := mk(0)
+	refBytes := countsBytes(t, ref)
+	refRes, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		sys := mk(workers)
+		if workers > 1 {
+			if _, ok := sys.Counts().(*counts.Sharded); !ok {
+				t.Fatalf("workers=%d: backend is %T, want *counts.Sharded", workers, sys.Counts())
+			}
+		}
+		if !bytes.Equal(countsBytes(t, sys), refBytes) {
+			t.Errorf("workers=%d: counts differ from the sequential build", workers)
+		}
+		sameSample(t, "sharded", ref.Sample(), sys.Sample())
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameOutcome(t, "sharded", refRes, res)
+	}
+}
+
+// TestFusedMatchesTwoPass: with fixed equi-width ranges the build fuses
+// ingest and count into one pass; the counts, the reservoir sample and
+// the full Result must match the two-pass build exactly.
+func TestFusedMatchesTwoPass(t *testing.T) {
+	tab := f2Table(t, 10_000)
+	ageIdx := tab.Schema().MustIndex(synth.AttrAge)
+	salIdx := tab.Schema().MustIndex(synth.AttrSalary)
+	lohi := func(col []float64) *[2]float64 {
+		lo, hi := col[0], col[0]
+		for _, v := range col {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return &[2]float64{lo, hi}
+	}
+	base := f2Config(Config{
+		NumBins: 20, Walk: walkBudget(),
+		XRange: lohi(tab.Column(ageIdx)), YRange: lohi(tab.Column(salIdx)),
+	})
+
+	// Fused: fixed ranges, sequential ingest, with a sink to prove the
+	// ingest span really was elided and the count pass reported fusion.
+	sink := &obs.MemSink{}
+	fusedCfg := base
+	fusedCfg.Observer = obs.New(sink)
+	fused, err := New(tab, fusedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.Spans("ingest")); got != 0 {
+		t.Errorf("fused build emitted %d ingest spans, want 0", got)
+	}
+	countSpans := sink.Spans("count")
+	if len(countSpans) != 1 || countSpans[0].Attr("backend") != "fused" {
+		t.Errorf("count span backend = %q, want \"fused\"", countSpans[0].Attr("backend"))
+	}
+
+	// Two-pass reference: same fixed ranges, but IngestWorkers=2 keeps
+	// the standalone ingest stage (fusion requires a sequential count).
+	twoPassCfg := base
+	twoPassCfg.IngestWorkers = 2
+	twoPass, err := New(tab, twoPassCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(countsBytes(t, fused), countsBytes(t, twoPass)) {
+		t.Error("fused counts differ from the two-pass build")
+	}
+	sameSample(t, "fused", twoPass.Sample(), fused.Sample())
+	resFused, err := fused.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resTwo, err := twoPass.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutcome(t, "fused", resTwo, resFused)
+}
+
+// TestConstantColumnBins: a constant quantitative column fits through
+// the degenerate-range widening instead of collapsing the binner.
+func TestConstantColumnBins(t *testing.T) {
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "x", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "y", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "g", Kind: dataset.Categorical},
+	)
+	for _, label := range []string{"a", "b"} {
+		if _, err := schema.At(2).CategoryCode(label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab := dataset.NewTable(schema)
+	for i := 0; i < 50; i++ {
+		tab.MustAppend(dataset.Tuple{float64(i % 10), 7.5, float64(i % 2)})
+	}
+	sys, err := New(tab, Config{
+		XAttr: "x", YAttr: "y", CritAttr: "g", CritValue: "a", NumBins: 5,
+	})
+	if err != nil {
+		t.Fatalf("constant column broke the build: %v", err)
+	}
+	ba := sys.Counts()
+	if ba.N() != 50 {
+		t.Fatalf("N() = %d, want 50", ba.N())
+	}
+	// Every tuple lands in y bin 0: the widened range is [7.5, 8.5).
+	var inBin0 uint32
+	for x := 0; x < ba.NX(); x++ {
+		inBin0 += ba.CellTotal(x, 0)
+	}
+	if inBin0 != 50 {
+		t.Errorf("%d tuples in y bin 0, want all 50", inBin0)
+	}
+}
+
+func TestWidenDegenerate(t *testing.T) {
+	if lo, hi := widenDegenerate(5, 5); lo != 5 || hi != 6 {
+		t.Errorf("widenDegenerate(5, 5) = (%g, %g), want (5, 6)", lo, hi)
+	}
+	if lo, hi := widenDegenerate(1, 2); lo != 1 || hi != 2 {
+		t.Errorf("widenDegenerate(1, 2) = (%g, %g), want unchanged", lo, hi)
+	}
+}

@@ -5,29 +5,27 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
-	"math/rand"
 	"runtime/pprof"
 	"sync"
 
-	"arcs/internal/binarray"
 	"arcs/internal/binning"
 	"arcs/internal/bitop"
 	"arcs/internal/cancelcheck"
 	"arcs/internal/cluster"
+	"arcs/internal/counts"
 	"arcs/internal/dataset"
 	"arcs/internal/engine"
 	"arcs/internal/filter"
 	"arcs/internal/grid"
 	"arcs/internal/obs"
 	"arcs/internal/rules"
-	"arcs/internal/stats"
 	"arcs/internal/verify"
 )
 
 // System is a fully initialized ARCS instance: the data has been binned
-// into the in-memory BinArray and a verification sample drawn, so any
-// number of threshold probes, criterion values or full optimizer runs can
-// execute without touching the source again.
+// into the in-memory count backend and a verification sample drawn, so
+// any number of threshold probes, criterion values or full optimizer
+// runs can execute without touching the source again.
 type System struct {
 	cfg    Config
 	schema *dataset.Schema
@@ -36,7 +34,7 @@ type System struct {
 	xb, yb              binning.Binner
 	xCat, yCat          bool
 
-	ba     *binarray.BinArray
+	ba     counts.Backend
 	sample *dataset.Table
 	// vindex pre-bins the verification sample against the binner
 	// boundaries, so every probe verifies coverage in O(1) per tuple.
@@ -77,19 +75,22 @@ type System struct {
 	thresholds map[int]*engine.Thresholds
 }
 
-// New builds a System from a tuple source. It makes two passes over the
-// data: one to fit the binners and reservoir-sample the verifier's tuples
-// (skipped for the binning when both ranges are fixed and the strategy is
-// equi-width), and one to fill the BinArray.
+// New builds a System from a tuple source by running the construction
+// stages (see pipeline.go): Ingest (stats + reservoir sample), BinFit,
+// and Count. Normally that is two passes over the data; when both
+// binners are fit-free (fixed ranges or categorical axes) Ingest and
+// Count fuse into a single pass, and with Config.IngestWorkers > 1 the
+// Count pass shards across a worker pool for shardable sources. All
+// variants produce bit-identical counts and samples.
 func New(src dataset.Source, cfg Config) (*System, error) {
 	return NewContext(context.Background(), src, cfg)
 }
 
-// NewContext is New with cooperative cancellation of the two data passes:
-// both the fit/sample pass and the binning pass poll the context at the
-// dataset layer's checkpoint granularity, and construction fails with a
-// RunError{Phase: "init"} wrapping the cancellation. There is no partial
-// System — a half-filled BinArray would silently bias every later result.
+// NewContext is New with cooperative cancellation of the data passes:
+// every stage polls the context at the dataset layer's checkpoint
+// granularity, and construction fails with a RunError{Phase: "init"}
+// wrapping the cancellation. There is no partial System — a half-filled
+// count backend would silently bias every later result.
 func NewContext(ctx context.Context, src dataset.Source, cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -137,65 +138,45 @@ func NewContext(ctx context.Context, src dataset.Source, cfg Config) (*System, e
 		return nil, fmt.Errorf("core: at most one LHS attribute may be categorical (got %q and %q)",
 			cfg.XAttr, cfg.YAttr)
 	}
-
-	sp := init.Child("fit-sample")
-	if err := s.fitAndSample(ctx, src); err != nil {
-		return nil, initErr(err)
-	}
-	sp.End(obs.Int("sample", s.sample.Len()))
-
 	nseg := schema.At(s.critIdx).NumCategories()
 	if nseg == 0 {
 		return nil, fmt.Errorf("core: criterion attribute %q has no categories", cfg.CritAttr)
 	}
-	sp = init.Child("bin")
-	s.labeled("bin", func() {
-		s.ba, err = binarray.BuildContext(ctx, src, s.xIdx, s.yIdx, s.critIdx, s.xb, s.yb, nseg)
+
+	// The construction pipeline. When both binners are fit-free and the
+	// count pass is sequential, the Ingest stage is skipped entirely and
+	// Count runs the fused single pass (sampling + counting together).
+	fused := s.fuseEligible() && cfg.IngestWorkers <= 1
+	var ing *ingestStats
+	err = s.runStages(ctx, init, []stage{
+		{name: "ingest", skip: fused, run: func(ctx context.Context) ([]obs.Attr, error) {
+			var err error
+			if ing, err = s.stageIngest(ctx, src); err != nil {
+				return nil, err
+			}
+			return []obs.Attr{obs.Int("sample", s.sample.Len())}, nil
+		}},
+		{name: "binfit", run: func(context.Context) ([]obs.Attr, error) {
+			if err := s.stageBinFit(ing); err != nil {
+				return nil, err
+			}
+			return []obs.Attr{
+				obs.Str("method_x", binning.MethodName(s.xb)),
+				obs.Str("method_y", binning.MethodName(s.yb)),
+				obs.Int("boundaries_x", len(binning.Boundaries(s.xb))),
+				obs.Int("boundaries_y", len(binning.Boundaries(s.yb))),
+			}, nil
+		}},
+		{name: "count", run: func(ctx context.Context) ([]obs.Attr, error) {
+			return s.stageCount(ctx, src, nseg, fused)
+		}},
 	})
 	if err != nil {
-		return nil, initErr(err)
-	}
-	if s.ba.N() == 0 {
-		return nil, fmt.Errorf("core: source yielded no tuples")
-	}
-	if s.obs.Enabled() {
-		// Bin-phase metrics: occupancy distribution, empty-bin fraction and
-		// the BinArray's memory footprint. The cell scan runs once per New,
-		// never on the probe path.
-		bst := s.ba.Stats()
-		occ := reg.HistogramBuckets("bin_cell_occupancy", obs.SizeBuckets)
-		for y := 0; y < s.ba.NY(); y++ {
-			for x := 0; x < s.ba.NX(); x++ {
-				if n := s.ba.CellTotal(x, y); n > 0 {
-					occ.Observe(float64(n))
-				}
-			}
-		}
-		reg.Gauge("binarray_mem_bytes").Set(int64(bst.MemBytes))
-		reg.Gauge("bin_cells_total").Set(int64(bst.Cells))
-		reg.Gauge("bin_cells_empty").Set(int64(bst.Cells - bst.OccupiedCells))
-		emptyFrac := 0.0
-		if bst.Cells > 0 {
-			emptyFrac = float64(bst.Cells-bst.OccupiedCells) / float64(bst.Cells)
-		}
-		sp.End(obs.Int("tuples", int(s.ba.N())),
-			obs.Int("grid_x", s.ba.NX()), obs.Int("grid_y", s.ba.NY()),
-			obs.Int("segments", nseg),
-			obs.Str("method_x", binning.MethodName(s.xb)),
-			obs.Str("method_y", binning.MethodName(s.yb)),
-			obs.Int("boundaries_x", len(binning.Boundaries(s.xb))),
-			obs.Int("boundaries_y", len(binning.Boundaries(s.yb))),
-			obs.Int("occupied_cells", bst.OccupiedCells),
-			obs.Float("empty_fraction", emptyFrac),
-			obs.Int("mem_bytes", bst.MemBytes))
-	} else {
-		sp.End(obs.Int("tuples", int(s.ba.N())),
-			obs.Int("grid_x", s.ba.NX()), obs.Int("grid_y", s.ba.NY()),
-			obs.Int("segments", nseg))
+		return nil, err
 	}
 
 	if *cfg.ReorderCategorical && (s.xCat || s.yCat) {
-		sp = init.Child("reorder")
+		sp := init.Child("reorder")
 		if err := s.reorderCategorical(); err != nil {
 			return nil, err
 		}
@@ -203,7 +184,7 @@ func NewContext(ctx context.Context, src dataset.Source, cfg Config) (*System, e
 	}
 	// Built last: the index depends on the final binner boundaries, which
 	// reorderCategorical may have replaced.
-	sp = init.Child("verify-index")
+	sp := init.Child("verify-index")
 	if err := s.buildVerifyIndex(); err != nil {
 		return nil, err
 	}
@@ -266,123 +247,9 @@ func initErr(err error) error {
 	return err
 }
 
-// fitAndSample draws the verification sample and fits the binners.
-func (s *System) fitAndSample(ctx context.Context, src dataset.Source) error {
-	cfg := s.cfg
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	fitSize := cfg.SampleSize
-	if fitSize < 4096 {
-		fitSize = 4096
-	}
-	res := stats.NewReservoir(rng, fitSize)
-	buf := make([]dataset.Tuple, 0, fitSize)
-	xLo, xHi := math.Inf(1), math.Inf(-1)
-	yLo, yHi := math.Inf(1), math.Inf(-1)
-	err := dataset.ForEachContext(ctx, src, func(t dataset.Tuple) error {
-		if v := t[s.xIdx]; v < xLo {
-			xLo = v
-		}
-		if v := t[s.xIdx]; v > xHi {
-			xHi = v
-		}
-		if v := t[s.yIdx]; v < yLo {
-			yLo = v
-		}
-		if v := t[s.yIdx]; v > yHi {
-			yHi = v
-		}
-		if slot, keep := res.Offer(); keep {
-			if slot == len(buf) {
-				buf = append(buf, t.Clone())
-			} else {
-				buf[slot] = t.Clone()
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	if len(buf) == 0 {
-		return fmt.Errorf("core: source yielded no tuples")
-	}
-
-	// The verifier's sample is a uniform subsample of the fit sample.
-	sample := dataset.NewTable(s.schema)
-	limit := cfg.SampleSize
-	if limit > len(buf) {
-		limit = len(buf)
-	}
-	for _, t := range buf[:limit] {
-		if err := sample.Append(t); err != nil {
-			return err
-		}
-	}
-	s.sample = sample
-
-	col := func(idx int) []float64 {
-		out := make([]float64, len(buf))
-		for i, t := range buf {
-			out[i] = t[idx]
-		}
-		return out
-	}
-	mkBinner := func(idx int, cat bool, bins int, fixed *[2]float64, lo, hi float64) (binning.Binner, error) {
-		if cat {
-			n := s.schema.At(idx).NumCategories()
-			return binning.NewCategorical(n)
-		}
-		switch cfg.BinStrategy {
-		case BinEquiWidth:
-			if fixed != nil {
-				return binning.NewEquiWidth(fixed[0], fixed[1], bins)
-			}
-			if lo == hi {
-				hi = lo + 1
-			}
-			return binning.NewEquiWidth(lo, hi, bins)
-		case BinEquiDepth:
-			return binning.NewEquiDepth(col(idx), bins)
-		case BinHomogeneity:
-			return binning.NewHomogeneity(col(idx), bins)
-		case BinSupervised:
-			classes := make([]int, len(buf))
-			for i, t := range buf {
-				classes[i] = int(t[s.critIdx])
-			}
-			sb, err := binning.NewSupervised(col(idx), classes, bins)
-			if err != nil {
-				return nil, err
-			}
-			// Supervised cuts only exist where the attribute's marginal
-			// class distribution changes. On interaction-driven data
-			// (e.g. Function 2, where P(group | age) is flat although
-			// age matters jointly with salary) no cut passes the MDL
-			// test and the axis would collapse to one bin; fall back to
-			// the unsupervised default there.
-			if sb.NumBins() < 3 {
-				if lo == hi {
-					hi = lo + 1
-				}
-				return binning.NewEquiWidth(lo, hi, bins)
-			}
-			return sb, nil
-		default:
-			return nil, fmt.Errorf("core: unknown bin strategy %v", cfg.BinStrategy)
-		}
-	}
-	if s.xb, err = mkBinner(s.xIdx, s.xCat, cfg.XBins, cfg.XRange, xLo, xHi); err != nil {
-		return err
-	}
-	if s.yb, err = mkBinner(s.yIdx, s.yCat, cfg.YBins, cfg.YRange, yLo, yHi); err != nil {
-		return err
-	}
-	return nil
-}
-
 // reorderCategorical computes the densest-cluster ordering for the
 // categorical LHS attribute (paper §5) from a zero-threshold rule grid
-// and permutes the BinArray in memory.
+// and permutes the count backend in memory.
 func (s *System) reorderCategorical() error {
 	seg, err := s.segCode(s.cfg.CritValue)
 	if err != nil {
@@ -407,7 +274,7 @@ func (s *System) reorderCategorical() error {
 		if err != nil {
 			return err
 		}
-		if s.ba, err = binarray.PermuteX(s.ba, order); err != nil {
+		if s.ba, err = counts.PermuteX(s.ba, order); err != nil {
 			return err
 		}
 		s.xb = ordered
@@ -419,7 +286,7 @@ func (s *System) reorderCategorical() error {
 		if err != nil {
 			return err
 		}
-		if s.ba, err = binarray.PermuteY(s.ba, order); err != nil {
+		if s.ba, err = counts.PermuteY(s.ba, order); err != nil {
 			return err
 		}
 		s.yb = ordered
@@ -440,8 +307,12 @@ func (s *System) segCode(label string) (int, error) {
 	return code, nil
 }
 
-// BinArray exposes the count structure (read-only by convention).
-func (s *System) BinArray() *binarray.BinArray { return s.ba }
+// Counts exposes the count backend (read-only by convention).
+func (s *System) Counts() counts.Backend { return s.ba }
+
+// BinArray is the historical name for Counts, from when the dense array
+// was the only backend.
+func (s *System) BinArray() counts.Backend { return s.ba }
 
 // Sample exposes the verification sample.
 func (s *System) Sample() *dataset.Table { return s.sample }

@@ -1,0 +1,161 @@
+// Package counts abstracts the count substrate behind the ARCS pipeline.
+// The paper's premise (§3.1) is that once the binned counts are built,
+// the feedback loop never touches the source again; everything
+// downstream of the build — the rule engine, grid construction,
+// categorical reorder, threshold enumeration — needs only the small read
+// API captured here as Backend. The dense in-memory BinArray is the
+// reference implementation; Sharded is a second implementation that
+// fills the same counts with a parallel, partitioned ingest pass.
+package counts
+
+import (
+	"context"
+	"fmt"
+
+	"arcs/internal/binarray"
+	"arcs/internal/binning"
+	"arcs/internal/dataset"
+)
+
+// Backend is the read API of a built count substrate — exactly the
+// surface the engine, grid construction and reorder consume. All
+// methods must be safe for concurrent readers once the backend is
+// built; mutation (if any) goes through the optional Adder extension.
+type Backend interface {
+	// NX and NY report the grid dimensions in bins.
+	NX() int
+	NY() int
+	// NSeg reports the cardinality of the RHS segmentation attribute.
+	NSeg() int
+	// N reports the total number of tuples counted.
+	N() uint64
+	// Count returns |(i, j, Gk)| of §3.2: tuples in cell (x, y) with RHS
+	// value seg.
+	Count(x, y, seg int) uint32
+	// CellTotal returns |(i, j)|: all tuples in cell (x, y).
+	CellTotal(x, y int) uint32
+	// Support returns Count/N (0 when empty).
+	Support(x, y, seg int) float64
+	// Confidence returns Count/CellTotal (0 for empty cells).
+	Confidence(x, y, seg int) float64
+	// SegmentTotal returns the number of tuples with RHS value seg
+	// across all cells.
+	SegmentTotal(seg int) uint64
+	// Occupied invokes fn for every cell with at least one tuple of RHS
+	// value seg, in deterministic row-major order (x outer, y inner).
+	Occupied(seg int, fn func(x, y int, segCount, cellTotal uint32))
+}
+
+// Adder is the optional mutable extension of Backend, implemented by
+// backends that admit incremental tuples after the build (core.Extend).
+type Adder interface {
+	Backend
+	// Add records one tuple in cell (x, y) with RHS value seg.
+	Add(x, y, seg int)
+}
+
+// Sizer is the optional introspection extension: backends that can
+// summarize their shape and memory footprint for observability.
+type Sizer interface {
+	Stats() binarray.Stats
+}
+
+// The dense array is the reference Backend (and is mutable and sized).
+var (
+	_ Adder = (*binarray.BinArray)(nil)
+	_ Sizer = (*binarray.BinArray)(nil)
+)
+
+// Spec carries everything a build pass needs to map a tuple to a cell:
+// the schema positions of the two LHS attributes and the criterion, the
+// fitted binners, and the criterion cardinality.
+type Spec struct {
+	XIdx, YIdx, CritIdx int
+	XBinner, YBinner    binning.Binner
+	NSeg                int
+}
+
+// Build fills a count backend from one pass over src. workers <= 1
+// builds the dense array sequentially; workers > 1 shards the pass
+// across a worker pool when the source supports range sharding
+// (dataset.Sharder) and falls back to the sequential dense build when it
+// does not. The resulting counts are bit-identical either way.
+func Build(ctx context.Context, src dataset.Source, spec Spec, workers int) (Backend, error) {
+	if workers > 1 {
+		if sh, ok := src.(dataset.Sharder); ok {
+			return BuildSharded(ctx, sh, spec, workers)
+		}
+	}
+	return buildDense(ctx, src, spec)
+}
+
+func buildDense(ctx context.Context, src dataset.Source, spec Spec) (*binarray.BinArray, error) {
+	return binarray.BuildContext(ctx, src, spec.XIdx, spec.YIdx, spec.CritIdx,
+		spec.XBinner, spec.YBinner, spec.NSeg)
+}
+
+// BuildFused is the single-pass fast path fusing Ingest and Count: it
+// streams src once, counting every tuple into a dense backend and
+// invoking observe on it (for reservoir sampling) along the way. Used
+// when the binners need no fitting pass — fixed-range equi-width or
+// categorical axes. observe sees tuples in stream order; the tuple
+// buffer may be reused, so observers that retain tuples must Clone.
+func BuildFused(ctx context.Context, src dataset.Source, spec Spec, observe func(dataset.Tuple)) (Backend, error) {
+	ba, err := binarray.New(spec.XBinner.NumBins(), spec.YBinner.NumBins(), spec.NSeg)
+	if err != nil {
+		return nil, err
+	}
+	width := src.Schema().Len()
+	err = dataset.ForEachContext(ctx, src, func(t dataset.Tuple) error {
+		if len(t) != width {
+			return dataset.ErrSchemaMismatch
+		}
+		seg := int(t[spec.CritIdx])
+		if seg < 0 || seg >= spec.NSeg {
+			return fmt.Errorf("counts: criterion value %d out of range 0..%d", seg, spec.NSeg-1)
+		}
+		ba.Add(spec.XBinner.Bin(t[spec.XIdx]), spec.YBinner.Bin(t[spec.YIdx]), seg)
+		if observe != nil {
+			observe(t)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ba, nil
+}
+
+// PermuteX returns a backend with the x bins reordered by order (the
+// categorical densest-cluster reorder). The dense array and the sharded
+// backend both support it; other backends report an error.
+func PermuteX(b Backend, order []int) (Backend, error) {
+	switch v := b.(type) {
+	case *binarray.BinArray:
+		return binarray.PermuteX(v, order)
+	case *Sharded:
+		m, err := binarray.PermuteX(v.merged, order)
+		if err != nil {
+			return nil, err
+		}
+		return v.withMerged(m), nil
+	default:
+		return nil, fmt.Errorf("counts: backend %T does not support x permutation", b)
+	}
+}
+
+// PermuteY is PermuteX for the y axis.
+func PermuteY(b Backend, order []int) (Backend, error) {
+	switch v := b.(type) {
+	case *binarray.BinArray:
+		return binarray.PermuteY(v, order)
+	case *Sharded:
+		m, err := binarray.PermuteY(v.merged, order)
+		if err != nil {
+			return nil, err
+		}
+		return v.withMerged(m), nil
+	default:
+		return nil, fmt.Errorf("counts: backend %T does not support y permutation", b)
+	}
+}

@@ -1,0 +1,275 @@
+package counts
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"arcs/internal/binarray"
+	"arcs/internal/binning"
+	"arcs/internal/dataset"
+)
+
+// testSchema is (x quantitative, y quantitative, g categorical).
+func testSchema(t *testing.T) *dataset.Schema {
+	t.Helper()
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "x", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "y", Kind: dataset.Quantitative},
+		dataset.Attribute{Name: "g", Kind: dataset.Categorical},
+	)
+	for _, label := range []string{"a", "b", "c"} {
+		if _, err := schema.At(2).CategoryCode(label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return schema
+}
+
+// testTable builds n rows of deterministic pseudo-random data over
+// testSchema using a small LCG, so shard tests exercise uneven counts.
+func testTable(t *testing.T, n int) *dataset.Table {
+	t.Helper()
+	tab := dataset.NewTable(testSchema(t))
+	state := uint64(1)
+	next := func(mod int) float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64((state >> 33) % uint64(mod))
+	}
+	for i := 0; i < n; i++ {
+		tab.MustAppend(dataset.Tuple{next(100), next(100), next(3)})
+	}
+	return tab
+}
+
+func testSpec(t *testing.T) Spec {
+	t.Helper()
+	xb, err := binning.NewEquiWidth(0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb, err := binning.NewEquiWidth(0, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{XIdx: 0, YIdx: 1, CritIdx: 2, XBinner: xb, YBinner: yb, NSeg: 3}
+}
+
+// baBytes snapshots a dense array through its serialization, the
+// strictest equality the package offers.
+func baBytes(t *testing.T, ba *binarray.BinArray) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ba.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func denseOf(t *testing.T, b Backend) *binarray.BinArray {
+	t.Helper()
+	switch v := b.(type) {
+	case *binarray.BinArray:
+		return v
+	case *Sharded:
+		return v.Merged()
+	default:
+		t.Fatalf("backend %T has no dense form", b)
+		return nil
+	}
+}
+
+// TestShardedMatchesDenseByteIdentical is the core equivalence claim:
+// any worker count produces the same bytes as the sequential build.
+func TestShardedMatchesDenseByteIdentical(t *testing.T) {
+	tab := testTable(t, 10_007) // prime, so shards are uneven
+	spec := testSpec(t)
+	ref, err := Build(context.Background(), tab, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baBytes(t, denseOf(t, ref))
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		sh, err := BuildSharded(context.Background(), tab, spec, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := baBytes(t, sh.Merged()); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: sharded build differs from sequential build", workers)
+		}
+		if sh.Workers() != workers {
+			t.Errorf("workers=%d: Workers() = %d", workers, sh.Workers())
+		}
+		var sum uint64
+		for _, n := range sh.ShardTuples() {
+			sum += n
+		}
+		if sum != sh.N() {
+			t.Errorf("workers=%d: shard tuples sum to %d, N() = %d", workers, sum, sh.N())
+		}
+	}
+}
+
+// TestShardedClampsWorkersToRows: more workers than rows degrades to one
+// worker per row, never an empty panic or a lost tuple.
+func TestShardedClampsWorkersToRows(t *testing.T) {
+	tab := testTable(t, 3)
+	spec := testSpec(t)
+	sh, err := BuildSharded(context.Background(), tab, spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Workers() != 3 {
+		t.Errorf("Workers() = %d, want clamped to 3 rows", sh.Workers())
+	}
+	if sh.N() != 3 {
+		t.Errorf("N() = %d, want 3", sh.N())
+	}
+	ref, err := Build(context.Background(), tab, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baBytes(t, sh.Merged()), baBytes(t, denseOf(t, ref))) {
+		t.Error("clamped sharded build differs from sequential build")
+	}
+}
+
+// TestBuildFallsBackToDense: workers > 1 over a source that cannot shard
+// (a stream wrapper) silently builds the dense array instead.
+func TestBuildFallsBackToDense(t *testing.T) {
+	tab := testTable(t, 100)
+	stream := dataset.Limit(tab, 100) // limitSource implements no Shard
+	b, err := Build(context.Background(), stream, testSpec(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.(*binarray.BinArray); !ok {
+		t.Errorf("non-shardable source built a %T, want the dense fallback", b)
+	}
+	if b.N() != 100 {
+		t.Errorf("N() = %d, want 100", b.N())
+	}
+}
+
+// TestBuildShardedUsesShards: a shardable source with workers > 1 gets
+// the sharded backend through the Build front door.
+func TestBuildShardedUsesShards(t *testing.T) {
+	b, err := Build(context.Background(), testTable(t, 100), testSpec(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := b.(*Sharded)
+	if !ok {
+		t.Fatalf("shardable source built a %T, want *Sharded", b)
+	}
+	if sh.Workers() != 4 {
+		t.Errorf("Workers() = %d, want 4", sh.Workers())
+	}
+}
+
+// TestBuildFusedMatchesTwoPass: the fused pass produces byte-identical
+// counts and observes every tuple in stream order.
+func TestBuildFusedMatchesTwoPass(t *testing.T) {
+	tab := testTable(t, 1_000)
+	spec := testSpec(t)
+	ref, err := Build(context.Background(), tab, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []dataset.Tuple
+	fused, err := BuildFused(context.Background(), tab, spec, func(tp dataset.Tuple) {
+		seen = append(seen, tp.Clone())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baBytes(t, denseOf(t, fused)), baBytes(t, denseOf(t, ref))) {
+		t.Error("fused build differs from two-pass build")
+	}
+	if len(seen) != tab.Len() {
+		t.Fatalf("observed %d tuples, want %d", len(seen), tab.Len())
+	}
+	for i, tp := range seen {
+		for j, v := range tp {
+			if v != tab.Row(i)[j] {
+				t.Fatalf("observed tuple %d = %v, want row %v (stream order)", i, tp, tab.Row(i))
+			}
+		}
+	}
+}
+
+// TestBuildFusedRejectsBadCriterion mirrors the dense build's contract.
+func TestBuildFusedRejectsBadCriterion(t *testing.T) {
+	tab := dataset.NewTable(testSchema(t))
+	tab.MustAppend(dataset.Tuple{1, 1, 7}) // category code 7 out of 0..2
+	_, err := BuildFused(context.Background(), tab, testSpec(t), nil)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v, want criterion range error", err)
+	}
+}
+
+// TestBuildShardedCancel: a pre-canceled context aborts the build.
+func TestBuildShardedCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildSharded(ctx, testTable(t, 50_000), testSpec(t), 4); err == nil {
+		t.Fatal("canceled sharded build returned nil error")
+	}
+}
+
+// TestPermuteSharded: permuting a sharded backend matches permuting the
+// dense array, and the result is still a *Sharded with its provenance.
+func TestPermuteSharded(t *testing.T) {
+	tab := testTable(t, 500)
+	spec := testSpec(t)
+	sh, err := BuildSharded(context.Background(), tab, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make([]int, sh.NX())
+	for i := range order {
+		order[i] = sh.NX() - 1 - i
+	}
+	got, err := PermuteX(sh, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psh, ok := got.(*Sharded)
+	if !ok {
+		t.Fatalf("PermuteX(*Sharded) = %T, want *Sharded", got)
+	}
+	if psh.Workers() != sh.Workers() {
+		t.Errorf("permuted Workers() = %d, want %d", psh.Workers(), sh.Workers())
+	}
+	want, err := binarray.PermuteX(sh.Merged(), order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baBytes(t, psh.Merged()), baBytes(t, want)) {
+		t.Error("permuted sharded counts differ from permuted dense counts")
+	}
+	yOrder := make([]int, sh.NY())
+	for i := range yOrder {
+		yOrder[i] = (i + 1) % sh.NY()
+	}
+	if _, err := PermuteY(sh, yOrder); err != nil {
+		t.Fatalf("PermuteY: %v", err)
+	}
+}
+
+// TestShardedAddDelegates: the Adder extension lands in the merged array.
+func TestShardedAddDelegates(t *testing.T) {
+	sh, err := BuildSharded(context.Background(), testTable(t, 10), testSpec(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sh.Count(0, 0, 0)
+	sh.Add(0, 0, 0)
+	if got := sh.Count(0, 0, 0); got != before+1 {
+		t.Errorf("Count after Add = %d, want %d", got, before+1)
+	}
+	if sh.Stats().MemBytes <= 0 {
+		t.Error("Stats().MemBytes <= 0")
+	}
+}

@@ -1,0 +1,142 @@
+package counts
+
+import (
+	"context"
+	"sync"
+
+	"arcs/internal/binarray"
+	"arcs/internal/dataset"
+)
+
+// Sharded is a count backend built by a partitioned parallel ingest:
+// the source is split into disjoint range shards (dataset.Sharder),
+// each worker fills a private dense array with no shared mutable state,
+// and the shards are merged deterministically in shard order. Because
+// count merging is plain uint32 addition, the merged array is
+// byte-identical to a sequential single-pass build regardless of worker
+// count or scheduling. Reads delegate to the merged dense array, so the
+// probe path pays nothing for having been built in parallel.
+type Sharded struct {
+	merged  *binarray.BinArray
+	workers int
+	// shardN records the tuples each worker ingested — build provenance
+	// for observability; not updated by later Adds.
+	shardN []uint64
+}
+
+// BuildSharded partitions src into `workers` range shards and fills one
+// private dense array per shard concurrently, then merges them in shard
+// order. The worker count is clamped to the source size for sized
+// sources; a canceled context aborts every worker and returns the
+// cancellation error.
+func BuildSharded(ctx context.Context, src dataset.Sharder, spec Spec, workers int) (*Sharded, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if ss, ok := src.(dataset.SizedSource); ok {
+		if n := ss.Len(); n < workers {
+			workers = n
+		}
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	shards := make([]dataset.Source, workers)
+	for i := range shards {
+		sh, err := src.Shard(i, workers)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = sh
+	}
+	parts := make([]*binarray.BinArray, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i], errs[i] = buildDense(ctx, shards[i], spec)
+		}(i)
+	}
+	wg.Wait()
+	// First error by shard index, so the reported failure is
+	// deterministic when several shards hit the same bad data.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := parts[0]
+	shardN := make([]uint64, workers)
+	shardN[0] = parts[0].N()
+	for i := 1; i < workers; i++ {
+		shardN[i] = parts[i].N()
+		if err := merged.Merge(parts[i]); err != nil {
+			return nil, err
+		}
+	}
+	return &Sharded{merged: merged, workers: workers, shardN: shardN}, nil
+}
+
+// withMerged is the permute helper: same build provenance, new counts.
+func (s *Sharded) withMerged(m *binarray.BinArray) *Sharded {
+	return &Sharded{merged: m, workers: s.workers, shardN: s.shardN}
+}
+
+// Merged exposes the underlying dense array (read-only by convention) —
+// the seam equivalence tests use to compare byte-for-byte against a
+// sequential build, and what snapshot serialization writes.
+func (s *Sharded) Merged() *binarray.BinArray { return s.merged }
+
+// Workers reports how many shards the build used after clamping.
+func (s *Sharded) Workers() int { return s.workers }
+
+// ShardTuples reports the per-shard tuple counts of the build pass.
+func (s *Sharded) ShardTuples() []uint64 { return s.shardN }
+
+// Backend delegation to the merged dense array.
+
+// NX implements Backend.
+func (s *Sharded) NX() int { return s.merged.NX() }
+
+// NY implements Backend.
+func (s *Sharded) NY() int { return s.merged.NY() }
+
+// NSeg implements Backend.
+func (s *Sharded) NSeg() int { return s.merged.NSeg() }
+
+// N implements Backend.
+func (s *Sharded) N() uint64 { return s.merged.N() }
+
+// Count implements Backend.
+func (s *Sharded) Count(x, y, seg int) uint32 { return s.merged.Count(x, y, seg) }
+
+// CellTotal implements Backend.
+func (s *Sharded) CellTotal(x, y int) uint32 { return s.merged.CellTotal(x, y) }
+
+// Support implements Backend.
+func (s *Sharded) Support(x, y, seg int) float64 { return s.merged.Support(x, y, seg) }
+
+// Confidence implements Backend.
+func (s *Sharded) Confidence(x, y, seg int) float64 { return s.merged.Confidence(x, y, seg) }
+
+// SegmentTotal implements Backend.
+func (s *Sharded) SegmentTotal(seg int) uint64 { return s.merged.SegmentTotal(seg) }
+
+// Occupied implements Backend.
+func (s *Sharded) Occupied(seg int, fn func(x, y int, segCount, cellTotal uint32)) {
+	s.merged.Occupied(seg, fn)
+}
+
+// Add implements Adder: incremental tuples (core.Extend) land in the
+// merged array directly.
+func (s *Sharded) Add(x, y, seg int) { s.merged.Add(x, y, seg) }
+
+// Stats implements Sizer.
+func (s *Sharded) Stats() binarray.Stats { return s.merged.Stats() }
+
+var (
+	_ Adder = (*Sharded)(nil)
+	_ Sizer = (*Sharded)(nil)
+)

@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func shardSchema() *Schema {
+	return NewSchema(Attribute{Name: "v", Kind: Quantitative})
+}
+
+// drain reads a source to completion, cloning every tuple.
+func drain(t *testing.T, src Source) []Tuple {
+	t.Helper()
+	var out []Tuple
+	if err := ForEach(src, func(tp Tuple) error {
+		out = append(out, tp.Clone())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTableShardPartition: the concatenation of all shards replays the
+// table exactly, for divisor and non-divisor worker counts.
+func TestTableShardPartition(t *testing.T) {
+	tab := NewTable(shardSchema())
+	for i := 0; i < 11; i++ {
+		tab.MustAppend(Tuple{float64(i)})
+	}
+	for _, n := range []int{1, 2, 3, 4, 11, 16} {
+		var got []Tuple
+		for i := 0; i < n; i++ {
+			sh, err := tab.Shard(i, n)
+			if err != nil {
+				t.Fatalf("Shard(%d, %d): %v", i, n, err)
+			}
+			got = append(got, drain(t, sh)...)
+		}
+		if len(got) != tab.Len() {
+			t.Fatalf("n=%d: shards yield %d tuples, want %d", n, len(got), tab.Len())
+		}
+		for i, tp := range got {
+			if tp[0] != float64(i) {
+				t.Fatalf("n=%d: tuple %d = %v, want %d (order preserved)", n, i, tp, i)
+			}
+		}
+	}
+}
+
+func TestTableShardRejectsOutOfRange(t *testing.T) {
+	tab := NewTable(shardSchema())
+	tab.MustAppend(Tuple{1})
+	for _, c := range [][2]int{{-1, 2}, {2, 2}, {0, 0}, {0, -1}} {
+		if _, err := tab.Shard(c[0], c[1]); err == nil {
+			t.Errorf("Shard(%d, %d) succeeded, want error", c[0], c[1])
+		}
+	}
+}
+
+// TestFuncSourceShardPartition mirrors the table test for the generator
+// source, including that shards are independent (no shared cursor).
+func TestFuncSourceShardPartition(t *testing.T) {
+	src := NewFuncSource(shardSchema(), 10, func(i int, out Tuple) {
+		out[0] = float64(i)
+	})
+	for _, n := range []int{1, 3, 10, 12} {
+		var got []Tuple
+		for i := 0; i < n; i++ {
+			sh, err := src.Shard(i, n)
+			if err != nil {
+				t.Fatalf("Shard(%d, %d): %v", i, n, err)
+			}
+			got = append(got, drain(t, sh)...)
+		}
+		if len(got) != 10 {
+			t.Fatalf("n=%d: shards yield %d tuples, want 10", n, len(got))
+		}
+		for i, tp := range got {
+			if tp[0] != float64(i) {
+				t.Fatalf("n=%d: tuple %d = %v, want %d", n, i, tp, i)
+			}
+		}
+	}
+}
+
+func TestFuncSourceShardRejectsOutOfRange(t *testing.T) {
+	src := NewFuncSource(shardSchema(), 10, func(i int, out Tuple) { out[0] = float64(i) })
+	for _, c := range [][2]int{{-1, 2}, {2, 2}, {0, 0}} {
+		if _, err := src.Shard(c[0], c[1]); err == nil {
+			t.Errorf("Shard(%d, %d) succeeded, want error", c[0], c[1])
+		}
+	}
+}
+
+// Compile-time checks that the range-partitionable sources implement
+// Sharder and streams do not accidentally gain it.
+var (
+	_ Sharder = (*Table)(nil)
+	_ Sharder = (*FuncSource)(nil)
+)

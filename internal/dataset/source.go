@@ -45,6 +45,21 @@ type SizedSource interface {
 	Len() int
 }
 
+// Sharder is implemented by sources whose pass can be partitioned into
+// disjoint, independently consumable sub-streams — the contract behind
+// parallel ingest. The concatenation of Shard(0, n) .. Shard(n-1, n)
+// must yield exactly the tuples of one full pass, in order, and distinct
+// shards must be safe to consume from distinct goroutines concurrently.
+// In-memory tables shard by row range; deterministic generators shard by
+// index range. Streaming sources (CSV readers) cannot shard and simply
+// do not implement the interface.
+type Sharder interface {
+	Source
+	// Shard returns the i-th of n partitions. Shards may be empty when
+	// the source holds fewer than n tuples.
+	Shard(i, n int) (Source, error)
+}
+
 // ErrSchemaMismatch is returned when a tuple's width does not match the
 // schema it is being used with.
 var ErrSchemaMismatch = errors.New("dataset: tuple width does not match schema")
@@ -256,4 +271,17 @@ func (f *FuncSource) Next() (Tuple, error) {
 func (f *FuncSource) Reset() error {
 	f.pos = 0
 	return nil
+}
+
+// Shard implements Sharder: shard i of n covers the contiguous index
+// range [i*len/n, (i+1)*len/n). Each shard has a private tuple buffer;
+// the generator function itself must be safe for concurrent calls when
+// shards are consumed in parallel (position-determinism usually makes it
+// a pure function, which is).
+func (f *FuncSource) Shard(i, n int) (Source, error) {
+	if n < 1 || i < 0 || i >= n {
+		return nil, fmt.Errorf("dataset: shard %d of %d out of range", i, n)
+	}
+	lo, hi := i*f.n/n, (i+1)*f.n/n
+	return NewFuncSource(f.schema, hi-lo, func(j int, out Tuple) { f.gen(lo+j, out) }), nil
 }

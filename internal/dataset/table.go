@@ -116,6 +116,17 @@ func (t *Table) Slice(lo, hi int) *Table {
 	return &Table{schema: t.schema, rows: t.rows[lo:hi]}
 }
 
+// Shard implements Sharder: shard i of n is the contiguous row range
+// [i*len/n, (i+1)*len/n) as an independent table view. Shards share
+// tuple storage but each has its own cursor, so concurrent consumption
+// from distinct goroutines is safe as long as nobody mutates the rows.
+func (t *Table) Shard(i, n int) (Source, error) {
+	if n < 1 || i < 0 || i >= n {
+		return nil, fmt.Errorf("dataset: shard %d of %d out of range", i, n)
+	}
+	return t.Slice(i*len(t.rows)/n, (i+1)*len(t.rows)/n), nil
+}
+
 // Select returns a new table containing the rows at the given indices,
 // sharing tuple storage with t.
 func (t *Table) Select(idx []int) *Table {

@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"sort"
 
-	"arcs/internal/binarray"
+	"arcs/internal/counts"
 	"arcs/internal/rules"
 )
 
@@ -22,7 +22,7 @@ import (
 // cell of the BinArray (Figure 3). minSupport is a fraction of N;
 // minConfidence is a fraction of the cell total. Rules are returned in
 // deterministic row-major cell order.
-func GenAssociationRules(ba *binarray.BinArray, seg int, minSupport, minConfidence float64) ([]rules.CellRule, error) {
+func GenAssociationRules(ba counts.Backend, seg int, minSupport, minConfidence float64) ([]rules.CellRule, error) {
 	if seg < 0 || seg >= ba.NSeg() {
 		return nil, fmt.Errorf("engine: criterion value %d out of range 0..%d", seg, ba.NSeg()-1)
 	}
@@ -61,7 +61,7 @@ func GenAssociationRules(ba *binarray.BinArray, seg int, minSupport, minConfiden
 // rate). This suits segmentation criteria whose base rates differ
 // wildly, where one absolute confidence threshold over- or
 // under-selects.
-func GenInterestingRules(ba *binarray.BinArray, seg int, minSupport, minLift float64) ([]rules.CellRule, error) {
+func GenInterestingRules(ba counts.Backend, seg int, minSupport, minLift float64) ([]rules.CellRule, error) {
 	if seg < 0 || seg >= ba.NSeg() {
 		return nil, fmt.Errorf("engine: criterion value %d out of range 0..%d", seg, ba.NSeg()-1)
 	}
@@ -101,7 +101,7 @@ type supConf struct{ sup, conf float64 }
 
 // NewThresholds scans the BinArray once and builds the threshold
 // structure for criterion value seg.
-func NewThresholds(ba *binarray.BinArray, seg int) (*Thresholds, error) {
+func NewThresholds(ba counts.Backend, seg int) (*Thresholds, error) {
 	if seg < 0 || seg >= ba.NSeg() {
 		return nil, fmt.Errorf("engine: criterion value %d out of range 0..%d", seg, ba.NSeg()-1)
 	}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"arcs/internal/binarray"
+	"arcs/internal/binning"
+	"arcs/internal/core"
+	"arcs/internal/counts"
+	"arcs/internal/dataset"
+	"arcs/internal/synth"
+)
+
+// IngestVariant is one measured configuration of the counting pass.
+type IngestVariant struct {
+	Name    string `json:"name"`
+	Workers int    `json:"workers"`
+	// Seconds is the wall-clock time of the pass alone (the table is
+	// pre-materialized, so no generator or I/O cost is included).
+	Seconds    float64 `json:"seconds"`
+	TuplesPerS float64 `json:"tuples_per_sec"`
+	// SpeedupVsDense is wall-clock relative to the sequential dense
+	// build (>1 means faster).
+	SpeedupVsDense float64 `json:"speedup_vs_dense"`
+}
+
+// IngestReport is the JSON document emitted by the ingest experiment
+// (BENCH_ingest.json history records).
+type IngestReport struct {
+	Experiment string `json:"experiment"`
+	Tuples     int    `json:"tuples"`
+	// Identical reports that every sharded build produced bytes equal to
+	// the dense build — the refactor's correctness claim, re-checked on
+	// every benchmark run.
+	Identical bool            `json:"results_identical"`
+	Variants  []IngestVariant `json:"variants"`
+}
+
+// IngestSpec prepares the counting-pass inputs the benchmark and the
+// experiment share: the Figure 11 workload materialized into a shardable
+// in-memory table, and the fitted count spec for it.
+func IngestSpec(n, bins int) (*dataset.Table, counts.Spec, error) {
+	gen, err := synth.New(dataConfig(n, 0.10, DefaultSeed))
+	if err != nil {
+		return nil, counts.Spec{}, err
+	}
+	tab, err := dataset.Materialize(gen)
+	if err != nil {
+		return nil, counts.Spec{}, err
+	}
+	schema := tab.Schema()
+	xIdx := schema.MustIndex(synth.AttrAge)
+	yIdx := schema.MustIndex(synth.AttrSalary)
+	critIdx := schema.MustIndex(synth.AttrGroup)
+	fit := func(idx int) (binning.Binner, error) {
+		col := tab.Column(idx)
+		lo, hi := col[0], col[0]
+		for _, v := range col {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if lo == hi {
+			hi = lo + 1
+		}
+		return binning.NewEquiWidth(lo, hi, bins)
+	}
+	xb, err := fit(xIdx)
+	if err != nil {
+		return nil, counts.Spec{}, err
+	}
+	yb, err := fit(yIdx)
+	if err != nil {
+		return nil, counts.Spec{}, err
+	}
+	return tab, counts.Spec{
+		XIdx: xIdx, YIdx: yIdx, CritIdx: critIdx,
+		XBinner: xb, YBinner: yb,
+		NSeg: schema.At(critIdx).NumCategories(),
+	}, nil
+}
+
+// IngestBench measures the counting pass on n Figure-11 tuples: the
+// sequential dense build, then the sharded build at each worker count,
+// verifying byte-identity of every variant against the dense baseline.
+func IngestBench(n, bins int, workerCounts []int) (*IngestReport, error) {
+	tab, spec, err := IngestSpec(n, bins)
+	if err != nil {
+		return nil, err
+	}
+	snapshot := func(ba *binarray.BinArray) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := ba.Write(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+
+	start := time.Now()
+	dense, err := counts.Build(context.Background(), tab, spec, 1)
+	if err != nil {
+		return nil, err
+	}
+	denseSecs := time.Since(start).Seconds()
+	ref, err := snapshot(dense.(*binarray.BinArray))
+	if err != nil {
+		return nil, err
+	}
+
+	report := &IngestReport{
+		Experiment: "ingest", Tuples: n, Identical: true,
+		Variants: []IngestVariant{{
+			Name: "dense", Workers: 1, Seconds: denseSecs,
+			TuplesPerS: float64(n) / denseSecs, SpeedupVsDense: 1,
+		}},
+	}
+	for _, w := range workerCounts {
+		start := time.Now()
+		sh, err := counts.BuildSharded(context.Background(), tab, spec, w)
+		if err != nil {
+			return nil, err
+		}
+		secs := time.Since(start).Seconds()
+		got, err := snapshot(sh.Merged())
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(got, ref) {
+			report.Identical = false
+		}
+		report.Variants = append(report.Variants, IngestVariant{
+			Name:    fmt.Sprintf("sharded-%d", w),
+			Workers: w, Seconds: secs,
+			TuplesPerS:     float64(n) / secs,
+			SpeedupVsDense: denseSecs / secs,
+		})
+	}
+	if !report.Identical {
+		return report, fmt.Errorf("experiments: sharded counting pass diverged from the dense build")
+	}
+	return report, nil
+}
+
+// RenderIngest formats the report as an aligned table.
+func RenderIngest(r *IngestReport) string {
+	out := fmt.Sprintf("%12s %8s %10s %14s %9s\n",
+		"variant", "workers", "time", "tuples/sec", "speedup")
+	for _, v := range r.Variants {
+		out += fmt.Sprintf("%12s %8d %10s %14.0f %8.2fx\n",
+			v.Name, v.Workers,
+			FormatDuration(time.Duration(v.Seconds*float64(time.Second))),
+			v.TuplesPerS, v.SpeedupVsDense)
+	}
+	return out
+}
+
+// IngestBenchRecord converts a report into the BENCH_*.json history
+// schema: one phase timing per variant, named ingest-dense /
+// ingest-sharded-N.
+func IngestBenchRecord(r *IngestReport, gitSHA string, now time.Time) BenchRecord {
+	rec := BenchRecord{
+		GitSHA:    gitSHA,
+		Timestamp: now.UTC().Format(time.RFC3339),
+		Tuples:    r.Tuples,
+	}
+	for _, v := range r.Variants {
+		rec.Phases = append(rec.Phases, core.PhaseTiming{
+			Name: "ingest-" + v.Name, Seconds: v.Seconds,
+		})
+		if v.Workers > rec.Workers {
+			rec.Workers = v.Workers
+		}
+	}
+	return rec
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestIngestBenchSmall: a small run produces the dense baseline plus one
+// variant per worker count, all byte-identical, with sane throughputs.
+func TestIngestBenchSmall(t *testing.T) {
+	r, err := IngestBench(20_000, 30, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Identical {
+		t.Fatal("sharded counting pass diverged from the dense build")
+	}
+	if len(r.Variants) != 3 {
+		t.Fatalf("%d variants, want dense + 2 sharded", len(r.Variants))
+	}
+	if r.Variants[0].Name != "dense" || r.Variants[1].Name != "sharded-2" || r.Variants[2].Name != "sharded-4" {
+		t.Fatalf("variant names = %v", []string{r.Variants[0].Name, r.Variants[1].Name, r.Variants[2].Name})
+	}
+	for _, v := range r.Variants {
+		if v.Seconds <= 0 || v.TuplesPerS <= 0 || v.SpeedupVsDense <= 0 {
+			t.Errorf("variant %s has non-positive measurements: %+v", v.Name, v)
+		}
+	}
+	if out := RenderIngest(r); !strings.Contains(out, "sharded-4") {
+		t.Errorf("rendered report missing variant row:\n%s", out)
+	}
+}
+
+// TestIngestBenchRecord: the history record carries one phase per
+// variant in the BENCH_*.json schema.
+func TestIngestBenchRecord(t *testing.T) {
+	r := &IngestReport{
+		Experiment: "ingest", Tuples: 1_000_000, Identical: true,
+		Variants: []IngestVariant{
+			{Name: "dense", Workers: 1, Seconds: 2.0},
+			{Name: "sharded-4", Workers: 4, Seconds: 0.6},
+		},
+	}
+	rec := IngestBenchRecord(r, "abc1234", time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC))
+	if rec.Tuples != 1_000_000 || rec.Workers != 4 || rec.GitSHA != "abc1234" {
+		t.Fatalf("record header = %+v", rec)
+	}
+	if len(rec.Phases) != 2 || rec.Phases[0].Name != "ingest-dense" || rec.Phases[1].Name != "ingest-sharded-4" {
+		t.Fatalf("record phases = %+v", rec.Phases)
+	}
+}

@@ -14,8 +14,11 @@
 // Span taxonomy (parent → child), as emitted by internal/core:
 //
 //	init                  system construction (core.New)
-//	  fit-sample          binner fitting + reservoir sample
-//	  bin                 BinArray fill pass
+//	  ingest              axis statistics + reservoir sample pass
+//	                      (skipped when fused into count)
+//	  binfit              axis binner construction
+//	  count               count-backend fill pass (dense, sharded,
+//	                      or fused single-pass with ingest)
 //	  reorder             categorical densest-cluster reordering
 //	  verify-index        verification-sample pre-binning
 //	run                   one RunValue feedback loop
