@@ -49,6 +49,7 @@ func main() {
 	var (
 		exp       = flag.String("exp", "all", "experiment: rules, fig11, fig12, fig13, fig14, fig15, table2, bins, smoothing, ablation, why, feedbackloop, ingest, all")
 		ingestW   = flag.String("ingest-workers", "2,4,8", "comma-separated worker counts for -exp ingest")
+		ingestN   = flag.String("ingest-tuples", "1000000,2000000,5000000,10000000", "comma-separated workload sizes for -exp ingest (each divided by -scale)")
 		scale     = flag.Int("scale", 1, "divide every database size by this factor")
 		c45Cap    = flag.Int("c45cap", 200_000, "largest database C4.5 is attempted on (the paper's C4.5 ran out of memory beyond 100k)")
 		testN     = flag.Int("testn", 10_000, "held-out test table size")
@@ -276,23 +277,36 @@ func main() {
 	})
 
 	run("ingest", func() error {
-		fmt.Println("counting pass: sequential dense build vs sharded parallel ingest (byte-identity re-checked)")
+		fmt.Println("counting pass: sequential dense build vs streamed sharded ingest (byte-identity re-checked)")
 		workers, err := parseWorkers(*ingestW)
 		if err != nil {
 			return err
 		}
-		n := max(1_000_000 / *scale, 50_000)
-		report, err := experiments.IngestBench(n, 50, workers)
+		sizes, err := parseSizes(*ingestN, *scale)
 		if err != nil {
 			return err
 		}
+		report, benchErr := experiments.IngestBench(ctx, sizes, 50, workers)
+		if benchErr != nil && report == nil {
+			return benchErr
+		}
+		if report.Partial {
+			// Canceled mid-run (SIGINT or -timeout): the completed sizes
+			// are valid measurements — print and append them, then let
+			// the suite exit with the cancellation status.
+			slog.Warn("ingest bench canceled; appending partial trajectory", "cause", benchErr)
+		} else if benchErr != nil {
+			return benchErr
+		}
 		fmt.Print(experiments.RenderIngest(report))
 		const out = "BENCH_ingest.json"
-		rec := experiments.IngestBenchRecord(report, experiments.GitSHA(), time.Now())
-		if err := experiments.AppendBenchRecord(out, rec); err != nil {
-			return err
+		if len(report.Sizes) > 0 {
+			rec := experiments.IngestBenchRecord(report, experiments.GitSHA(), time.Now())
+			if err := experiments.AppendBenchRecord(out, rec); err != nil {
+				return err
+			}
+			fmt.Printf("appended run to %s\n", out)
 		}
-		fmt.Printf("appended run to %s\n", out)
 		return nil
 	})
 
@@ -328,6 +342,30 @@ func parseWorkers(s string) ([]int, error) {
 		return nil, fmt.Errorf("-ingest-workers is empty")
 	}
 	return out, nil
+}
+
+// parseSizes parses the -ingest-tuples list, applies -scale and clamps
+// each size to a floor that still exercises the sharded path.
+func parseSizes(s string, scale int) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -ingest-tuples entry %q", part)
+		}
+		out = append(out, max(n/scale, 50_000))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-ingest-tuples is empty")
+	}
+	// Deduplicate after clamping (aggressive -scale collapses sizes).
+	dedup := out[:0]
+	for _, v := range out {
+		if len(dedup) == 0 || dedup[len(dedup)-1] != v {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup, nil
 }
 
 func scaled(sizes []int, scale int) []int {

@@ -10,7 +10,10 @@
 //	arcstrace diff [-tolerance 20%] [-min-phase 5ms] [-min-count 16] old.jsonl new.jsonl
 //	    Compare aggregate phase times and counters between two traces and
 //	    exit non-zero when anything grew beyond the tolerance — the CI
-//	    perf gate.
+//	    perf gate. With two BENCH_*.json trajectories the newest history
+//	    record of each is compared instead (phase timings plus the ingest
+//	    crossover summary); with a single trajectory its last two records
+//	    are compared — the double-run protocol's same-machine noise check.
 //
 //	arcstrace append [-bench BENCH_feedbackloop.json] run.jsonl
 //	    Fold the trace's phase timings into a BENCH_*.json trajectory as
@@ -62,6 +65,8 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   arcstrace summarize run.jsonl
   arcstrace diff [-tolerance 20%] [-min-phase 5ms] [-min-count 16] old.jsonl new.jsonl
+  arcstrace diff [flags] OLD_BENCH.json NEW_BENCH.json   (newest record of each)
+  arcstrace diff [flags] BENCH.json                      (its last two records)
   arcstrace append [-bench BENCH_feedbackloop.json] run.jsonl
 `)
 }
@@ -108,26 +113,65 @@ func diff(args []string) error {
 	minPhase := fs.Duration("min-phase", 5*time.Millisecond, "ignore phases faster than this in both traces")
 	minCount := fs.Float64("min-count", 16, "ignore counters below this in both traces")
 	fs.Parse(args)
-	if fs.NArg() != 2 {
-		return fmt.Errorf("diff wants exactly two trace files (old new)")
-	}
 	tol, err := parseTolerance(*tolerance)
 	if err != nil {
 		return err
 	}
-	oldT, err := readTrace(fs.Arg(0))
-	if err != nil {
-		return err
+	opts := obs.DiffOptions{Tolerance: tol, MinPhase: *minPhase, MinCount: *minCount}
+
+	// Bench-trajectory mode: .json args are BENCH_*.json files whose
+	// newest history records are compared (phase timings plus the
+	// ingest crossover summary). One trajectory file alone compares its
+	// last two records — the double-run protocol's same-machine diff.
+	var regs []obs.Regression
+	var oldName, newName string
+	switch {
+	case fs.NArg() == 1 && isBenchFile(fs.Arg(0)):
+		bf, err := experiments.ReadBenchFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		oldRec, newRec, err := experiments.LastTwoRecords(bf)
+		if err != nil {
+			return err
+		}
+		regs = experiments.DiffBenchRecords(oldRec, newRec, opts)
+		oldName, newName = fs.Arg(0)+"[-2]", fs.Arg(0)+"[-1]"
+	case fs.NArg() == 2 && isBenchFile(fs.Arg(0)) && isBenchFile(fs.Arg(1)):
+		oldBF, err := experiments.ReadBenchFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		newBF, err := experiments.ReadBenchFile(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		oldRec, err := experiments.LastRecord(oldBF)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fs.Arg(0), err)
+		}
+		newRec, err := experiments.LastRecord(newBF)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fs.Arg(1), err)
+		}
+		regs = experiments.DiffBenchRecords(oldRec, newRec, opts)
+		oldName, newName = fs.Arg(0), fs.Arg(1)
+	case fs.NArg() == 2:
+		oldT, err := readTrace(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		newT, err := readTrace(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		regs = obs.DiffTraces(oldT, newT, opts)
+		oldName, newName = fs.Arg(0), fs.Arg(1)
+	default:
+		return fmt.Errorf("diff wants two trace files (old new), two bench .json trajectories, or one trajectory (compares its last two records)")
 	}
-	newT, err := readTrace(fs.Arg(1))
-	if err != nil {
-		return err
-	}
-	regs := obs.DiffTraces(oldT, newT, obs.DiffOptions{
-		Tolerance: tol, MinPhase: *minPhase, MinCount: *minCount,
-	})
 	if len(regs) == 0 {
-		fmt.Printf("no regressions beyond %s (%s vs %s)\n", *tolerance, fs.Arg(0), fs.Arg(1))
+		fmt.Printf("no regressions beyond %s (%s vs %s)\n", *tolerance, oldName, newName)
 		return nil
 	}
 	fmt.Printf("%d regression(s) beyond %s:\n", len(regs), *tolerance)
@@ -136,6 +180,12 @@ func diff(args []string) error {
 	}
 	os.Exit(1)
 	return nil
+}
+
+// isBenchFile distinguishes BENCH_*.json trajectories from JSONL span
+// traces by extension.
+func isBenchFile(path string) bool {
+	return strings.HasSuffix(path, ".json")
 }
 
 // parseTolerance accepts "20%" or a bare fraction like "0.2".

@@ -32,16 +32,17 @@ const exitCanceled = 3
 
 func main() {
 	var (
-		n         = flag.Int("n", 10_000, "number of tuples")
-		function  = flag.Int("function", 2, "classification function 1-10")
-		perturb   = flag.Float64("perturb", 0.05, "perturbation factor P")
-		outliers  = flag.Float64("outliers", 0, "outlier fraction U")
-		fracA     = flag.Float64("fraca", 0.40, "target fraction of Group A (0 disables)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		out       = flag.String("out", "", "output file (default stdout)")
-		timeout   = flag.Duration("timeout", 0, "generation budget; on expiry flush the rows written so far and exit 3")
-		verbose   = flag.Bool("v", false, "debug logging")
-		logFormat = flag.String("log-format", "text", "log output format: text, json")
+		n          = flag.Int("n", 10_000, "number of tuples")
+		function   = flag.Int("function", 2, "classification function 1-10")
+		perturb    = flag.Float64("perturb", 0.05, "perturbation factor P")
+		outliers   = flag.Float64("outliers", 0, "outlier fraction U")
+		fracA      = flag.Float64("fraca", 0.40, "target fraction of Group A (0 disables)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		positional = flag.Bool("positional", false, "use the position-deterministic stream generator (tuple i depends only on seed and i; shardable, different values than the sequential generator)")
+		out        = flag.String("out", "", "output file (default stdout)")
+		timeout    = flag.Duration("timeout", 0, "generation budget; on expiry flush the rows written so far and exit 3")
+		verbose    = flag.Bool("v", false, "debug logging")
+		logFormat  = flag.String("log-format", "text", "log output format: text, json")
 	)
 	flag.Parse()
 	if _, err := obs.SetupSlog(os.Stderr, *logFormat, *verbose); err != nil {
@@ -65,16 +66,27 @@ func main() {
 	// swallowed while the partial output flushes.
 	go func() { <-ctx.Done(); stopSignals() }()
 
-	gen, err := synth.New(synth.Config{
+	cfg := synth.Config{
 		Function:        *function,
 		N:               *n,
 		Seed:            *seed,
 		Perturbation:    *perturb,
 		OutlierFraction: *outliers,
 		FracA:           *fracA,
-	})
-	if err != nil {
-		fatal(err)
+	}
+	var gen dataset.Source
+	if *positional {
+		st, err := synth.NewStream(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		gen = st.Source()
+	} else {
+		g, err := synth.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		gen = g
 	}
 
 	w := os.Stdout

@@ -1,0 +1,101 @@
+package binarray
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAddNMatchesAdd checks the bulk accumulation against repeated
+// single Adds.
+func TestAddNMatchesAdd(t *testing.T) {
+	a, err := New(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		a.Add(1, 2, 0)
+	}
+	a.Add(1, 2, 1)
+	a.Add(2, 3, 1)
+	b.AddN(1, 2, 0, 7)
+	b.AddN(1, 2, 1, 1)
+	b.AddN(2, 3, 1, 1)
+	if a.n != b.n {
+		t.Fatalf("N diverges: %d vs %d", a.n, b.n)
+	}
+	for i := range a.counts {
+		if a.counts[i] != b.counts[i] {
+			t.Fatalf("counts[%d] diverges: %d vs %d", i, a.counts[i], b.counts[i])
+		}
+	}
+}
+
+// TestAddNSaturation checks the overflow behavior: per-cell counters pin
+// at MaxUint32 instead of wrapping, while the 64-bit total keeps exact
+// count, and a merge of saturated shards stays saturated (saturating
+// addition is associative, preserving sharded/sequential equivalence).
+func TestAddNSaturation(t *testing.T) {
+	b, err := New(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AddN(0, 1, 0, math.MaxUint32-1)
+	if got := b.Count(0, 1, 0); got != math.MaxUint32-1 {
+		t.Fatalf("Count = %d, want %d", got, uint32(math.MaxUint32-1))
+	}
+	b.AddN(0, 1, 0, 5)
+	if got := b.Count(0, 1, 0); got != math.MaxUint32 {
+		t.Errorf("saturated Count = %d, want MaxUint32", got)
+	}
+	if got := b.CellTotal(0, 1); got != math.MaxUint32 {
+		t.Errorf("saturated CellTotal = %d, want MaxUint32", got)
+	}
+	if got := b.N(); got != uint64(math.MaxUint32-1)+5 {
+		t.Errorf("N = %d, want %d (64-bit total must not saturate)", got, uint64(math.MaxUint32-1)+5)
+	}
+	// Single Add on a saturated cell stays pinned.
+	b.Add(0, 1, 0)
+	if got := b.Count(0, 1, 0); got != math.MaxUint32 {
+		t.Errorf("Add on saturated cell = %d, want MaxUint32", got)
+	}
+
+	// Merging two half-saturated shards saturates exactly like a single
+	// sequential pass would.
+	s1, err := New(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.AddN(1, 0, 1, math.MaxUint32/2+7)
+	s2.AddN(1, 0, 1, math.MaxUint32/2+9)
+	if err := s1.Merge(s2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.Count(1, 0, 1); got != math.MaxUint32 {
+		t.Errorf("merged saturated Count = %d, want MaxUint32", got)
+	}
+	if got := s1.N(); got != uint64(math.MaxUint32/2+7)+uint64(math.MaxUint32/2+9) {
+		t.Errorf("merged N = %d, want exact 64-bit sum", got)
+	}
+}
+
+// TestAddNOutOfRangePanics mirrors Add's contract.
+func TestAddNOutOfRangePanics(t *testing.T) {
+	b, err := New(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddN out of range did not panic")
+		}
+	}()
+	b.AddN(2, 0, 0, 1)
+}

@@ -11,8 +11,10 @@ package binarray
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"arcs/internal/binning"
+	"arcs/internal/cancelcheck"
 	"arcs/internal/dataset"
 )
 
@@ -102,15 +104,47 @@ func (b *BinArray) base(x, y int) int { return (x*b.ny + y) * (b.nseg + 1) }
 
 // Add records one tuple falling in cell (x, y) with RHS value seg.
 // Indices are the caller's responsibility; out-of-range indices panic, as
-// they always indicate a bug in the binner.
+// they always indicate a bug in the binner. Counters saturate at
+// MaxUint32 instead of wrapping (see AddN).
 func (b *BinArray) Add(x, y, seg int) {
 	if x < 0 || x >= b.nx || y < 0 || y >= b.ny || seg < 0 || seg >= b.nseg {
 		panic(fmt.Sprintf("binarray: Add(%d, %d, %d) out of range %d×%d×%d", x, y, seg, b.nx, b.ny, b.nseg))
 	}
 	base := b.base(x, y)
-	b.counts[base+seg]++
-	b.counts[base+b.nseg]++
+	if b.counts[base+seg] != math.MaxUint32 {
+		b.counts[base+seg]++
+	}
+	if b.counts[base+b.nseg] != math.MaxUint32 {
+		b.counts[base+b.nseg]++
+	}
 	b.n++
+}
+
+// satAdd is the shared saturating accumulation of Add, AddN and Merge:
+// counters pin at MaxUint32 rather than wrapping, so a cell that
+// overflows its uint32 reads as "at least 4 billion" instead of a small
+// garbage count. Saturating addition of non-negative values is
+// associative and commutative, so sharded merges remain byte-identical
+// to a sequential pass even at the saturation point.
+func satAdd(c uint32, n uint32) uint32 {
+	if c > math.MaxUint32-n {
+		return math.MaxUint32
+	}
+	return c + n
+}
+
+// AddN records n tuples falling in cell (x, y) with RHS value seg in one
+// bulk accumulation — the batched form of Add used by merge paths and
+// pre-aggregated loaders. Per-cell counters saturate at MaxUint32; the
+// total tuple count N is 64-bit and always advances by n.
+func (b *BinArray) AddN(x, y, seg int, n uint32) {
+	if x < 0 || x >= b.nx || y < 0 || y >= b.ny || seg < 0 || seg >= b.nseg {
+		panic(fmt.Sprintf("binarray: AddN(%d, %d, %d) out of range %d×%d×%d", x, y, seg, b.nx, b.ny, b.nseg))
+	}
+	base := b.base(x, y)
+	b.counts[base+seg] = satAdd(b.counts[base+seg], n)
+	b.counts[base+b.nseg] = satAdd(b.counts[base+b.nseg], n)
+	b.n += uint64(n)
 }
 
 // Count returns the number of tuples in cell (x, y) with RHS value seg —
@@ -170,17 +204,31 @@ func (b *BinArray) Occupied(seg int, fn func(x, y int, segCount, cellTotal uint3
 }
 
 // Merge adds every count of other into b; dimensions must match. This
-// is how sharded ingest combines per-worker private arrays: uint32
+// is how sharded ingest combines per-worker private arrays: saturating
 // addition is commutative and associative, so the merged counts are
 // identical to a single sequential pass no matter how the stream was
-// partitioned or in which order the shards land.
+// partitioned or in which order the shards land. Merge is the bulk AddN
+// accumulation applied cell-wise: cells empty in other (detected by one
+// read of the cell total) are skipped outright, which makes merging the
+// sparse per-worker shards of a large grid markedly cheaper than a flat
+// element-by-element pass.
 func (b *BinArray) Merge(other *BinArray) error {
 	if other.nx != b.nx || other.ny != b.ny || other.nseg != b.nseg {
 		return fmt.Errorf("binarray: merge dimension mismatch: %d×%d×%d vs %d×%d×%d",
 			b.nx, b.ny, b.nseg, other.nx, other.ny, other.nseg)
 	}
-	for i, v := range other.counts {
-		b.counts[i] += v
+	stride := b.nseg + 1
+	for base := 0; base < len(other.counts); base += stride {
+		if other.counts[base+b.nseg] == 0 {
+			continue // empty cell in other: nothing to accumulate
+		}
+		dst := b.counts[base : base+stride]
+		src := other.counts[base : base+stride : base+stride]
+		for i, v := range src {
+			if v != 0 {
+				dst[i] = satAdd(dst[i], v)
+			}
+		}
 	}
 	b.n += other.n
 	return nil
@@ -227,14 +275,32 @@ func Build(src dataset.Source, xIdx, yIdx, critIdx int, xb, yb binning.Binner, n
 	return BuildContext(context.Background(), src, xIdx, yIdx, critIdx, xb, yb, nseg)
 }
 
+// buildCheckEvery is the cooperative-cancellation granularity of the
+// in-memory table fast path, matching the dataset layer's streaming
+// checkpoint stride.
+const buildCheckEvery = 1024
+
 // BuildContext is Build with cooperative cancellation: the binning pass
 // checks the context at the dataset layer's checkpoint granularity and
 // returns the cancellation error, discarding the partial array. A
 // background context adds no per-row cost.
+//
+// The pass is allocation-free per tuple (guarded by
+// counts.TestIngestZeroAllocPerTuple): the binners are compiled into
+// concrete lookup programs once up front, removing the two interface
+// dispatches per tuple, and an in-memory dataset.Table source is walked
+// by row index, skipping the Source cursor protocol entirely.
 func BuildContext(ctx context.Context, src dataset.Source, xIdx, yIdx, critIdx int, xb, yb binning.Binner, nseg int) (*BinArray, error) {
 	ba, err := New(xb.NumBins(), yb.NumBins(), nseg)
 	if err != nil {
 		return nil, err
+	}
+	cx, cy := binning.Compile(xb), binning.Compile(yb)
+	if tb, ok := src.(*dataset.Table); ok {
+		if err := ba.addTable(ctx, tb, xIdx, yIdx, critIdx, &cx, &cy, nseg); err != nil {
+			return nil, err
+		}
+		return ba, nil
 	}
 	width := src.Schema().Len()
 	err = dataset.ForEachContext(ctx, src, func(t dataset.Tuple) error {
@@ -245,11 +311,33 @@ func BuildContext(ctx context.Context, src dataset.Source, xIdx, yIdx, critIdx i
 		if seg < 0 || seg >= nseg {
 			return fmt.Errorf("binarray: criterion value %d out of range 0..%d", seg, nseg-1)
 		}
-		ba.Add(xb.Bin(t[xIdx]), yb.Bin(t[yIdx]), seg)
+		ba.Add(cx.Bin(t[xIdx]), cy.Bin(t[yIdx]), seg)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return ba, nil
+}
+
+// addTable is the dense-build fast path over a materialized table: rows
+// are visited by index (Table rows are width-checked on Append, so the
+// per-tuple schema check of the streaming path is unnecessary), the
+// compiled binners are called directly, and the context is polled every
+// buildCheckEvery rows.
+func (b *BinArray) addTable(ctx context.Context, tb *dataset.Table, xIdx, yIdx, critIdx int, cx, cy *binning.Compiled, nseg int) error {
+	point := cancelcheck.New(ctx).Point(buildCheckEvery)
+	n := tb.Len()
+	for i := 0; i < n; i++ {
+		if err := point.Check(); err != nil {
+			return err
+		}
+		t := tb.Row(i)
+		seg := int(t[critIdx])
+		if seg < 0 || seg >= nseg {
+			return fmt.Errorf("binarray: criterion value %d out of range 0..%d", seg, nseg-1)
+		}
+		b.Add(cx.Bin(t[xIdx]), cy.Bin(t[yIdx]), seg)
+	}
+	return nil
 }

@@ -1,0 +1,78 @@
+package binning
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCompileMatchesBinner differentially checks every compiled program
+// against its source binner across the fitted domain, beyond both edges
+// and exactly on boundary values — the cases where a one-ulp arithmetic
+// change would silently shift a bin assignment.
+func TestCompileMatchesBinner(t *testing.T) {
+	vals := []float64{1, 3, 3, 4, 7, 9, 12, 12, 12, 15, 21, 30, 30, 42}
+	ew, err := NewEquiWidth(-5, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := NewEquiDepth(vals, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := NewHomogeneity(vals, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catID, err := NewCategorical(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catPerm, err := NewCategoricalOrdered([]int{2, 0, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Binner{ew, ed, hg, catID, catPerm} {
+		c := Compile(b)
+		if c.NumBins() != b.NumBins() {
+			t.Errorf("%s: compiled NumBins %d != %d", MethodName(b), c.NumBins(), b.NumBins())
+		}
+		probe := func(v float64) {
+			if got, want := c.Bin(v), b.Bin(v); got != want {
+				t.Errorf("%s: compiled Bin(%g) = %d, want %d", MethodName(b), v, got, want)
+			}
+		}
+		for v := -10.0; v <= 60.0; v += 0.37 {
+			probe(v)
+		}
+		for i := 0; i < b.NumBins(); i++ {
+			lo, hi := b.Bounds(i)
+			probe(lo)
+			probe(hi)
+			probe(math.Nextafter(lo, math.Inf(1)))
+			probe(math.Nextafter(hi, math.Inf(-1)))
+		}
+	}
+}
+
+// TestCompileFallback checks that an unknown Binner implementation
+// degrades to interface dispatch with identical results.
+func TestCompileFallback(t *testing.T) {
+	b := oddEvenBinner{}
+	c := Compile(b)
+	for v := -3.0; v < 10; v++ {
+		if got, want := c.Bin(v), b.Bin(v); got != want {
+			t.Errorf("fallback Bin(%g) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+type oddEvenBinner struct{}
+
+func (oddEvenBinner) NumBins() int { return 2 }
+func (oddEvenBinner) Bin(v float64) int {
+	if int(math.Abs(v))%2 == 1 {
+		return 1
+	}
+	return 0
+}
+func (oddEvenBinner) Bounds(b int) (float64, float64) { return float64(b), float64(b + 1) }

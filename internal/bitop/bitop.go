@@ -43,18 +43,36 @@ type Options struct {
 // then emission order). The bitmap is not modified. Candidates may
 // overlap and nest; selection happens in Cluster.
 func Enumerate(bm *grid.Bitmap) []grid.Rect {
-	return enumerate(bm, nil)
+	return newEnumerator(bm).run(bm, nil)
 }
 
-func enumerate(bm *grid.Bitmap, st *Stats) []grid.Rect {
-	var out []grid.Rect
-	rows, cols := bm.Rows(), bm.Cols()
-	mask := make([]uint64, bm.WordsPerRow())
-	next := make([]uint64, bm.WordsPerRow())
-	for top := 0; top < rows; top++ {
-		sweepAnchor(bm, top, rows, cols, mask, next, &out, st)
+// enumerator holds the scratch of a candidate enumeration — the two
+// sweep masks and the output slice. Cluster reuses one across its
+// greedy rounds so the steady-state round performs no allocations
+// (guarded by TestBitOpRoundZeroAlloc); the parallel path gives each
+// worker its own.
+type enumerator struct {
+	mask, next []uint64
+	out        []grid.Rect
+}
+
+func newEnumerator(bm *grid.Bitmap) *enumerator {
+	return &enumerator{
+		mask: make([]uint64, bm.WordsPerRow()),
+		next: make([]uint64, bm.WordsPerRow()),
 	}
-	return out
+}
+
+// run enumerates every anchor row of bm into the reused output slice.
+// The returned slice aliases the enumerator's scratch and is valid until
+// the next run call.
+func (e *enumerator) run(bm *grid.Bitmap, st *Stats) []grid.Rect {
+	e.out = e.out[:0]
+	rows, cols := bm.Rows(), bm.Cols()
+	for top := 0; top < rows; top++ {
+		sweepAnchor(bm, top, rows, cols, e.mask, e.next, &e.out, st)
+	}
+	return e.out
 }
 
 func emitRuns(mask []uint64, cols, top, height int, out *[]grid.Rect) {
@@ -75,13 +93,14 @@ func Cluster(bm *grid.Bitmap, opts Options) []grid.Rect {
 		minArea = 1
 	}
 	work := bm.Clone()
+	enum := newEnumerator(work)
 	var clusters []grid.Rect
 	for work.Any() {
 		if opts.MaxClusters > 0 && len(clusters) >= opts.MaxClusters {
 			break
 		}
 		opts.Stats.addRound()
-		cands := enumerate(work, opts.Stats)
+		cands := enum.run(work, opts.Stats)
 		if len(cands) == 0 {
 			break
 		}

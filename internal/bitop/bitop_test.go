@@ -333,3 +333,31 @@ func TestClusterDeterministicProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestBitOpRoundZeroAlloc guards the zero-allocation property of a
+// steady-state enumeration round: once the enumerator's scratch masks
+// and output slice are warm, re-running the full anchor sweep must not
+// allocate. This is what makes the per-round reuse in Cluster pay off —
+// a greedy clustering of k rounds costs one enumerator, not k.
+func TestBitOpRoundZeroAlloc(t *testing.T) {
+	bm, err := grid.New(70, 130) // >2 words per row exercises the multi-word path
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few overlapping rectangles plus scattered noise so the sweep
+	// emits candidates at several heights.
+	bm.FillRect(grid.Rect{R0: 3, C0: 5, R1: 40, C1: 70})
+	bm.FillRect(grid.Rect{R0: 20, C0: 60, R1: 65, C1: 128})
+	bm.FillRect(grid.Rect{R0: 0, C0: 0, R1: 2, C1: 3})
+	for i := 0; i < 70; i += 7 {
+		bm.Set(i, (i*13)%130)
+	}
+	e := newEnumerator(bm)
+	e.run(bm, nil) // warm the output slice to its steady-state capacity
+	allocs := testing.AllocsPerRun(200, func() {
+		e.run(bm, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("enumerator round allocated %.1f times per run, want 0", allocs)
+	}
+}

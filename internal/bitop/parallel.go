@@ -67,14 +67,28 @@ func enumerateParallel(ck *cancelcheck.Checker, bm *grid.Bitmap, workers int, st
 		if err := ck.Err(); err != nil {
 			return nil, err
 		}
-		return enumerate(bm, st), nil
+		return newEnumerator(bm).run(bm, st), nil
 	}
 	cols := bm.Cols()
-	perAnchor := make([][]grid.Rect, rows)
+	// Adaptive row batching: instead of one channel receive per anchor
+	// row (whose synchronization cost dominates when sweeps are short),
+	// anchors are grouped into contiguous chunks sized so each worker
+	// sees ~8 chunks — small enough to rebalance when sweep costs are
+	// skewed (anchors near the bottom sweep fewer rows), large enough to
+	// amortize the channel op over many sweeps. Chunks are contiguous
+	// ascending ranges, so concatenating per-chunk results in chunk
+	// order reproduces the sequential anchor order exactly.
+	chunks := workers * 8
+	if chunks > rows {
+		chunks = rows
+	}
+	chunkSize := (rows + chunks - 1) / chunks
+	chunks = (rows + chunkSize - 1) / chunkSize
+	perChunk := make([][]grid.Rect, chunks)
 	var wg sync.WaitGroup
-	next := make(chan int, rows)
-	for top := 0; top < rows; top++ {
-		next <- top
+	next := make(chan int, chunks)
+	for ci := 0; ci < chunks; ci++ {
+		next <- ci
 	}
 	close(next)
 	var firstErr error
@@ -100,22 +114,30 @@ func enumerateParallel(ck *cancelcheck.Checker, bm *grid.Bitmap, workers int, st
 			nextMask := make([]uint64, bm.WordsPerRow())
 			myRows := int64(0)
 			point := ck.Point(anchorCheckEvery)
-			for top := range next {
-				if err := point.Check(); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-					break
-				}
-				if testPanicAnchor >= 0 && top == testPanicAnchor {
-					panic(fmt.Sprintf("injected panic at anchor %d", top))
+		chunks:
+			for ci := range next {
+				lo := ci * chunkSize
+				hi := lo + chunkSize
+				if hi > rows {
+					hi = rows
 				}
 				var rects []grid.Rect
-				sweepAnchor(bm, top, rows, cols, mask, nextMask, &rects, st)
-				perAnchor[top] = rects
-				myRows++
+				for top := lo; top < hi; top++ {
+					if err := point.Check(); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						break chunks
+					}
+					if testPanicAnchor >= 0 && top == testPanicAnchor {
+						panic(fmt.Sprintf("injected panic at anchor %d", top))
+					}
+					sweepAnchor(bm, top, rows, cols, mask, nextMask, &rects, st)
+					myRows++
+				}
+				perChunk[ci] = rects
 			}
 			st.addWorkerRows(myRows)
 		}()
@@ -128,7 +150,7 @@ func enumerateParallel(ck *cancelcheck.Checker, bm *grid.Bitmap, workers int, st
 		return nil, firstErr
 	}
 	var out []grid.Rect
-	for _, rects := range perAnchor {
+	for _, rects := range perChunk {
 		out = append(out, rects...)
 	}
 	return out, nil
@@ -136,9 +158,13 @@ func enumerateParallel(ck *cancelcheck.Checker, bm *grid.Bitmap, workers int, st
 
 // sweepAnchor runs the downward mask sweep for one anchor row, reusing
 // the caller's scratch masks and appending emitted rectangles to out.
-// Operation counts accumulate in local integers and flush into st once
-// per sweep, so the inner loop carries no atomic or branch cost beyond
-// two plain additions.
+// Each row below the anchor costs exactly one fused pass over the mask
+// words (grid.AndRowInto computes the AND, the changed test and the
+// empty test together), replacing the copy/AndRow/MasksEqual/MaskEmpty
+// sequence that walked the words up to four times. Operation counts
+// accumulate in local integers and flush into st once per sweep, so the
+// inner loop carries no atomic or branch cost beyond two plain
+// additions.
 func sweepAnchor(bm *grid.Bitmap, top, rows, cols int, mask, next []uint64, out *[]grid.Rect, st *Stats) {
 	wpr := int64(len(mask))
 	andOps, cmpOps := int64(0), wpr // initial MaskEmpty scan
@@ -151,19 +177,20 @@ func sweepAnchor(bm *grid.Bitmap, top, rows, cols int, mask, next []uint64, out 
 	height := 1
 	alive := true
 	for r := top + 1; r < rows; r++ {
-		copy(next, mask)
-		bm.AndRow(next, r)
+		changed, empty := bm.AndRowInto(next, mask, r)
 		andOps += wpr
 		cmpOps += wpr
-		if !grid.MasksEqual(next, mask) {
+		if changed {
 			emitRuns(mask, cols, top, height, out)
-			cmpOps += wpr
-			if grid.MaskEmpty(next) {
+			if empty {
 				alive = false
 				break
 			}
 		}
-		copy(mask, next)
+		// The shrunk mask is in next; swap rather than copy. When the
+		// row changed nothing the two masks hold equal words, so the
+		// swap is harmless.
+		mask, next = next, mask
 		height++
 	}
 	if alive {

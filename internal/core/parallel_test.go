@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -187,5 +188,42 @@ func TestProbeCacheConcurrentStress(t *testing.T) {
 	ref := refSys.ProbeCacheStats()
 	if st.Misses != ref.Misses {
 		t.Errorf("distinct probes computed = %d, solo reference computed %d", st.Misses, ref.Misses)
+	}
+}
+
+// TestBatchDispatchAdaptive pins the grid-cost floor for probe-pool
+// dispatch: a small grid evaluates batches inline (one worker — pool
+// handoff costs more than a cheap probe), while a grid at or above
+// poolDispatchMinCells cells fans out to GOMAXPROCS workers.
+func TestBatchDispatchAdaptive(t *testing.T) {
+	small := f2System(t, 2_000, 0, Config{NumBins: 20, Walk: walkBudget()})
+	obj, err := small.Objective(synth.GroupA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.(*segObjective).batchWorkers(8); got != 1 {
+		t.Errorf("20×20 grid batch workers = %d, want 1 (inline, below pool floor)", got)
+	}
+
+	big := f2System(t, 2_000, 0, Config{NumBins: 64, Walk: walkBudget()})
+	obj, err = big.Objective(synth.GroupA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if want > 8 {
+		want = 8
+	}
+	if got := obj.(*segObjective).batchWorkers(8); got != want {
+		t.Errorf("64×64 grid batch workers = %d, want %d", got, want)
+	}
+
+	serial := f2System(t, 2_000, 0, Config{NumBins: 64, Walk: walkBudget(), SerialSearch: true})
+	obj, err = serial.Objective(synth.GroupA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.(*segObjective).batchWorkers(8); got != 1 {
+		t.Errorf("SerialSearch batch workers = %d, want 1", got)
 	}
 }

@@ -277,21 +277,45 @@ func (s *System) safeEvaluateProbe(ctx context.Context, parent obs.Span, seg int
 	return s.evaluateProbe(ctx, parent, seg, minSup, minConf)
 }
 
+// poolDispatchMinCells is the grid-cost floor for parallel probe
+// dispatch: a probe over an nx×ny grid smaller than this runs in
+// microseconds, so spawning pool workers (goroutine startup, channel
+// traffic, WaitGroup) costs more than it saves. Batches on grids below
+// the floor evaluate inline on the calling goroutine. The value was
+// picked from the feedbackloop bench, where batched-cold search on the
+// default 50×50 demo grid ran at or below sequential: 64×64 = 4096
+// cells sits just above the demo sizes that lose and below the scaled
+// grids that win.
+const poolDispatchMinCells = 4096
+
+// batchWorkers sizes the probe pool for one batch adaptively: serial
+// search and small batches aside, grids under poolDispatchMinCells
+// cells skip pool dispatch entirely — on those, per-probe work is too
+// cheap to amortize goroutine handoff.
+func (o *segObjective) batchWorkers(probes int) int {
+	if o.sys.cfg.SerialSearch {
+		return 1
+	}
+	if ba := o.sys.ba; ba != nil && ba.NX()*ba.NY() < poolDispatchMinCells {
+		return 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > probes {
+		workers = probes
+	}
+	return workers
+}
+
 // EvaluateBatch implements optimizer.ObjectiveBatch: the probes are
 // evaluated concurrently on up to GOMAXPROCS workers (one, when
-// Config.SerialSearch is set) and returned in probe order. Each probe
-// goes through the same memoized Evaluate as the sequential path, and
-// every evaluation is a pure function of its thresholds, so the merged
-// results are bit-identical to sequential evaluation.
+// Config.SerialSearch is set or the grid is below the pool-dispatch
+// cost floor) and returned in probe order. Each probe goes through the
+// same memoized Evaluate as the sequential path, and every evaluation
+// is a pure function of its thresholds, so the merged results are
+// bit-identical to sequential evaluation.
 func (o *segObjective) EvaluateBatch(probes []optimizer.Probe) []optimizer.ProbeResult {
 	out := make([]optimizer.ProbeResult, len(probes))
-	workers := runtime.GOMAXPROCS(0)
-	if o.sys.cfg.SerialSearch {
-		workers = 1
-	}
-	if workers > len(probes) {
-		workers = len(probes)
-	}
+	workers := o.batchWorkers(len(probes))
 	sp := o.span.Child("probe-batch",
 		obs.Int("probes", len(probes)), obs.Int("workers", workers))
 	o.sys.mBatchSize.Observe(float64(len(probes)))

@@ -106,6 +106,9 @@ func BuildFused(ctx context.Context, src dataset.Source, spec Spec, observe func
 		return nil, err
 	}
 	width := src.Schema().Len()
+	// Compile the binners once so the per-tuple cost is two direct
+	// lookups instead of two interface dispatches, same as BuildContext.
+	cx, cy := binning.Compile(spec.XBinner), binning.Compile(spec.YBinner)
 	err = dataset.ForEachContext(ctx, src, func(t dataset.Tuple) error {
 		if len(t) != width {
 			return dataset.ErrSchemaMismatch
@@ -114,7 +117,7 @@ func BuildFused(ctx context.Context, src dataset.Source, spec Spec, observe func
 		if seg < 0 || seg >= spec.NSeg {
 			return fmt.Errorf("counts: criterion value %d out of range 0..%d", seg, spec.NSeg-1)
 		}
-		ba.Add(spec.XBinner.Bin(t[spec.XIdx]), spec.YBinner.Bin(t[spec.YIdx]), seg)
+		ba.Add(cx.Bin(t[spec.XIdx]), cy.Bin(t[spec.YIdx]), seg)
 		if observe != nil {
 			observe(t)
 		}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"arcs/internal/obs"
+)
+
+// DiffBenchRecords compares two BENCH_*.json history records — phase
+// timings matched by name under the same tolerance/noise-floor rules as
+// the span-trace diff, plus the ingest crossover summary — returning
+// every regression found. Phases present in only one record are
+// ignored (the gate compares like with like); the crossover regresses
+// when the old record had one and the new record lost it, or when it
+// moved to a larger size by more than the tolerance (parallel ingest
+// needing more tuples before it pays is a scaling regression even if
+// each phase individually stayed in budget).
+func DiffBenchRecords(oldRec, newRec BenchRecord, opts obs.DiffOptions) []obs.Regression {
+	tol := opts.Tolerance
+	if tol == 0 {
+		tol = 0.2
+	}
+	minPhase := opts.MinPhase
+	if minPhase == 0 {
+		minPhase = 5 * time.Millisecond
+	}
+	var out []obs.Regression
+
+	oldPhases := make(map[string]float64, len(oldRec.Phases))
+	for _, p := range oldRec.Phases {
+		oldPhases[p.Name] = p.Seconds
+	}
+	for _, p := range newRec.Phases {
+		old, ok := oldPhases[p.Name]
+		if !ok {
+			continue
+		}
+		if old < minPhase.Seconds() && p.Seconds < minPhase.Seconds() {
+			continue
+		}
+		if old <= 0 {
+			continue
+		}
+		if growth := p.Seconds/old - 1; growth > tol {
+			out = append(out, obs.Regression{
+				Kind: "phase", Name: p.Name, Old: old, New: p.Seconds, Growth: growth,
+			})
+		}
+	}
+
+	if oldRec.Crossover > 0 {
+		switch {
+		case newRec.Crossover == 0:
+			out = append(out, obs.Regression{
+				Kind: "xover", Name: "ingest-crossover",
+				Old: float64(oldRec.Crossover), New: 0, Growth: 1,
+			})
+		case float64(newRec.Crossover) > float64(oldRec.Crossover)*(1+tol):
+			out = append(out, obs.Regression{
+				Kind: "xover", Name: "ingest-crossover",
+				Old: float64(oldRec.Crossover), New: float64(newRec.Crossover),
+				Growth: float64(newRec.Crossover)/float64(oldRec.Crossover) - 1,
+			})
+		}
+	}
+	return out
+}
+
+// LastRecord returns the newest history record of a trajectory file.
+func LastRecord(bf *BenchFile) (BenchRecord, error) {
+	if len(bf.History) == 0 {
+		return BenchRecord{}, fmt.Errorf("experiments: trajectory has no history records")
+	}
+	return bf.History[len(bf.History)-1], nil
+}
+
+// LastTwoRecords returns the two newest history records of a
+// trajectory file, oldest first.
+func LastTwoRecords(bf *BenchFile) (oldRec, newRec BenchRecord, err error) {
+	if len(bf.History) < 2 {
+		return BenchRecord{}, BenchRecord{}, fmt.Errorf("experiments: trajectory has %d history records, need 2", len(bf.History))
+	}
+	return bf.History[len(bf.History)-2], bf.History[len(bf.History)-1], nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+
+	"arcs/internal/core"
+	"arcs/internal/obs"
+)
+
+func phaseRec(crossover int, phases ...core.PhaseTiming) BenchRecord {
+	return BenchRecord{GitSHA: "test", Crossover: crossover, Phases: phases}
+}
+
+// TestDiffBenchRecordsPhases: phase growth beyond tolerance regresses;
+// noise-floor phases, phases missing from either side, and shrinkage do
+// not.
+func TestDiffBenchRecordsPhases(t *testing.T) {
+	oldRec := phaseRec(0,
+		core.PhaseTiming{Name: "ingest-dense-1000000", Seconds: 1.0},
+		core.PhaseTiming{Name: "ingest-sharded-4-1000000", Seconds: 0.8},
+		core.PhaseTiming{Name: "tiny", Seconds: 0.001},
+		core.PhaseTiming{Name: "old-only", Seconds: 1.0},
+	)
+	newRec := phaseRec(0,
+		core.PhaseTiming{Name: "ingest-dense-1000000", Seconds: 1.5},     // +50% — regresses
+		core.PhaseTiming{Name: "ingest-sharded-4-1000000", Seconds: 0.7}, // faster — fine
+		core.PhaseTiming{Name: "tiny", Seconds: 0.004},                   // below noise floor both sides
+		core.PhaseTiming{Name: "new-only", Seconds: 5.0},                 // unmatched — skipped
+	)
+	regs := DiffBenchRecords(oldRec, newRec, obs.DiffOptions{})
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the dense phase", regs)
+	}
+	if regs[0].Kind != "phase" || regs[0].Name != "ingest-dense-1000000" {
+		t.Fatalf("regression = %+v", regs[0])
+	}
+	if regs[0].Growth < 0.49 || regs[0].Growth > 0.51 {
+		t.Fatalf("growth = %v, want ~0.5", regs[0].Growth)
+	}
+}
+
+// TestDiffBenchRecordsCrossoverLost: a run that loses its crossover
+// (parallel ingest no longer pays at any measured size) regresses even
+// when every phase stays in budget.
+func TestDiffBenchRecordsCrossoverLost(t *testing.T) {
+	oldRec := phaseRec(2_000_000)
+	newRec := phaseRec(0)
+	regs := DiffBenchRecords(oldRec, newRec, obs.DiffOptions{})
+	if len(regs) != 1 || regs[0].Kind != "xover" {
+		t.Fatalf("regressions = %+v, want one xover", regs)
+	}
+}
+
+// TestDiffBenchRecordsCrossoverMoved: the crossover shifting to a
+// larger size beyond tolerance regresses; within tolerance it does not.
+func TestDiffBenchRecordsCrossoverMoved(t *testing.T) {
+	oldRec := phaseRec(2_000_000)
+	if regs := DiffBenchRecords(oldRec, phaseRec(5_000_000), obs.DiffOptions{}); len(regs) != 1 || regs[0].Kind != "xover" {
+		t.Fatalf("2M→5M regressions = %+v, want one xover", regs)
+	}
+	if regs := DiffBenchRecords(oldRec, phaseRec(2_000_000), obs.DiffOptions{}); len(regs) != 0 {
+		t.Fatalf("2M→2M regressions = %+v, want none", regs)
+	}
+	// A run that gains a crossover the old record lacked never regresses.
+	if regs := DiffBenchRecords(phaseRec(0), phaseRec(2_000_000), obs.DiffOptions{}); len(regs) != 0 {
+		t.Fatalf("0→2M regressions = %+v, want none", regs)
+	}
+}
+
+// TestLastRecords: LastRecord/LastTwoRecords pull from the tail and
+// error on short histories.
+func TestLastRecords(t *testing.T) {
+	bf := &BenchFile{}
+	if _, err := LastRecord(bf); err == nil {
+		t.Fatal("LastRecord on empty history returned nil error")
+	}
+	if _, _, err := LastTwoRecords(bf); err == nil {
+		t.Fatal("LastTwoRecords on empty history returned nil error")
+	}
+	bf.History = append(bf.History, BenchRecord{GitSHA: "a"}, BenchRecord{GitSHA: "b"})
+	last, err := LastRecord(bf)
+	if err != nil || last.GitSHA != "b" {
+		t.Fatalf("LastRecord = %+v, %v", last, err)
+	}
+	oldRec, newRec, err := LastTwoRecords(bf)
+	if err != nil || oldRec.GitSHA != "a" || newRec.GitSHA != "b" {
+		t.Fatalf("LastTwoRecords = %+v, %+v, %v", oldRec, newRec, err)
+	}
+}

@@ -23,6 +23,11 @@ type BenchRecord struct {
 	// Tuples and Workers mirror the report's workload parameters.
 	Tuples  int `json:"tuples,omitempty"`
 	Workers int `json:"workers,omitempty"`
+	// Crossover is the ingest experiment's scaling headline: the
+	// smallest measured size at which sharded ingest beat the dense
+	// build (0 = never). The diff gate fails a run whose crossover
+	// regresses to 0 while the predecessor had one.
+	Crossover int `json:"crossover,omitempty"`
 	// Phases holds per-phase wall-clock timings. Records appended from a
 	// feedbackloop report use the batched-cold variant's phases; records
 	// appended from a span trace (arcstrace append) use the trace's

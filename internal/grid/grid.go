@@ -100,6 +100,25 @@ func (b *Bitmap) AndRow(dst []uint64, r int) {
 	}
 }
 
+// AndRowInto computes dst = src AND row r in one fused pass, reporting
+// whether dst differs from src and whether dst came out all-zero. The
+// three answers the BitOp sweep needs per row (the ANDed mask, did it
+// shrink, is it dead) cost one word scan instead of the copy + AND +
+// equality + emptiness scans of the unfused primitives; the change and
+// emptiness signals accumulate in branch-free OR registers. dst and src
+// must both have length WordsPerRow and may not alias.
+func (b *Bitmap) AndRowInto(dst, src []uint64, r int) (changed, empty bool) {
+	row := b.words[r*b.wpr : (r+1)*b.wpr]
+	var diff, any uint64
+	for i, s := range src {
+		v := s & row[i]
+		dst[i] = v
+		diff |= s ^ v
+		any |= v
+	}
+	return diff != 0, any == 0
+}
+
 // WordsPerRow reports the packed row width in words.
 func (b *Bitmap) WordsPerRow() int { return b.wpr }
 
@@ -138,21 +157,53 @@ func (b *Bitmap) Clone() *Bitmap {
 	return &c
 }
 
-// ClearRect zeroes the inclusive rectangle.
+// rectMasks validates the rectangle and returns its word-column range
+// plus the partial masks of the first and last word. When the rectangle
+// spans a single word column both masks apply to it (AND them).
+func (b *Bitmap) rectMasks(rect Rect) (w0, w1 int, first, last uint64) {
+	b.check(rect.R0, rect.C0)
+	b.check(rect.R1, rect.C1)
+	w0, w1 = rect.C0/wordBits, rect.C1/wordBits
+	first = ^uint64(0) << uint(rect.C0%wordBits)
+	last = ^uint64(0) >> uint(wordBits-1-rect.C1%wordBits)
+	return w0, w1, first, last
+}
+
+// ClearRect zeroes the inclusive rectangle, whole words at a time:
+// interior word columns are assigned, the two edge columns are masked.
+// This is the per-greedy-round clear of BitOp, so its cost scales with
+// the rectangle's word span rather than its cell count.
 func (b *Bitmap) ClearRect(rect Rect) {
+	w0, w1, first, last := b.rectMasks(rect)
 	for r := rect.R0; r <= rect.R1; r++ {
-		for c := rect.C0; c <= rect.C1; c++ {
-			b.Clear(r, c)
+		row := b.words[r*b.wpr : (r+1)*b.wpr]
+		if w0 == w1 {
+			row[w0] &^= first & last
+			continue
 		}
+		row[w0] &^= first
+		for wi := w0 + 1; wi < w1; wi++ {
+			row[wi] = 0
+		}
+		row[w1] &^= last
 	}
 }
 
-// FillRect sets the inclusive rectangle.
+// FillRect sets the inclusive rectangle, whole words at a time (the
+// word-level dual of ClearRect).
 func (b *Bitmap) FillRect(rect Rect) {
+	w0, w1, first, last := b.rectMasks(rect)
 	for r := rect.R0; r <= rect.R1; r++ {
-		for c := rect.C0; c <= rect.C1; c++ {
-			b.Set(r, c)
+		row := b.words[r*b.wpr : (r+1)*b.wpr]
+		if w0 == w1 {
+			row[w0] |= first & last
+			continue
 		}
+		row[w0] |= first
+		for wi := w0 + 1; wi < w1; wi++ {
+			row[wi] = ^uint64(0)
+		}
+		row[w1] |= last
 	}
 }
 
@@ -209,18 +260,41 @@ func MasksEqual(a, b []uint64) bool {
 
 // MaskRuns invokes fn for every maximal run of consecutive set bits in a
 // packed row mask of the given logical width, passing the inclusive
-// column range [c0, c1].
+// column range [c0, c1]. Runs are located with trailing-zero scans on
+// whole words — all-zero and all-one words cost one comparison each —
+// so the cost scales with the number of run edges, not the column count.
 func MaskRuns(mask []uint64, cols int, fn func(c0, c1 int)) {
 	inRun := false
 	start := 0
-	for c := 0; c < cols; c++ {
-		set := mask[c/wordBits]&(1<<uint(c%wordBits)) != 0
-		if set && !inRun {
+	for wi := 0; wi*wordBits < cols; wi++ {
+		base := wi * wordBits
+		w := mask[wi]
+		if n := cols - base; n < wordBits {
+			w &= uint64(1)<<uint(n) - 1
+		}
+		pos := 0
+		for pos < wordBits {
+			rem := w >> uint(pos)
+			if inRun {
+				// Count the ones extending the run: the shifted-in high
+				// bits of rem are zero, so ^rem has a set bit at the end
+				// of any run that stops inside this word.
+				ones := bits.TrailingZeros64(^rem)
+				if ones >= wordBits-pos {
+					pos = wordBits // run continues into the next word
+					continue
+				}
+				pos += ones
+				fn(start, base+pos-1)
+				inRun = false
+				continue
+			}
+			if rem == 0 {
+				break // rest of the word is clear
+			}
+			pos += bits.TrailingZeros64(rem)
 			inRun = true
-			start = c
-		} else if !set && inRun {
-			inRun = false
-			fn(start, c-1)
+			start = base + pos
 		}
 	}
 	if inRun {

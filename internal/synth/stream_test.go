@@ -1,0 +1,146 @@
+package synth
+
+import (
+	"io"
+	"testing"
+
+	"arcs/internal/dataset"
+)
+
+func streamConfig(n int) Config {
+	return Config{Function: 2, N: n, Seed: 7, Perturbation: 0.05, OutlierFraction: 0.1, FracA: 0.4}
+}
+
+// TestStreamPositionDeterminism checks the core contract: tuple i is a
+// pure function of (seed, i), independent of visit order.
+func TestStreamPositionDeterminism(t *testing.T) {
+	s, err := NewStream(streamConfig(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forward := make([]dataset.Tuple, 500)
+	buf := make(dataset.Tuple, numCols)
+	for i := range forward {
+		s.At(i, buf)
+		forward[i] = buf.Clone()
+	}
+	// Revisit in reverse with a different buffer.
+	buf2 := make(dataset.Tuple, numCols)
+	for i := len(forward) - 1; i >= 0; i-- {
+		s.At(i, buf2)
+		for c := range buf2 {
+			if buf2[c] != forward[i][c] {
+				t.Fatalf("tuple %d col %d: reverse visit %g != forward %g", i, c, buf2[c], forward[i][c])
+			}
+		}
+	}
+}
+
+// TestStreamShardsPartition checks that consuming the FuncSource shards
+// concurrently reproduces the sequential stream exactly.
+func TestStreamShardsPartition(t *testing.T) {
+	s, err := NewStream(streamConfig(1_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := s.Source()
+	var seq []dataset.Tuple
+	if err := dataset.ForEach(src, func(tp dataset.Tuple) error {
+		seq = append(seq, tp.Clone())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 1_000 {
+		t.Fatalf("sequential pass yielded %d tuples, want 1000", len(seq))
+	}
+	const shards = 4
+	type part struct {
+		idx    int
+		tuples []dataset.Tuple
+	}
+	out := make(chan part, shards)
+	for i := 0; i < shards; i++ {
+		sh, err := s.Source().Shard(i, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(i int, sh dataset.Source) {
+			var got []dataset.Tuple
+			for {
+				tp, err := sh.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					out <- part{i, nil}
+					return
+				}
+				got = append(got, tp.Clone())
+			}
+			out <- part{i, got}
+		}(i, sh)
+	}
+	parts := make([][]dataset.Tuple, shards)
+	for i := 0; i < shards; i++ {
+		p := <-out
+		if p.tuples == nil {
+			t.Fatal("shard failed")
+		}
+		parts[p.idx] = p.tuples
+	}
+	var merged []dataset.Tuple
+	for _, p := range parts {
+		merged = append(merged, p...)
+	}
+	if len(merged) != len(seq) {
+		t.Fatalf("shards yielded %d tuples, want %d", len(merged), len(seq))
+	}
+	for i := range seq {
+		for c := range seq[i] {
+			if merged[i][c] != seq[i][c] {
+				t.Fatalf("tuple %d col %d: sharded %g != sequential %g", i, c, merged[i][c], seq[i][c])
+			}
+		}
+	}
+}
+
+// TestStreamGroupFractionControl checks rejection sampling hits the
+// configured Group A fraction within sampling noise.
+func TestStreamGroupFractionControl(t *testing.T) {
+	s, err := NewStream(Config{Function: 2, N: 20_000, Seed: 3, FracA: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make(dataset.Tuple, numCols)
+	a := 0
+	for i := 0; i < 20_000; i++ {
+		s.At(i, buf)
+		if buf[ColGroup] == 0 {
+			a++
+		}
+	}
+	frac := float64(a) / 20_000
+	if frac < 0.37 || frac > 0.43 {
+		t.Errorf("Group A fraction = %.3f, want ~0.40", frac)
+	}
+}
+
+// TestStreamAtZeroAlloc guards the generator hot path: synthesizing a
+// tuple into a caller buffer must not allocate, or 100M-tuple streamed
+// benches would spend their time in GC.
+func TestStreamAtZeroAlloc(t *testing.T) {
+	s, err := NewStream(streamConfig(1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make(dataset.Tuple, numCols)
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		s.At(i, buf)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Stream.At allocated %.1f times per tuple, want 0", allocs)
+	}
+}
