@@ -127,7 +127,9 @@ func main() {
 			})
 		}
 		observer = obs.New(sink)
-		obs.PublishExpvar("arcs", observer.Registry())
+		if err := obs.PublishExpvar("arcs", observer.Registry()); err != nil {
+			slog.Warn("publishing expvar snapshot", "err", err)
+		}
 		// Flush the final registry state into the trace before the sink
 		// closes (hooks run last-registered-first), so arcstrace sees the
 		// run's counters and histograms alongside its spans.

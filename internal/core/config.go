@@ -214,6 +214,14 @@ type Config struct {
 	// it to measure uncached probe cost.
 	DisableProbeCache bool
 
+	// RunID, when non-empty, is prepended as a "run_id" attribute on
+	// every root span the System emits (init, thresholds, run), so a
+	// process hosting many concurrent mining jobs over one shared sink —
+	// arcsd — can attribute the interleaved span stream to jobs. Leave
+	// empty for single-run commands; it costs one small allocation per
+	// root span when set and nothing when empty.
+	RunID string
+
 	// Observer receives phase spans and metrics for every run of the
 	// System (see internal/obs for the span taxonomy and metric names).
 	// Nil — the default — disables observability entirely: the probe hot

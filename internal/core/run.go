@@ -156,7 +156,7 @@ func (s *System) thresholdsFor(seg int) (*engine.Thresholds, error) {
 	if th, ok := s.thresholds[seg]; ok {
 		return th, nil
 	}
-	tsp := s.obs.Root("thresholds", obs.Int("seg", seg))
+	tsp := s.obs.Root("thresholds", s.rootAttrs(obs.Int("seg", seg))...)
 	th, err := engine.NewThresholds(s.ba, seg)
 	if err != nil {
 		tsp.End(obs.Str("error", err.Error()))
@@ -469,8 +469,9 @@ func (s *System) RunValueContext(ctx context.Context, label string) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	root := s.obs.Root("run", obs.Str("crit_value", label), obs.Int("seg", seg),
-		obs.Str("strategy", s.cfg.Search.String()))
+	root := s.obs.Root("run", s.rootAttrs(
+		obs.Str("crit_value", label), obs.Int("seg", seg),
+		obs.Str("strategy", s.cfg.Search.String()))...)
 	var phases []PhaseTiming
 
 	obj := &segObjective{sys: s, seg: seg, ctx: ctx, ck: cancelcheck.New(ctx)}

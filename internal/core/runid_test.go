@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"arcs/internal/obs"
+)
+
+// TestObsRunIDOnRootSpans checks the arcsd attribution contract: with
+// Config.RunID set, every root span (init, run, and — via SegmentAll —
+// thresholds) carries a run_id attribute, while child spans stay
+// untouched so the probe hot path pays nothing.
+func TestObsRunIDOnRootSpans(t *testing.T) {
+	sink := &obs.MemSink{}
+	sys := f2System(t, 6_000, 0, Config{
+		NumBins: 20, Walk: walkBudget(),
+		RunID:    "r000042",
+		Observer: obs.New(sink),
+	})
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"init", "run"} {
+		spans := sink.Spans(name)
+		if len(spans) != 1 {
+			t.Fatalf("%d %q spans, want 1", len(spans), name)
+		}
+		if got := spans[0].Attr("run_id"); got != "r000042" {
+			t.Errorf("%s span run_id = %q, want r000042", name, got)
+		}
+	}
+	for _, name := range []string{"search", "probe", "mine-final"} {
+		for _, sp := range sink.Spans(name) {
+			if sp.Attr("run_id") != "" {
+				t.Errorf("child span %q carries run_id; only roots should", name)
+			}
+		}
+	}
+}
+
+// TestObsRunIDSegmentAllThresholds covers the thresholds root emitted
+// by the shared-search SegmentAll path.
+func TestObsRunIDSegmentAllThresholds(t *testing.T) {
+	sink := &obs.MemSink{}
+	sys := f2System(t, 6_000, 0, Config{
+		NumBins: 20, Walk: walkBudget(),
+		RunID:    "r7",
+		Observer: obs.New(sink),
+	})
+	if _, err := sys.SegmentAll(); err != nil {
+		t.Fatal(err)
+	}
+	spans := sink.Spans("thresholds")
+	if len(spans) == 0 {
+		t.Fatal("no thresholds root span emitted")
+	}
+	for _, sp := range spans {
+		if got := sp.Attr("run_id"); got != "r7" {
+			t.Errorf("thresholds span run_id = %q, want r7", got)
+		}
+	}
+}
+
+// TestObsRunIDEmptyAddsNothing pins the zero-cost contract: without a
+// RunID, root spans carry exactly their call-site attributes.
+func TestObsRunIDEmptyAddsNothing(t *testing.T) {
+	sink := &obs.MemSink{}
+	sys := f2System(t, 6_000, 0, Config{
+		NumBins: 20, Walk: walkBudget(), Observer: obs.New(sink),
+	})
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"init", "run"} {
+		for _, sp := range sink.Spans(name) {
+			if sp.Attr("run_id") != "" {
+				t.Errorf("%s span has run_id with none configured", name)
+			}
+		}
+	}
+}

@@ -115,9 +115,9 @@ func NewContext(ctx context.Context, src dataset.Source, cfg Config) (*System, e
 	s.mMDLError = reg.HistogramBuckets("mdl_error_term_bits", obs.SizeBuckets)
 	s.mPanics = reg.Counter("probe_panics_recovered_total")
 	s.mDegraded = reg.Counter("runs_degraded_total")
-	init := s.obs.Root("init",
+	init := s.obs.Root("init", s.rootAttrs(
 		obs.Str("x_attr", cfg.XAttr), obs.Str("y_attr", cfg.YAttr),
-		obs.Str("crit_attr", cfg.CritAttr))
+		obs.Str("crit_attr", cfg.CritAttr))...)
 
 	var err error
 	if s.xIdx, err = schema.Index(cfg.XAttr); err != nil {
@@ -194,6 +194,16 @@ func NewContext(ctx context.Context, src dataset.Source, cfg Config) (*System, e
 	s.probes.onMiss = reg.Counter("probe_cache_misses_total")
 	init.End()
 	return s, nil
+}
+
+// rootAttrs prefixes the configured run ID onto a root span's attribute
+// list. With no RunID (or observability off) it returns attrs untouched,
+// keeping single-run callers allocation-free.
+func (s *System) rootAttrs(attrs ...obs.Attr) []obs.Attr {
+	if s.cfg.RunID == "" || !s.obs.Enabled() {
+		return attrs
+	}
+	return append([]obs.Attr{obs.Str("run_id", s.cfg.RunID)}, attrs...)
 }
 
 // labeled runs fn under a pprof label keyed by pipeline phase, so CPU

@@ -63,6 +63,12 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 				ev.Attrs = append(ev.Attrs, Attr{Key: k, Value: rec.Attrs[k]})
 			}
 		}
+		// Multi-run streams (flight-recorder dumps) attribute events to
+		// runs at the wire level; surface that as an attribute so the
+		// analyzers and arcstrace can see it without a schema change.
+		if rec.Run != "" && ev.Attr("run") == "" {
+			ev.Attrs = append(ev.Attrs, Attr{Key: "run", Value: rec.Run})
+		}
 		if ev.Type == EventMetrics {
 			for _, a := range ev.Attrs {
 				if v, err := strconv.ParseFloat(a.Value, 64); err == nil {

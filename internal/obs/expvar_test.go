@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"testing"
+)
+
+// expvarSnapshot reads the published variable back through expvar's own
+// JSON rendering, the same view /debug/vars serves.
+func expvarSnapshot(t *testing.T, name string) map[string]any {
+	t.Helper()
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatalf("expvar %q not published", name)
+	}
+	var doc struct {
+		Counters map[string]any `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(v.String()), &doc); err != nil {
+		t.Fatalf("expvar %q renders invalid JSON: %v", name, err)
+	}
+	return doc.Counters
+}
+
+func TestObsPublishExpvarRepublish(t *testing.T) {
+	// expvar state is process-global and cannot be unpublished, so this
+	// test owns a name no other test uses.
+	const name = "test_republish"
+
+	first := NewRegistry()
+	first.Counter("probes_total").Add(7)
+	if err := PublishExpvar(name, first); err != nil {
+		t.Fatal(err)
+	}
+	if c := expvarSnapshot(t, name); c["probes_total"] != float64(7) {
+		t.Fatalf("first registry snapshot = %v, want probes_total 7", c)
+	}
+
+	// Republishing the same name re-points it at the new registry — the
+	// restarted-daemon case that used to silently serve stale data.
+	second := NewRegistry()
+	second.Counter("probes_total").Add(99)
+	if err := PublishExpvar(name, second); err != nil {
+		t.Fatalf("republish failed: %v", err)
+	}
+	if c := expvarSnapshot(t, name); c["probes_total"] != float64(99) {
+		t.Fatalf("republished snapshot = %v, want probes_total 99", c)
+	}
+}
+
+func TestObsPublishExpvarRejectsNilRegistry(t *testing.T) {
+	if err := PublishExpvar("test_nil_registry", nil); err == nil {
+		t.Fatal("publishing a nil registry should fail")
+	}
+}
+
+func TestObsPublishExpvarRejectsForeignName(t *testing.T) {
+	// A name some other package published must not be hijacked.
+	const name = "test_foreign_owner"
+	expvar.NewInt(name)
+	if err := PublishExpvar(name, NewRegistry()); err == nil {
+		t.Fatal("publishing over a foreign expvar should fail")
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Fanout tees every event into a fixed set of downstream sinks and any
+// number of dynamically attached Subscribers. It is the live half of the
+// telemetry plane: a run keeps writing its trace into durable sinks
+// (flight recorder, JSONL file) while HTTP span streams subscribe and
+// unsubscribe mid-run without the run noticing.
+//
+// Delivery to subscribers is non-blocking: a subscriber whose buffer is
+// full loses the event and the loss is counted — on the subscriber, on
+// the Fanout total, and on the optional drop counter — instead of ever
+// stalling the emitting goroutine. The static sinks always receive every
+// event. With no subscribers attached, Emit touches only the static
+// sinks and performs no locking and no allocation of its own, so an idle
+// telemetry plane costs the hot path nothing beyond the sinks it tees
+// into.
+type Fanout struct {
+	sinks []Sink // immutable after construction
+
+	// nsubs mirrors len(subs) so the no-subscriber fast path is a single
+	// atomic load instead of a lock acquisition.
+	nsubs   atomic.Int32
+	dropped atomic.Int64
+
+	mu     sync.RWMutex
+	subs   map[*Subscriber]struct{}
+	closed bool
+
+	// onDrop, when set, is bumped once per dropped event (typically a
+	// registry counter like serve_stream_dropped_total).
+	onDrop *Counter
+}
+
+// NewFanout builds a Fanout that tees into sinks (nil entries are
+// skipped).
+func NewFanout(sinks ...Sink) *Fanout {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	return &Fanout{sinks: kept, subs: make(map[*Subscriber]struct{})}
+}
+
+// SetDropCounter installs a counter bumped once per event dropped on a
+// full subscriber buffer. Call before events flow; nil disables.
+func (f *Fanout) SetDropCounter(c *Counter) { f.onDrop = c }
+
+// Emit implements Sink.
+func (f *Fanout) Emit(ev Event) {
+	for _, s := range f.sinks {
+		s.Emit(ev)
+	}
+	if f.nsubs.Load() == 0 {
+		return
+	}
+	f.mu.RLock()
+	for sub := range f.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped.Add(1)
+			f.dropped.Add(1)
+			f.onDrop.Inc()
+		}
+	}
+	f.mu.RUnlock()
+}
+
+// Subscribe attaches a new subscriber with the given channel buffer
+// (minimum 1). It returns nil once the Fanout is closed — callers racing
+// a finishing run check for nil and fall back to a recorded trace.
+func (f *Fanout) Subscribe(buf int) *Subscriber {
+	if buf < 1 {
+		buf = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	sub := &Subscriber{ch: make(chan Event, buf)}
+	f.subs[sub] = struct{}{}
+	f.nsubs.Add(1)
+	return sub
+}
+
+// Unsubscribe detaches sub and closes its channel. Safe to call with a
+// subscriber that was already detached (including by Close).
+func (f *Fanout) Unsubscribe(sub *Subscriber) {
+	if sub == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.subs[sub]; !ok {
+		return
+	}
+	delete(f.subs, sub)
+	f.nsubs.Add(-1)
+	close(sub.ch)
+}
+
+// Close detaches every subscriber, closing their channels so streaming
+// consumers observe end-of-run, and makes future Subscribe calls return
+// nil. The static sinks are untouched. Idempotent.
+func (f *Fanout) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for sub := range f.subs {
+		delete(f.subs, sub)
+		f.nsubs.Add(-1)
+		close(sub.ch)
+	}
+}
+
+// Dropped reports the total events dropped across all subscribers over
+// the Fanout's lifetime.
+func (f *Fanout) Dropped() int64 { return f.dropped.Load() }
+
+// Subscriber is one attached event consumer. Events arrive on Events()
+// in emission order; the channel closes when the subscriber is detached
+// (Unsubscribe or Close).
+type Subscriber struct {
+	ch      chan Event
+	dropped atomic.Int64
+}
+
+// Events returns the subscriber's delivery channel.
+func (s *Subscriber) Events() <-chan Event { return s.ch }
+
+// Dropped reports how many events this subscriber lost to a full buffer.
+func (s *Subscriber) Dropped() int64 { return s.dropped.Load() }

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func ev(name string) Event {
+	return Event{Type: EventSpan, Name: name, ID: 1, Start: time.Unix(0, 0)}
+}
+
+func TestObsFanoutTeesToStaticSinks(t *testing.T) {
+	a, b := &MemSink{}, &MemSink{}
+	f := NewFanout(a, nil, b) // nils are skipped
+	f.Emit(ev("x"))
+	f.Emit(ev("y"))
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Fatalf("static sinks got %d/%d events, want 2/2", a.Len(), b.Len())
+	}
+}
+
+func TestObsFanoutSubscriberReceivesInOrder(t *testing.T) {
+	f := NewFanout()
+	sub := f.Subscribe(8)
+	f.Emit(ev("first"))
+	f.Emit(ev("second"))
+	f.Close()
+	var names []string
+	for e := range sub.Events() {
+		names = append(names, e.Name)
+	}
+	if len(names) != 2 || names[0] != "first" || names[1] != "second" {
+		t.Fatalf("subscriber saw %v, want [first second]", names)
+	}
+}
+
+func TestObsFanoutSlowConsumerDrops(t *testing.T) {
+	reg := NewRegistry()
+	f := NewFanout()
+	f.SetDropCounter(reg.Counter("drops"))
+	sub := f.Subscribe(2)
+	for i := 0; i < 5; i++ {
+		f.Emit(ev("e")) // nobody draining: buffer of 2 fills, 3 drop
+	}
+	if got := sub.Dropped(); got != 3 {
+		t.Fatalf("subscriber dropped %d, want 3", got)
+	}
+	if got := f.Dropped(); got != 3 {
+		t.Fatalf("fanout dropped %d, want 3", got)
+	}
+	if got := reg.Counter("drops").Value(); got != 3 {
+		t.Fatalf("drop counter at %d, want 3", got)
+	}
+	// The two buffered events are still deliverable.
+	f.Unsubscribe(sub)
+	n := 0
+	for range sub.Events() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("drained %d buffered events, want 2", n)
+	}
+}
+
+func TestObsFanoutCloseEndsSubscribersAndRefusesNew(t *testing.T) {
+	f := NewFanout()
+	sub := f.Subscribe(1)
+	f.Close()
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("subscriber channel still open after Close")
+	}
+	if got := f.Subscribe(1); got != nil {
+		t.Fatal("Subscribe after Close returned a live subscriber, want nil")
+	}
+	f.Close()          // idempotent
+	f.Unsubscribe(sub) // already detached: no panic
+	f.Unsubscribe(nil) // nil-safe
+	f.Emit(ev("post")) // no subscribers left: nothing to do
+}
+
+func TestObsFanoutConcurrentEmitAndUnsubscribe(t *testing.T) {
+	f := NewFanout(&MemSink{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := f.Subscribe(4)
+			if sub == nil {
+				return
+			}
+			for j := 0; j < 10; j++ {
+				select {
+				case <-sub.Events():
+				default:
+				}
+			}
+			f.Unsubscribe(sub)
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		f.Emit(ev("race"))
+	}
+	wg.Wait()
+	f.Close()
+}
+
+// TestZeroAllocFanoutEmitNoSubscribers guards the tentpole's zero-alloc
+// promise: with no HTTP client attached (zero subscribers), routing the
+// probe hot path's events through a Fanout allocates nothing beyond what
+// its static sinks do — here none, with a FlightRecorder leg.
+func TestZeroAllocFanoutEmitNoSubscribers(t *testing.T) {
+	flight := NewFlightRecorder(64)
+	f := NewFanout(flight.RunSink("r1"))
+	e := ev("probe")
+	allocs := testing.AllocsPerRun(100, func() { f.Emit(e) })
+	if allocs != 0 {
+		t.Fatalf("Fanout.Emit with no subscribers allocates %.1f/op, want 0", allocs)
+	}
+}

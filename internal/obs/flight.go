@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is a bounded ring-buffer sink: it retains the most
+// recent capacity events — spans, instants, metrics flushes, and teed
+// log lines — across every run of a process, so the moments leading up
+// to a degraded, cancelled, or crashed run can be dumped and triaged
+// after the fact without having streamed anything while it happened.
+// Each retained event optionally carries the ID of the run that emitted
+// it, so dumps can be filtered per run.
+//
+// Emit is a mutex plus two assignments — no allocation — so the recorder
+// can sit on every run's sink path permanently.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []flightSlot
+	total uint64 // events ever emitted; buf index is total % cap
+}
+
+type flightSlot struct {
+	run string
+	ev  Event
+}
+
+// FlightEvent is one recovered ring entry: the event plus the run it
+// belonged to ("" for process-level events such as daemon logs).
+type FlightEvent struct {
+	Run   string
+	Event Event
+}
+
+// NewFlightRecorder builds a recorder retaining the last capacity events
+// (minimum 16).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &FlightRecorder{buf: make([]flightSlot, capacity)}
+}
+
+// Emit implements Sink, recording the event with no run attribution.
+func (r *FlightRecorder) Emit(ev Event) { r.EmitRun("", ev) }
+
+// EmitRun records the event attributed to the given run ID.
+func (r *FlightRecorder) EmitRun(run string, ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.total%uint64(len(r.buf))] = flightSlot{run: run, ev: ev}
+	r.total++
+	r.mu.Unlock()
+}
+
+// RunSink returns a Sink view of the recorder that attributes every
+// event to the given run ID — the per-run leg of a Fanout tee.
+func (r *FlightRecorder) RunSink(run string) Sink { return runSink{rec: r, run: run} }
+
+type runSink struct {
+	rec *FlightRecorder
+	run string
+}
+
+func (s runSink) Emit(ev Event) { s.rec.EmitRun(s.run, ev) }
+
+// Total reports how many events have ever been emitted (retained or
+// evicted).
+func (r *FlightRecorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Cap reports the ring capacity.
+func (r *FlightRecorder) Cap() int { return len(r.buf) }
+
+// Snapshot copies the retained events oldest-first. A non-empty run
+// filters to that run's events.
+func (r *FlightRecorder) Snapshot(run string) []FlightEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.total
+	capU := uint64(len(r.buf))
+	start := uint64(0)
+	if n > capU {
+		start = n - capU
+	}
+	out := make([]FlightEvent, 0, n-start)
+	for i := start; i < n; i++ {
+		slot := r.buf[i%capU]
+		if run != "" && slot.run != run {
+			continue
+		}
+		out = append(out, FlightEvent{Run: slot.run, Event: slot.ev})
+	}
+	return out
+}
+
+// WriteJSONL dumps the retained events oldest-first in the JSONL trace
+// wire format (with a "run" field on attributed events), so a flight
+// record is directly consumable by arcstrace summarize and ReadTrace. A
+// non-empty run filters the dump to that run.
+func (r *FlightRecorder) WriteJSONL(w io.Writer, run string) error {
+	for _, fe := range r.Snapshot(run) {
+		line, err := EncodeEvent(fe.Event, fe.Run)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LogWriter returns an io.Writer that records each Write as a "log"
+// instant event, so structured log output teed through it (via
+// io.MultiWriter with the real log destination) lands in the flight
+// record next to the spans it interleaved with.
+func (r *FlightRecorder) LogWriter() io.Writer { return logWriter{rec: r} }
+
+type logWriter struct{ rec *FlightRecorder }
+
+func (lw logWriter) Write(p []byte) (int, error) {
+	line := p
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	lw.rec.Emit(Event{
+		Type:  EventInstant,
+		Name:  "log",
+		Start: time.Now(),
+		Attrs: []Attr{Str("line", string(line))},
+	})
+	return len(p), nil
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestObsFlightRecorderRingEviction(t *testing.T) {
+	r := NewFlightRecorder(16) // minimum capacity
+	for i := 0; i < 20; i++ {
+		r.EmitRun("r1", Event{Type: EventSpan, Name: fmt.Sprintf("s%02d", i)})
+	}
+	if r.Total() != 20 || r.Cap() != 16 {
+		t.Fatalf("total=%d cap=%d, want 20/16", r.Total(), r.Cap())
+	}
+	snap := r.Snapshot("")
+	if len(snap) != 16 {
+		t.Fatalf("snapshot has %d events, want 16", len(snap))
+	}
+	if snap[0].Event.Name != "s04" || snap[15].Event.Name != "s19" {
+		t.Fatalf("retained window [%s..%s], want [s04..s19]",
+			snap[0].Event.Name, snap[15].Event.Name)
+	}
+}
+
+func TestObsFlightRecorderRunFilter(t *testing.T) {
+	r := NewFlightRecorder(32)
+	r.RunSink("a").Emit(Event{Type: EventSpan, Name: "from-a"})
+	r.RunSink("b").Emit(Event{Type: EventSpan, Name: "from-b"})
+	r.Emit(Event{Type: EventInstant, Name: "process-level"})
+	onlyA := r.Snapshot("a")
+	if len(onlyA) != 1 || onlyA[0].Event.Name != "from-a" || onlyA[0].Run != "a" {
+		t.Fatalf("run filter returned %+v, want one from-a event", onlyA)
+	}
+	if all := r.Snapshot(""); len(all) != 3 {
+		t.Fatalf("unfiltered snapshot has %d events, want 3", len(all))
+	}
+}
+
+func TestObsFlightRecorderDumpRoundTripsThroughReadTrace(t *testing.T) {
+	r := NewFlightRecorder(32)
+	sink := r.RunSink("r42")
+	o := New(sink)
+	sp := o.Root("run", Str("crit_value", "A"))
+	o.Annotate("checkpoint", Str("reason", "test"))
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, "r42"); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans, instants []Event
+	for _, e := range tr.Events {
+		switch e.Type {
+		case EventSpan:
+			spans = append(spans, e)
+		case EventInstant:
+			instants = append(instants, e)
+		}
+	}
+	if len(spans) != 1 || spans[0].Name != "run" {
+		t.Fatalf("decoded %d spans, want the run span", len(spans))
+	}
+	// The dump's "run" field surfaces as a run attribute for arcstrace.
+	if got := spans[0].Attr("run"); got != "r42" {
+		t.Fatalf("span run attr = %q, want r42", got)
+	}
+	if len(instants) != 1 || instants[0].Attr("reason") != "test" {
+		t.Fatalf("decoded instants %+v, want the checkpoint event", instants)
+	}
+}
+
+// TestObsFlightRecorderLogTee covers the SetupSlog(io.Writer) satellite:
+// a logger teed through LogWriter lands structured log lines in the
+// flight record as "log" instants, interleaved with span traffic.
+func TestObsFlightRecorderLogTee(t *testing.T) {
+	r := NewFlightRecorder(32)
+	var stderr bytes.Buffer
+	logger, err := SetupSlog(io2(&stderr, r), "text", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("run finished", "run", "r7", "state", "done")
+	if !strings.Contains(stderr.String(), "run finished") {
+		t.Fatal("primary log destination did not receive the line")
+	}
+	snap := r.Snapshot("")
+	if len(snap) != 1 || snap[0].Event.Name != "log" {
+		t.Fatalf("flight record holds %+v, want one log instant", snap)
+	}
+	line := snap[0].Event.Attr("line")
+	if !strings.Contains(line, "run finished") || !strings.Contains(line, "state=done") {
+		t.Fatalf("log instant line = %q, want the slog record", line)
+	}
+	if strings.HasSuffix(line, "\n") {
+		t.Fatal("trailing newline not trimmed from log line")
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(&stderr, nil))) // detach default logger from test buffer
+}
+
+// io2 tees w with the recorder's log writer, the arcsd wiring.
+func io2(w *bytes.Buffer, r *FlightRecorder) writerFunc {
+	lw := r.LogWriter()
+	return func(p []byte) (int, error) {
+		if _, err := lw.Write(p); err != nil {
+			return 0, err
+		}
+		return w.Write(p)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestZeroAllocFlightRecorderEmit guards the flight recorder's hot path:
+// recording an event is slot assignment under a mutex, no allocation.
+func TestZeroAllocFlightRecorderEmit(t *testing.T) {
+	r := NewFlightRecorder(1024)
+	e := Event{Type: EventSpan, Name: "probe", ID: 7, Start: time.Unix(0, 0)}
+	allocs := testing.AllocsPerRun(100, func() { r.EmitRun("r1", e) })
+	if allocs != 0 {
+		t.Fatalf("FlightRecorder.EmitRun allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestObsFlightRecorderNilSafe(t *testing.T) {
+	var r *FlightRecorder
+	r.EmitRun("x", Event{}) // must not panic
+}

@@ -39,7 +39,9 @@ package obs
 
 import (
 	"expvar"
+	"fmt"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -77,7 +79,19 @@ type Observer struct {
 // metrics are still collected, spans are timed into the phase histograms
 // but no events are emitted.
 func New(sink Sink) *Observer {
-	return &Observer{sink: sink, reg: NewRegistry()}
+	return NewWithRegistry(sink, nil)
+}
+
+// NewWithRegistry builds an enabled Observer writing metrics into an
+// existing registry (a fresh one when reg is nil). It is how a daemon
+// aggregates many runs onto one scrape surface: each run gets its own
+// Observer and sink (so its span stream is separable) while every run's
+// counters and histograms accumulate in the shared registry.
+func NewWithRegistry(sink Sink, reg *Registry) *Observer {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Observer{sink: sink, reg: reg}
 }
 
 // Enabled reports whether the observer records anything.
@@ -200,14 +214,38 @@ func (o *Observer) FlushMetrics() {
 	})
 }
 
+// expvarHolders tracks the registries this package has published, so a
+// name can be re-pointed at a fresh registry. expvar.Publish panics on a
+// duplicate name and offers no unpublish, so the published Func reads
+// through a swappable holder instead of capturing the registry directly.
+var (
+	expvarMu      sync.Mutex
+	expvarHolders = map[string]*atomic.Pointer[Registry]{}
+)
+
 // PublishExpvar exposes the registry's live snapshot as an expvar
 // variable, visible on /debug/vars whenever an HTTP server is serving
-// the default mux. Publishing an already-published name is a no-op
-// (expvar.Publish would panic), so commands can call it
-// unconditionally.
-func PublishExpvar(name string, reg *Registry) {
-	if reg == nil || expvar.Get(name) != nil {
-		return
+// the default mux. Publishing a name this package already published
+// re-points the variable at reg — a restarted in-process daemon serves
+// the new registry, not a stale snapshot of the old one. Publishing a
+// name some other package owns fails rather than silently serving the
+// other publisher's data.
+func PublishExpvar(name string, reg *Registry) error {
+	if reg == nil {
+		return fmt.Errorf("obs: cannot publish nil registry as expvar %q", name)
 	}
-	expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if h, ok := expvarHolders[name]; ok {
+		h.Store(reg)
+		return nil
+	}
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("obs: expvar %q is already published outside this package", name)
+	}
+	h := &atomic.Pointer[Registry]{}
+	h.Store(reg)
+	expvarHolders[name] = h
+	expvar.Publish(name, expvar.Func(func() any { return h.Load().Snapshot() }))
+	return nil
 }

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"runtime/debug"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// RuntimeHarvester samples Go runtime health — heap size, goroutine
+// count, GC cycles and pause times — into a Registry, so a process
+// serving live traffic exposes runtime pressure next to its pipeline
+// metrics on the same scrape. Sample is cheap (runtime/metrics reads
+// plus one ReadGCStats) and is meant to be called at phase boundaries
+// and on every /metrics scrape rather than on a timer.
+//
+// Metrics written, all gauges unless noted:
+//
+//	go_goroutines                current goroutine count
+//	go_heap_objects_bytes        live heap (object bytes)
+//	go_memory_total_bytes        total runtime-managed memory
+//	go_gc_cycles_total           completed GC cycles
+//	go_gc_pause_total_us         cumulative stop-the-world pause time
+//	go_gc_pause_seconds          histogram of individual pauses, fed the
+//	                             pauses newly observed since the last
+//	                             Sample
+//
+// A nil harvester is valid and Sample on it is a no-op, mirroring the
+// nil-Observer convention.
+type RuntimeHarvester struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	gcStats debug.GCStats
+
+	lastGC int64 // NumGC at the previous Sample, for pause deltas
+
+	gGoroutines *Gauge
+	gHeapBytes  *Gauge
+	gTotalBytes *Gauge
+	gGCCycles   *Gauge
+	gPauseTotal *Gauge
+	hPause      *Histogram
+}
+
+// Runtime metric names sampled from runtime/metrics.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmTotalBytes = "/memory/classes/total:bytes"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+)
+
+// NewRuntimeHarvester builds a harvester writing into reg. A nil reg
+// yields a nil harvester (whose Sample is a no-op).
+func NewRuntimeHarvester(reg *Registry) *RuntimeHarvester {
+	if reg == nil {
+		return nil
+	}
+	h := &RuntimeHarvester{
+		samples: []metrics.Sample{
+			{Name: rmGoroutines},
+			{Name: rmHeapBytes},
+			{Name: rmTotalBytes},
+			{Name: rmGCCycles},
+		},
+		gGoroutines: reg.Gauge("go_goroutines"),
+		gHeapBytes:  reg.Gauge("go_heap_objects_bytes"),
+		gTotalBytes: reg.Gauge("go_memory_total_bytes"),
+		gGCCycles:   reg.Gauge("go_gc_cycles_total"),
+		gPauseTotal: reg.Gauge("go_gc_pause_total_us"),
+		hPause:      reg.Histogram("go_gc_pause_seconds"),
+	}
+	// GCStats.Pause history; the runtime retains up to 256 recent pauses.
+	h.gcStats.Pause = make([]time.Duration, 256)
+	return h
+}
+
+// Sample reads the runtime counters into the registry. Safe for
+// concurrent use; no-op on a nil harvester.
+func (h *RuntimeHarvester) Sample() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	metrics.Read(h.samples)
+	for i := range h.samples {
+		s := &h.samples[i]
+		if s.Value.Kind() != metrics.KindUint64 {
+			continue
+		}
+		v := int64(s.Value.Uint64())
+		switch s.Name {
+		case rmGoroutines:
+			h.gGoroutines.Set(v)
+		case rmHeapBytes:
+			h.gHeapBytes.Set(v)
+		case rmTotalBytes:
+			h.gTotalBytes.Set(v)
+		case rmGCCycles:
+			h.gGCCycles.Set(v)
+		}
+	}
+	debug.ReadGCStats(&h.gcStats)
+	h.gPauseTotal.Set(h.gcStats.PauseTotal.Microseconds())
+	// GCStats.Pause is most-recent-first; feed only the pauses that
+	// completed since the previous Sample into the distribution.
+	newPauses := h.gcStats.NumGC - h.lastGC
+	if newPauses > int64(len(h.gcStats.Pause)) {
+		newPauses = int64(len(h.gcStats.Pause))
+	}
+	for i := int64(0); i < newPauses; i++ {
+		h.hPause.Observe(h.gcStats.Pause[i].Seconds())
+	}
+	h.lastGC = h.gcStats.NumGC
+}

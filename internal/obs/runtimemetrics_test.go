@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestObsRuntimeHarvesterSamplesGauges(t *testing.T) {
+	reg := NewRegistry()
+	h := NewRuntimeHarvester(reg)
+	runtime.GC() // guarantee at least one completed cycle and pause
+	h.Sample()
+
+	if got := reg.Gauge("go_goroutines").Value(); got < 1 {
+		t.Fatalf("go_goroutines = %d, want >= 1", got)
+	}
+	if got := reg.Gauge("go_heap_objects_bytes").Value(); got <= 0 {
+		t.Fatalf("go_heap_objects_bytes = %d, want > 0", got)
+	}
+	if got := reg.Gauge("go_memory_total_bytes").Value(); got <= 0 {
+		t.Fatalf("go_memory_total_bytes = %d, want > 0", got)
+	}
+	if got := reg.Gauge("go_gc_cycles_total").Value(); got < 1 {
+		t.Fatalf("go_gc_cycles_total = %d, want >= 1", got)
+	}
+	if got := reg.Histogram("go_gc_pause_seconds").Count(); got < 1 {
+		t.Fatalf("go_gc_pause_seconds count = %d, want >= 1", got)
+	}
+}
+
+func TestObsRuntimeHarvesterPauseDeltas(t *testing.T) {
+	reg := NewRegistry()
+	h := NewRuntimeHarvester(reg)
+	runtime.GC()
+	h.Sample()
+	before := reg.Histogram("go_gc_pause_seconds").Count()
+	h.Sample() // no GC in between: no new pause observations
+	if after := reg.Histogram("go_gc_pause_seconds").Count(); after != before {
+		t.Fatalf("pause count moved %d -> %d with no GC between samples", before, after)
+	}
+	runtime.GC()
+	h.Sample()
+	if after := reg.Histogram("go_gc_pause_seconds").Count(); after <= before {
+		t.Fatalf("pause count stayed at %d after a GC cycle", after)
+	}
+}
+
+func TestObsRuntimeHarvesterNilSafe(t *testing.T) {
+	if h := NewRuntimeHarvester(nil); h != nil {
+		t.Fatal("nil registry should yield a nil harvester")
+	}
+	var h *RuntimeHarvester
+	h.Sample() // must not panic
+}

@@ -1,0 +1,417 @@
+// Package serve is the HTTP observability and control surface of arcsd:
+// an async mining-job API wired into the core pipeline's cancellation
+// plumbing, live Prometheus scrape of the shared metrics registry, span
+// streaming over NDJSON/SSE through the obs.Fanout sink, flight-recorder
+// dumps for post-hoc triage, and the standard pprof/expvar debug
+// endpoints. It deliberately contains no mining logic — it is the
+// serving skeleton later control-plane features (model registry,
+// streaming ingest) mount onto.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"arcs/internal/core"
+	"arcs/internal/dataset"
+	"arcs/internal/obs"
+	"arcs/internal/optimizer"
+	"arcs/internal/report"
+	"arcs/internal/synth"
+)
+
+// Run states, in lifecycle order. Degraded and canceled are terminal
+// variants of a canceled run: degraded carries a usable best-so-far
+// result, canceled carries none.
+const (
+	StatePending  = "pending"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateDegraded = "degraded"
+	StateCanceled = "canceled"
+	StateFailed   = "failed"
+)
+
+// JobSpec is the body of POST /runs: one data source (csv or synth) plus
+// the mining parameters. Zero-valued mining fields take the same
+// defaults as the arcs CLI.
+type JobSpec struct {
+	// CSV and Synth select the tuple source; exactly one must be set.
+	CSV   *CSVSpec   `json:"csv,omitempty"`
+	Synth *SynthSpec `json:"synth,omitempty"`
+
+	// X, Y are the LHS attributes; Crit is the categorical criterion.
+	X    string `json:"x"`
+	Y    string `json:"y"`
+	Crit string `json:"crit"`
+	// Value is the criterion value to segment; empty segments every
+	// value (SegmentAll).
+	Value string `json:"value,omitempty"`
+
+	Bins      int     `json:"bins,omitempty"`
+	Search    string  `json:"search,omitempty"`    // walk|anneal|factorial|fixed (default walk)
+	Smoothing string  `json:"smoothing,omitempty"` // binary|off|weighted|morphological
+	MinSup    float64 `json:"min_support,omitempty"`
+	MinConf   float64 `json:"min_confidence,omitempty"`
+	Lift      float64 `json:"lift,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+
+	// IngestWorkers shards the counting pass (in-memory sources only).
+	IngestWorkers int `json:"ingest_workers,omitempty"`
+	// TimeoutSec bounds the run; on expiry it degrades to the
+	// best-so-far result exactly like the CLI's -timeout.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// CSVSpec points a run at a CSV file on the server's filesystem.
+type CSVSpec struct {
+	Path string `json:"path"`
+	// Stream reads the file in constant memory instead of materializing.
+	Stream bool `json:"stream,omitempty"`
+	// MaxBadRows is the quarantine budget (-1 unlimited, 0 strict).
+	MaxBadRows int `json:"max_bad_rows,omitempty"`
+	// Retries is the per-read retry budget for transient errors.
+	Retries int `json:"retries,omitempty"`
+}
+
+// SynthSpec generates the Agrawal et al. synthetic workload in-process —
+// the same generator the experiment harness uses — so the daemon can be
+// smoke-tested and load-tested with no data files.
+type SynthSpec struct {
+	Function     int     `json:"function"`
+	N            int     `json:"n"`
+	Seed         int64   `json:"seed,omitempty"`
+	Perturbation float64 `json:"perturbation,omitempty"`
+	Outliers     float64 `json:"outliers,omitempty"`
+	FracA        float64 `json:"frac_a,omitempty"`
+	// Positional selects the position-deterministic stream generator
+	// (shardable; required for ingest_workers > 1).
+	Positional bool `json:"positional,omitempty"`
+}
+
+// validate checks the parts of the spec the server can reject before
+// spawning a run.
+func (j *JobSpec) validate(csvRoot string) error {
+	switch {
+	case j.CSV == nil && j.Synth == nil:
+		return errors.New("spec needs a data source: set csv or synth")
+	case j.CSV != nil && j.Synth != nil:
+		return errors.New("spec sets both csv and synth; pick one")
+	}
+	if j.X == "" || j.Y == "" || j.Crit == "" {
+		return errors.New("x, y and crit attributes are required")
+	}
+	if j.CSV != nil {
+		if j.CSV.Path == "" {
+			return errors.New("csv.path is required")
+		}
+		if csvRoot != "" {
+			abs, err := filepath.Abs(j.CSV.Path)
+			if err != nil {
+				return fmt.Errorf("csv.path: %w", err)
+			}
+			root, err := filepath.Abs(csvRoot)
+			if err != nil {
+				return fmt.Errorf("csv root: %w", err)
+			}
+			if abs != root && !strings.HasPrefix(abs, root+string(filepath.Separator)) {
+				return fmt.Errorf("csv.path %q is outside the served data root", j.CSV.Path)
+			}
+		}
+	}
+	if j.Synth != nil {
+		if j.Synth.Function < 1 || j.Synth.Function > 10 {
+			return fmt.Errorf("synth.function must be 1..10, got %d", j.Synth.Function)
+		}
+		if j.Synth.N <= 0 {
+			return errors.New("synth.n must be positive")
+		}
+	}
+	switch j.Search {
+	case "", "walk", "anneal", "factorial", "fixed":
+	default:
+		return fmt.Errorf("unknown search %q (want walk, anneal, factorial or fixed)", j.Search)
+	}
+	switch j.Smoothing {
+	case "", "binary", "off", "weighted", "morphological":
+	default:
+		return fmt.Errorf("unknown smoothing %q (want binary, off, weighted or morphological)", j.Smoothing)
+	}
+	if j.TimeoutSec < 0 {
+		return errors.New("timeout_sec must be non-negative")
+	}
+	return nil
+}
+
+// coreConfig maps the spec onto a core.Config for the given run ID and
+// observer.
+func (j *JobSpec) coreConfig(runID string, observer *obs.Observer) core.Config {
+	cfg := core.Config{
+		XAttr: j.X, YAttr: j.Y,
+		CritAttr: j.Crit, CritValue: j.Value,
+		NumBins:            j.Bins,
+		FixedMinSupport:    j.MinSup,
+		FixedMinConfidence: j.MinConf,
+		InterestLift:       j.Lift,
+		Seed:               j.Seed,
+		IngestWorkers:      j.IngestWorkers,
+		Walk:               optimizer.ThresholdWalk{},
+		RunID:              runID,
+		Observer:           observer,
+	}
+	switch j.Search {
+	case "anneal":
+		cfg.Search = core.SearchAnneal
+	case "factorial":
+		cfg.Search = core.SearchFactorial
+	case "fixed":
+		cfg.Search = core.SearchFixed
+	default:
+		cfg.Search = core.SearchWalk
+	}
+	switch j.Smoothing {
+	case "off":
+		cfg.Smoothing = core.SmoothOff
+	case "weighted":
+		cfg.Smoothing = core.SmoothWeighted
+	case "morphological":
+		cfg.Smoothing = core.SmoothMorphological
+	default:
+		cfg.Smoothing = core.SmoothBinary
+	}
+	return cfg
+}
+
+// Run is one submitted mining job: its spec, lifecycle state, the
+// cancellation handle, and the fan-out sink its observer writes through
+// (flight recorder + optional tee + live span subscribers).
+type Run struct {
+	ID string
+
+	fanout *obs.Fanout
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	spec      JobSpec
+	state     string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	errMsg    string
+	results   map[string]*core.Result
+	quar      dataset.ResilientStats
+}
+
+// Status is the JSON shape of GET /runs/{id}.
+type Status struct {
+	ID          string         `json:"id"`
+	State       string         `json:"state"`
+	Spec        JobSpec        `json:"spec"`
+	SubmittedAt time.Time      `json:"submitted_at"`
+	StartedAt   *time.Time     `json:"started_at,omitempty"`
+	FinishedAt  *time.Time     `json:"finished_at,omitempty"`
+	Error       string         `json:"error,omitempty"`
+	Results     map[string]any `json:"results,omitempty"`
+	// StreamDropped counts span-stream events lost to slow consumers of
+	// this run (sum over all subscribers so far).
+	StreamDropped int64 `json:"stream_dropped,omitempty"`
+	// RowsQuarantined surfaces input degradation for CSV sources.
+	RowsQuarantined int64 `json:"rows_quarantined,omitempty"`
+}
+
+// Status snapshots the run for the API.
+func (r *Run) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Status{
+		ID:            r.ID,
+		State:         r.state,
+		Spec:          r.spec,
+		SubmittedAt:   r.submitted,
+		Error:         r.errMsg,
+		StreamDropped: r.fanout.Dropped(),
+	}
+	if !r.started.IsZero() {
+		t := r.started
+		st.StartedAt = &t
+	}
+	if !r.finished.IsZero() {
+		t := r.finished
+		st.FinishedAt = &t
+	}
+	if len(r.results) > 0 {
+		st.Results = make(map[string]any, len(r.results))
+		for label, res := range r.results {
+			st.Results[label] = report.JSONResult(res)
+		}
+	}
+	st.RowsQuarantined = int64(r.quar.Total())
+	return st
+}
+
+// State returns the run's current lifecycle state.
+func (r *Run) State() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// terminal reports whether the run has finished (any terminal state).
+func (r *Run) terminal() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Cancel requests cooperative cancellation. The run transitions to
+// canceled or degraded once the pipeline reaches its next checkpoint.
+func (r *Run) Cancel() { r.cancel() }
+
+// Done is closed when the run reaches a terminal state and its span
+// stream has ended.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// buildSource constructs the run's tuple source. The returned cleanup
+// (possibly nil) runs after the mining completes. reg receives the
+// resilient layer's quarantine/retry counters for CSV sources.
+func (r *Run) buildSource(spec JobSpec, reg *obs.Registry) (dataset.Source, func(), error) {
+	if spec.Synth != nil {
+		scfg := synth.Config{
+			Function:        spec.Synth.Function,
+			N:               spec.Synth.N,
+			Seed:            spec.Synth.Seed,
+			Perturbation:    spec.Synth.Perturbation,
+			OutlierFraction: spec.Synth.Outliers,
+			FracA:           spec.Synth.FracA,
+		}
+		if spec.Synth.Positional {
+			st, err := synth.NewStream(scfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return st.Source(), nil, nil
+		}
+		gen, err := synth.New(scfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return gen, nil, nil
+	}
+
+	schema, err := dataset.InferCSVSchema(spec.CSV.Path, 10_000)
+	if err != nil {
+		return nil, nil, err
+	}
+	cs, err := dataset.OpenCSVStream(spec.CSV.Path, schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	resilient := dataset.NewResilient(cs,
+		dataset.Retry{Max: spec.CSV.Retries, Seed: spec.Seed},
+		dataset.Quarantine{MaxBadRows: spec.CSV.MaxBadRows,
+			OnBad: func(reason string, row int, err error) {
+				slog.Debug("quarantined row", "run", r.ID, "reason", reason, "row", row, "err", err)
+			}})
+	resilient.Observe(reg)
+	record := func() {
+		r.mu.Lock()
+		r.quar = resilient.Stats()
+		r.mu.Unlock()
+	}
+	if spec.CSV.Stream {
+		return resilient, func() { record(); cs.Close() }, nil
+	}
+	tb, err := dataset.Materialize(resilient)
+	record()
+	if cerr := cs.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return tb, nil, nil
+}
+
+// execute drives the run to a terminal state. It runs on its own
+// goroutine under a pprof label carrying the run ID, so CPU profiles
+// scraped from /debug/pprof attribute samples to runs
+// (`go tool pprof -tagfocus arcs_run=<id>`).
+func (s *Server) execute(ctx context.Context, r *Run, observer *obs.Observer) {
+	defer close(r.done)
+	defer r.fanout.Close()
+	spec := func() JobSpec {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.state = StateRunning
+		r.started = time.Now()
+		return r.spec
+	}()
+	s.harvester.Sample()
+	s.mRunsStarted.Inc()
+
+	var results map[string]*core.Result
+	var runErr error
+	pprof.Do(ctx, pprof.Labels("arcs_run", r.ID), func(ctx context.Context) {
+		src, cleanup, err := r.buildSource(spec, observer.Registry())
+		if err != nil {
+			runErr = err
+			return
+		}
+		if cleanup != nil {
+			defer cleanup()
+		}
+		sys, err := core.NewContext(ctx, src, spec.coreConfig(r.ID, observer))
+		if err != nil {
+			runErr = err
+			return
+		}
+		if spec.Value != "" {
+			res, err := sys.RunContext(ctx)
+			if res != nil {
+				results = map[string]*core.Result{spec.Value: res}
+			}
+			runErr = err
+			return
+		}
+		results, runErr = sys.SegmentAllContext(ctx)
+	})
+
+	// The final registry state and runtime gauges belong in the trace
+	// (and flight record) before the stream closes.
+	observer.FlushMetrics()
+	s.harvester.Sample()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finished = time.Now()
+	r.results = results
+	switch re := core.AsRunError(runErr); {
+	case runErr == nil:
+		r.state = StateDone
+	case re != nil && re.Partial && len(results) > 0:
+		r.state = StateDegraded
+		r.errMsg = runErr.Error()
+		s.mRunsDegraded.Inc()
+	case errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded):
+		r.state = StateCanceled
+		r.errMsg = runErr.Error()
+		s.mRunsCanceled.Inc()
+	default:
+		r.state = StateFailed
+		r.errMsg = runErr.Error()
+		s.mRunsFailed.Inc()
+	}
+	slog.Info("run finished", "run", r.ID, "state", r.state,
+		"elapsed", r.finished.Sub(r.started).Round(time.Millisecond))
+}

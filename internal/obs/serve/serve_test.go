@@ -1,0 +1,401 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"arcs/internal/obs"
+)
+
+// newTestServer builds a Server with small limits and its HTTP harness.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Registry == nil {
+		opts.Registry = obs.NewRegistry()
+	}
+	if opts.Flight == nil {
+		opts.Flight = obs.NewFlightRecorder(4096)
+	}
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		s.CancelAll()
+		for _, r := range s.Runs() {
+			<-r.Done()
+		}
+		ts.Close()
+	})
+	return s, ts
+}
+
+// synthSpec is a small job that completes in well under a second.
+func synthSpec() string {
+	return `{"synth":{"function":2,"n":5000,"seed":1,"perturbation":0.05,"frac_a":0.4},
+	         "x":"age","y":"salary","crit":"group","value":"A","bins":20}`
+}
+
+// submit posts a spec and returns the run ID.
+func submit(t *testing.T, ts *httptest.Server, spec string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("POST /runs = %d: %s", resp.StatusCode, buf.String())
+	}
+	var body struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.ID == "" {
+		t.Fatal("submit response carries no run ID")
+	}
+	return body.ID
+}
+
+// getStatus fetches /runs/{id} and decodes it.
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitTerminal polls until the run leaves pending/running.
+func waitTerminal(t *testing.T, s *Server, ts *httptest.Server, id string) Status {
+	t.Helper()
+	run := s.lookup(id)
+	if run == nil {
+		t.Fatalf("run %s not retained", id)
+	}
+	select {
+	case <-run.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("run %s still not terminal", id)
+	}
+	return getStatus(t, ts, id)
+}
+
+func TestObsServeSubmitRunsToCompletion(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	id := submit(t, ts, synthSpec())
+	st := waitTerminal(t, s, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("run ended %q (err %q), want done", st.State, st.Error)
+	}
+	if st.StartedAt == nil || st.FinishedAt == nil {
+		t.Fatal("terminal status missing timestamps")
+	}
+	if len(st.Results) != 1 {
+		t.Fatalf("status carries %d results, want 1", len(st.Results))
+	}
+	res, ok := st.Results["A"].(map[string]any)
+	if !ok {
+		t.Fatalf("result for A has shape %T", st.Results["A"])
+	}
+	if _, ok := res["min_support"]; !ok {
+		t.Fatal("result JSON lacks min_support — report.JSONResult not wired through")
+	}
+}
+
+func TestObsServeMetricsScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, ts := newTestServer(t, Options{
+		Registry:  reg,
+		Harvester: obs.NewRuntimeHarvester(reg),
+	})
+	id := submit(t, ts, synthSpec())
+	waitTerminal(t, s, ts, id)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	body := buf.String()
+	for _, want := range []string{
+		"arcs_serve_runs_started_total 1",
+		"arcs_go_goroutines ",    // harvester gauge, sampled on scrape
+		"arcs_phase_run_seconds", // pipeline histogram from the run
+		"arcs_serve_http_requests_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape lacks %q", want)
+		}
+	}
+	// Minimal exposition-format sanity: every non-comment line is
+	// "name value" or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+	}
+}
+
+func TestObsServeCancelDegradesRun(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	// A large slow run so the cancel lands mid-flight.
+	id := submit(t, ts, `{"synth":{"function":2,"n":400000,"seed":1,"perturbation":0.05,"frac_a":0.4},
+		"x":"age","y":"salary","crit":"group","value":"A","bins":50}`)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /runs/%s = %d", id, resp.StatusCode)
+	}
+	st := waitTerminal(t, s, ts, id)
+	switch st.State {
+	case StateCanceled, StateDegraded, StateDone:
+		// done is possible if the run beat the cancel; all three prove
+		// the terminal-state machinery.
+	default:
+		t.Fatalf("canceled run ended %q", st.State)
+	}
+}
+
+func TestObsServeFlightRecordDump(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	id := submit(t, ts, synthSpec())
+	waitTerminal(t, s, ts, id)
+
+	resp, err := http.Get(ts.URL + "/debug/flightrecord?run=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("flightrecord Content-Type = %q", ct)
+	}
+	tr, err := obs.ReadTrace(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range tr.Events {
+		if e.Attr("run") != id {
+			t.Fatalf("filtered dump contains event for run %q", e.Attr("run"))
+		}
+		names[e.Name] = true
+	}
+	for _, want := range []string{"init", "run", "mine-final", "verify-final"} {
+		if !names[want] {
+			t.Errorf("flight record lacks %s span", want)
+		}
+	}
+	// The run's closing FlushMetrics lands in the record too.
+	if len(tr.Metrics) == 0 {
+		t.Error("flight record carries no metrics event")
+	}
+}
+
+func TestObsServeHealthAndReadiness(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("readyz: %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+	s.SetReady(false)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", resp.StatusCode)
+	}
+	// Draining also refuses new submissions.
+	resp, err = http.Post(ts.URL+"/runs", "application/json", strings.NewReader(synthSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining POST /runs = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestObsServeBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{CSVRoot: t.TempDir()})
+	cases := []struct {
+		name, body string
+	}{
+		{"no source", `{"x":"age","y":"salary","crit":"group"}`},
+		{"both sources", `{"csv":{"path":"a.csv"},"synth":{"function":1,"n":10},"x":"a","y":"b","crit":"c"}`},
+		{"missing attrs", `{"synth":{"function":1,"n":10}}`},
+		{"bad function", `{"synth":{"function":11,"n":10},"x":"a","y":"b","crit":"c"}`},
+		{"bad search", `{"synth":{"function":1,"n":10},"x":"a","y":"b","crit":"c","search":"magic"}`},
+		{"unknown field", `{"synth":{"function":1,"n":10},"x":"a","y":"b","crit":"c","bogus":1}`},
+		{"csv escape", `{"csv":{"path":"../../etc/passwd"},"x":"a","y":"b","crit":"c"}`},
+		{"not json", `hello`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+func TestObsServeUnknownRun(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, path := range []string{"/runs/r999999", "/runs/r999999/spans"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/runs/r999999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown run = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestObsServeListAndEviction(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxRuns: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id := submit(t, ts, synthSpec())
+		waitTerminal(t, s, ts, id)
+		ids = append(ids, id)
+	}
+	resp, err := http.Get(ts.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Runs []Status `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Runs) != 2 {
+		t.Fatalf("retained %d runs, want 2 (MaxRuns)", len(body.Runs))
+	}
+	if s.lookup(ids[0]) != nil {
+		t.Fatalf("oldest run %s should have been evicted", ids[0])
+	}
+}
+
+func TestObsServePprofIndex(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index = %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "goroutine") {
+		t.Fatal("pprof index does not list profiles")
+	}
+}
+
+// TestObsServeConcurrentScrapeDuringRun races /metrics scrapes and
+// status polls against an in-flight run — the shared-registry path the
+// -race CI job is meant to exercise.
+func TestObsServeConcurrentScrapeDuringRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, ts := newTestServer(t, Options{
+		Registry:  reg,
+		Harvester: obs.NewRuntimeHarvester(reg),
+	})
+	id := submit(t, ts, `{"synth":{"function":2,"n":150000,"seed":1,"perturbation":0.05,"frac_a":0.4},
+		"x":"age","y":"salary","crit":"group","value":"A","bins":40}`)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			for _, path := range []string{"/metrics", "/runs/" + id, "/debug/flightrecord"} {
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var sink bytes.Buffer
+				sink.ReadFrom(resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+	st := waitTerminal(t, s, ts, id)
+	<-done
+	if st.State != StateDone {
+		t.Fatalf("run under scrape load ended %q (err %q)", st.State, st.Error)
+	}
+}
+
+// readNDJSONStream consumes a span stream to EOF, returning the decoded
+// span/event names in order.
+func readNDJSONStream(t *testing.T, body *bufio.Scanner) []string {
+	t.Helper()
+	var names []string
+	for body.Scan() {
+		line := strings.TrimSpace(body.Text())
+		if line == "" {
+			continue
+		}
+		var rec struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		names = append(names, rec.Name)
+	}
+	return names
+}

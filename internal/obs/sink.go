@@ -108,7 +108,9 @@ func (m *MemSink) Len() int {
 }
 
 // jsonlEvent is the wire form of an Event: one JSON object per line,
-// microsecond timestamps, attributes flattened to a string map.
+// microsecond timestamps, attributes flattened to a string map. Run is
+// the owning run's ID on multi-run streams (arcsd span streams and
+// flight-recorder dumps); single-run trace files leave it empty.
 type jsonlEvent struct {
 	Type    string            `json:"type"`
 	Name    string            `json:"name"`
@@ -116,7 +118,31 @@ type jsonlEvent struct {
 	Parent  uint64            `json:"parent,omitempty"`
 	StartUS int64             `json:"ts_us"`
 	DurUS   int64             `json:"dur_us,omitempty"`
+	Run     string            `json:"run,omitempty"`
 	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// EncodeEvent renders one event as a single JSONL line (no trailing
+// newline) in the shared wire format consumed by ReadTrace and
+// arcstrace. run, when non-empty, is carried as the "run" field — the
+// form emitted by arcsd span streams and flight-recorder dumps.
+func EncodeEvent(ev Event, run string) ([]byte, error) {
+	rec := jsonlEvent{
+		Type:    ev.Type,
+		Name:    ev.Name,
+		ID:      ev.ID,
+		Parent:  ev.Parent,
+		StartUS: ev.Start.UnixMicro(),
+		DurUS:   ev.Duration.Microseconds(),
+		Run:     run,
+	}
+	if len(ev.Attrs) > 0 {
+		rec.Attrs = make(map[string]string, len(ev.Attrs))
+		for _, a := range ev.Attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	return json.Marshal(rec)
 }
 
 // JSONLSink streams events as newline-delimited JSON, one object per
@@ -134,21 +160,7 @@ func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
 
 // Emit implements Sink.
 func (s *JSONLSink) Emit(ev Event) {
-	rec := jsonlEvent{
-		Type:    ev.Type,
-		Name:    ev.Name,
-		ID:      ev.ID,
-		Parent:  ev.Parent,
-		StartUS: ev.Start.UnixMicro(),
-		DurUS:   ev.Duration.Microseconds(),
-	}
-	if len(ev.Attrs) > 0 {
-		rec.Attrs = make(map[string]string, len(ev.Attrs))
-		for _, a := range ev.Attrs {
-			rec.Attrs[a.Key] = a.Value
-		}
-	}
-	line, err := json.Marshal(rec)
+	line, err := EncodeEvent(ev, "")
 	if err != nil {
 		s.setErr(err)
 		return

@@ -79,25 +79,33 @@ func toJSONRule(r rules.ClusteredRule) jsonRule {
 	}
 }
 
+// JSONResult builds the JSON-serializable document WriteResult emits in
+// JSON mode, for callers embedding results in larger payloads (the arcsd
+// run-status endpoint).
+func JSONResult(res *core.Result) any {
+	doc := jsonResult{
+		CritValue:      res.CritValue,
+		MinSupport:     res.MinSupport,
+		MinConfidence:  res.MinConfidence,
+		MDLCost:        res.Cost,
+		Evaluations:    res.Evaluations,
+		FalsePositives: res.Errors.FalsePositives,
+		FalseNegatives: res.Errors.FalseNegatives,
+		SampleSize:     res.Errors.Total,
+		ErrorRatePct:   100 * res.Errors.Rate(),
+		Rules:          make([]jsonRule, 0, len(res.Rules)),
+	}
+	for _, r := range res.Rules {
+		doc.Rules = append(doc.Rules, toJSONRule(r))
+	}
+	return doc
+}
+
 // WriteResult renders a single segmentation result in the chosen format.
 func WriteResult(w io.Writer, res *core.Result, f Format) error {
 	switch f {
 	case JSON:
-		doc := jsonResult{
-			CritValue:      res.CritValue,
-			MinSupport:     res.MinSupport,
-			MinConfidence:  res.MinConfidence,
-			MDLCost:        res.Cost,
-			Evaluations:    res.Evaluations,
-			FalsePositives: res.Errors.FalsePositives,
-			FalseNegatives: res.Errors.FalseNegatives,
-			SampleSize:     res.Errors.Total,
-			ErrorRatePct:   100 * res.Errors.Rate(),
-			Rules:          make([]jsonRule, 0, len(res.Rules)),
-		}
-		for _, r := range res.Rules {
-			doc.Rules = append(doc.Rules, toJSONRule(r))
-		}
+		doc := JSONResult(res)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(doc)
