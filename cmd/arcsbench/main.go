@@ -19,6 +19,7 @@
 //	arcsbench -exp why                 # §1 motivation: rule-count comparison
 //	arcsbench -exp feedbackloop        # search-loop probes/sec + cache hit-rate
 //	arcsbench -exp ingest              # counting pass: dense vs sharded workers
+//	arcsbench -exp quality             # mining quality across all 10 functions
 //	arcsbench -exp all                 # everything
 //
 // -scale shrinks every database size by the given factor for quick runs.
@@ -47,7 +48,7 @@ const exitCanceled = 3
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: rules, fig11, fig12, fig13, fig14, fig15, table2, bins, smoothing, ablation, why, feedbackloop, ingest, all")
+		exp       = flag.String("exp", "all", "experiment: rules, fig11, fig12, fig13, fig14, fig15, table2, bins, smoothing, ablation, why, feedbackloop, ingest, quality, all")
 		ingestW   = flag.String("ingest-workers", "2,4,8", "comma-separated worker counts for -exp ingest")
 		ingestN   = flag.String("ingest-tuples", "1000000,2000000,5000000,10000000", "comma-separated workload sizes for -exp ingest (each divided by -scale)")
 		scale     = flag.Int("scale", 1, "divide every database size by this factor")
@@ -307,6 +308,25 @@ func main() {
 			}
 			fmt.Printf("appended run to %s\n", out)
 		}
+		return nil
+	})
+
+	run("quality", func() error {
+		fmt.Println("mining quality across all 10 classification functions: error, recovery, interestingness")
+		report, err := experiments.Quality(max(50_000 / *scale, 5_000), *testN)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderQuality(report))
+		// Append to the quality trajectory: one row per function, keyed
+		// by git SHA + timestamp, so `arcstrace diff BENCH_quality.json`
+		// gates error-rate and recovery-IoU drift across commits.
+		const out = "BENCH_quality.json"
+		rec := experiments.QualityBenchRecord(report, experiments.GitSHA(), time.Now())
+		if err := experiments.AppendBenchRecord(out, rec); err != nil {
+			return err
+		}
+		fmt.Printf("appended run to %s\n", out)
 		return nil
 	})
 

@@ -14,7 +14,10 @@
 //	GET  /readyz               readiness; 503 while draining
 //	POST /runs                 submit a mining job (JSON spec), 202 + id
 //	GET  /runs                 list retained runs
-//	GET  /runs/{id}            run status, including results when done
+//	GET  /runs/{id}            run status, including results when done and,
+//	                           for synth runs, a mining-quality block
+//	                           (held-out error, interestingness measures,
+//	                           rectangle recovery; see -quality-testn)
 //	DELETE /runs/{id}          cooperative cancel
 //	GET  /runs/{id}/spans      live NDJSON/SSE span stream (replay when done)
 //	GET  /debug/flightrecord   dump the flight-recorder ring [?run=id]
@@ -49,6 +52,7 @@ func main() {
 		csvRoot   = flag.String("csv-root", "", "restrict csv job paths to this directory (empty: any readable path)")
 		flightCap = flag.Int("flight-cap", 8192, "flight recorder capacity (events retained)")
 		maxRuns   = flag.Int("max-runs", 64, "finished runs retained for status queries")
+		qualityN  = flag.Int("quality-testn", 5000, "held-out test table size for synth-run quality evaluation (negative: disable)")
 		streamBuf = flag.Int("stream-buffer", 1024, "per-subscriber span stream buffer before events drop")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
 		lameDuck  = flag.Duration("lame-duck", 0, "hold /readyz at 503 this long before canceling runs, so load balancers stop routing first")
@@ -104,6 +108,7 @@ func main() {
 		CSVRoot:          *csvRoot,
 		SubscriberBuffer: *streamBuf,
 		MaxRuns:          *maxRuns,
+		QualityTestN:     *qualityN,
 	})
 
 	httpSrv := &http.Server{

@@ -11,9 +11,12 @@
 //	    Compare aggregate phase times and counters between two traces and
 //	    exit non-zero when anything grew beyond the tolerance — the CI
 //	    perf gate. With two BENCH_*.json trajectories the newest history
-//	    record of each is compared instead (phase timings plus the ingest
-//	    crossover summary); with a single trajectory its last two records
-//	    are compared — the double-run protocol's same-machine noise check.
+//	    record of each is compared instead (phase timings, the ingest
+//	    crossover summary, and — for BENCH_quality.json records — the
+//	    per-function quality rows: error-rate and recovery-IoU drift
+//	    beyond noise floors); with a single trajectory its last two
+//	    records are compared — the double-run protocol's same-machine
+//	    noise check.
 //
 //	arcstrace append [-bench BENCH_feedbackloop.json] run.jsonl
 //	    Fold the trace's phase timings into a BENCH_*.json trajectory as

@@ -8,6 +8,11 @@
 //
 //	synthgen -n 50000 -function 2 -perturb 0.05 -outliers 0.10 > data.csv
 //
+// -truth-out additionally writes the function's ground-truth metadata
+// (recommended mining pair, domain, generating regions when the
+// function is rectangular in that pair, and the generator parameters)
+// as JSON, for quality evaluation of segmentations mined from the CSV.
+//
 // Exit codes: 0 success, 1 fatal error, 2 usage, 3 canceled (SIGINT or
 // -timeout) — rows generated before cancellation are flushed first.
 package main
@@ -15,6 +20,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,6 +46,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		positional = flag.Bool("positional", false, "use the position-deterministic stream generator (tuple i depends only on seed and i; shardable, different values than the sequential generator)")
 		out        = flag.String("out", "", "output file (default stdout)")
+		truthOut   = flag.String("truth-out", "", "also write the function's ground-truth metadata (mining pair, domain, generating regions, generator config) as JSON to this file")
 		timeout    = flag.Duration("timeout", 0, "generation budget; on expiry flush the rows written so far and exit 3")
 		verbose    = flag.Bool("v", false, "debug logging")
 		logFormat  = flag.String("log-format", "text", "log output format: text, json")
@@ -74,6 +81,12 @@ func main() {
 		OutlierFraction: *outliers,
 		FracA:           *fracA,
 	}
+	if *truthOut != "" {
+		if err := writeTruth(*truthOut, cfg, *positional); err != nil {
+			fatal(err)
+		}
+	}
+
 	var gen dataset.Source
 	if *positional {
 		st, err := synth.NewStream(cfg)
@@ -112,6 +125,41 @@ func main() {
 	}
 	slog.Debug("generated synthetic data",
 		"tuples", *n, "function", *function, "perturb", *perturb, "outliers", *outliers)
+}
+
+// truthDoc is the -truth-out JSON document: the exported ground truth
+// of the generated function plus the generator parameters that produced
+// the CSV, so a quality harness can evaluate a segmentation mined from
+// the file without re-deriving either.
+type truthDoc struct {
+	synth.Truth
+	N               int     `json:"n"`
+	Seed            int64   `json:"seed"`
+	Perturbation    float64 `json:"perturbation"`
+	OutlierFraction float64 `json:"outlier_fraction"`
+	FracA           float64 `json:"frac_a"`
+	Positional      bool    `json:"positional,omitempty"`
+}
+
+// writeTruth emits the ground-truth metadata document for cfg.
+func writeTruth(path string, cfg synth.Config, positional bool) error {
+	tr, err := synth.GroundTruth(cfg.Function)
+	if err != nil {
+		return err
+	}
+	doc := truthDoc{
+		Truth: tr,
+		N:     cfg.N, Seed: cfg.Seed,
+		Perturbation:    cfg.Perturbation,
+		OutlierFraction: cfg.OutlierFraction,
+		FracA:           cfg.FracA,
+		Positional:      positional,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

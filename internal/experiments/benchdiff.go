@@ -7,15 +7,35 @@ import (
 	"arcs/internal/obs"
 )
 
+// Quality-trajectory noise floors. Mining quality jitters run to run
+// (the threshold walk is a search, not a closed form), so a quality
+// regression must clear an absolute floor as well as the relative
+// tolerance before the gate fires.
+const (
+	// QualityErrFloorPts is the minimum absolute error-rate growth, in
+	// percentage points, for an error regression.
+	QualityErrFloorPts = 1.0
+	// QualityIoUFloor is the minimum absolute recovery-IoU drop for a
+	// recovery regression.
+	QualityIoUFloor = 0.05
+)
+
 // DiffBenchRecords compares two BENCH_*.json history records — phase
 // timings matched by name under the same tolerance/noise-floor rules as
-// the span-trace diff, plus the ingest crossover summary — returning
-// every regression found. Phases present in only one record are
-// ignored (the gate compares like with like); the crossover regresses
-// when the old record had one and the new record lost it, or when it
-// moved to a larger size by more than the tolerance (parallel ingest
-// needing more tuples before it pays is a scaling regression even if
-// each phase individually stayed in budget).
+// the span-trace diff, plus the ingest crossover summary and the
+// quality rows — returning every regression found. Phases present in
+// only one record are ignored (the gate compares like with like); the
+// crossover regresses when the old record had one and the new record
+// lost it, or when it moved to a larger size by more than the tolerance
+// (parallel ingest needing more tuples before it pays is a scaling
+// regression even if each phase individually stayed in budget).
+//
+// Quality rows are matched by function number. A function regresses
+// when its held-out error rate grows beyond both the tolerance and
+// QualityErrFloorPts percentage points, or when its rectangle-recovery
+// IoU drops by more than QualityIoUFloor. For an IoU regression the
+// reported Growth is the fractional drop (old−new)/old, so positive
+// growth always means worse, matching the other kinds.
 func DiffBenchRecords(oldRec, newRec BenchRecord, opts obs.DiffOptions) []obs.Regression {
 	tol := opts.Tolerance
 	if tol == 0 {
@@ -61,6 +81,34 @@ func DiffBenchRecords(oldRec, newRec BenchRecord, opts obs.DiffOptions) []obs.Re
 				Kind: "xover", Name: "ingest-crossover",
 				Old: float64(oldRec.Crossover), New: float64(newRec.Crossover),
 				Growth: float64(newRec.Crossover)/float64(oldRec.Crossover) - 1,
+			})
+		}
+	}
+
+	oldQ := make(map[int]QualityRow, len(oldRec.Quality))
+	for _, q := range oldRec.Quality {
+		oldQ[q.Function] = q
+	}
+	for _, q := range newRec.Quality {
+		old, ok := oldQ[q.Function]
+		if !ok {
+			continue
+		}
+		if q.ErrorPct-old.ErrorPct > QualityErrFloorPts && q.ErrorPct > old.ErrorPct*(1+tol) {
+			growth := 1.0
+			if old.ErrorPct > 0 {
+				growth = q.ErrorPct/old.ErrorPct - 1
+			}
+			out = append(out, obs.Regression{
+				Kind: "quality", Name: fmt.Sprintf("f%d-error-pct", q.Function),
+				Old: old.ErrorPct, New: q.ErrorPct, Growth: growth,
+			})
+		}
+		if old.HasRecovery && q.HasRecovery && old.RecoveryIoU-q.RecoveryIoU > QualityIoUFloor {
+			out = append(out, obs.Regression{
+				Kind: "quality", Name: fmt.Sprintf("f%d-recovery-iou", q.Function),
+				Old: old.RecoveryIoU, New: q.RecoveryIoU,
+				Growth: (old.RecoveryIoU - q.RecoveryIoU) / old.RecoveryIoU,
 			})
 		}
 	}

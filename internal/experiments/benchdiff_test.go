@@ -67,6 +67,66 @@ func TestDiffBenchRecordsCrossoverMoved(t *testing.T) {
 	}
 }
 
+func qualityRec(rows ...QualityRow) BenchRecord {
+	return BenchRecord{GitSHA: "test", Quality: rows}
+}
+
+// TestDiffBenchRecordsQualityError: error-rate growth must clear both
+// the relative tolerance and the absolute percentage-point floor.
+func TestDiffBenchRecordsQualityError(t *testing.T) {
+	oldRec := qualityRec(
+		QualityRow{Function: 1, ErrorPct: 8.0},
+		QualityRow{Function: 2, ErrorPct: 10.0},
+		QualityRow{Function: 3, ErrorPct: 0.2},
+		QualityRow{Function: 9, ErrorPct: 60.0},
+	)
+	newRec := qualityRec(
+		QualityRow{Function: 1, ErrorPct: 12.0}, // +50%, +4pts — regresses
+		QualityRow{Function: 2, ErrorPct: 10.9}, // +9%, under both floors — fine
+		QualityRow{Function: 3, ErrorPct: 0.9},  // +350% but under the 1pt floor — fine
+		QualityRow{Function: 9, ErrorPct: 64.0}, // +4pts but only +6.7% — within tolerance
+		QualityRow{Function: 5, ErrorPct: 50.0}, // unmatched — skipped
+	)
+	regs := DiffBenchRecords(oldRec, newRec, obs.DiffOptions{})
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly f1", regs)
+	}
+	if regs[0].Kind != "quality" || regs[0].Name != "f1-error-pct" {
+		t.Fatalf("regression = %+v", regs[0])
+	}
+	if regs[0].Growth < 0.49 || regs[0].Growth > 0.51 {
+		t.Fatalf("growth = %v, want ~0.5", regs[0].Growth)
+	}
+}
+
+// TestDiffBenchRecordsQualityIoU: a recovery-IoU drop beyond the
+// absolute floor regresses; smaller drops, gains, and rows without
+// recovery on either side do not.
+func TestDiffBenchRecordsQualityIoU(t *testing.T) {
+	oldRec := qualityRec(
+		QualityRow{Function: 1, HasRecovery: true, RecoveryIoU: 0.95},
+		QualityRow{Function: 2, HasRecovery: true, RecoveryIoU: 0.90},
+		QualityRow{Function: 4, HasRecovery: false},
+	)
+	newRec := qualityRec(
+		QualityRow{Function: 1, HasRecovery: true, RecoveryIoU: 0.80}, // −0.15 — regresses
+		QualityRow{Function: 2, HasRecovery: true, RecoveryIoU: 0.88}, // −0.02 — noise
+		QualityRow{Function: 4, HasRecovery: true, RecoveryIoU: 0.50}, // old had none — skipped
+	)
+	regs := DiffBenchRecords(oldRec, newRec, obs.DiffOptions{})
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly f1", regs)
+	}
+	r := regs[0]
+	if r.Kind != "quality" || r.Name != "f1-recovery-iou" {
+		t.Fatalf("regression = %+v", r)
+	}
+	// Growth is the fractional drop: (0.95−0.80)/0.95.
+	if r.Growth < 0.15 || r.Growth > 0.17 {
+		t.Fatalf("growth = %v, want ~0.158", r.Growth)
+	}
+}
+
 // TestLastRecords: LastRecord/LastTwoRecords pull from the tail and
 // error on short histories.
 func TestLastRecords(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -36,6 +37,10 @@ type BenchRecord struct {
 	// Variants carries the full per-variant measurements for records
 	// appended from a feedbackloop report.
 	Variants []FeedbackLoopVariant `json:"variants,omitempty"`
+	// Quality carries per-function mining-quality rows for records
+	// appended from a quality sweep (BENCH_quality.json). The diff gate
+	// compares rows matched by function number.
+	Quality []QualityRow `json:"quality,omitempty"`
 }
 
 // BenchFile is the on-disk schema of BENCH_*.json: the latest report's
@@ -48,9 +53,12 @@ type BenchFile struct {
 	History []BenchRecord `json:"history,omitempty"`
 }
 
-// ReadBenchFile loads a BENCH_*.json file. A missing file yields an
-// empty BenchFile; files written by the old single-report schema parse
-// with an empty History.
+// ReadBenchFile loads a BENCH_*.json file. A missing or empty file
+// yields an empty BenchFile (an interrupted writer's truncated target,
+// or a fresh `touch`, should not wedge the trajectory forever); files
+// written by the old single-report schema parse with an empty History.
+// Corrupted JSON is an error — history is append-only and silently
+// dropping it would erase the trajectory on the next write.
 func ReadBenchFile(path string) (*BenchFile, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -59,6 +67,9 @@ func ReadBenchFile(path string) (*BenchFile, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(strings.TrimSpace(string(data))) == 0 {
+		return &BenchFile{}, nil
+	}
 	var bf BenchFile
 	if err := json.Unmarshal(data, &bf); err != nil {
 		return nil, fmt.Errorf("experiments: parsing %s: %w", path, err)
@@ -66,13 +77,32 @@ func ReadBenchFile(path string) (*BenchFile, error) {
 	return &bf, nil
 }
 
-// WriteBenchFile writes the bench file as indented JSON.
+// WriteBenchFile writes the bench file as indented JSON, atomically: a
+// tmpfile in the target's directory is renamed over the destination, so
+// a reader (or a crash) mid-write never observes a truncated
+// trajectory.
 func WriteBenchFile(path string, bf *BenchFile) error {
 	data, err := json.MarshalIndent(bf, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // AppendBenchReport installs r as the file's top-level latest report and

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -91,6 +94,156 @@ func TestBenchFileOldSchemaUpgrade(t *testing.T) {
 	}
 	if len(bf.History) != 1 {
 		t.Errorf("upgraded file has %d history records, want 1", len(bf.History))
+	}
+}
+
+// TestBenchFileDuplicateGitSHA: the trajectory is append-only even when
+// the same commit runs twice (CI re-runs, the double-run protocol) —
+// both records land in the history, distinguished by timestamp.
+func TestBenchFileDuplicateGitSHA(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_quality.json")
+	t0 := time.Date(2026, 8, 8, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 2; i++ {
+		rec := BenchRecord{
+			GitSHA:    "same111",
+			Timestamp: t0.Add(time.Duration(i) * time.Minute).UTC().Format(time.RFC3339),
+			Quality:   []QualityRow{{Function: 1, ErrorPct: float64(8 + i)}},
+		}
+		if err := AppendBenchRecord(path, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bf, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.History) != 2 {
+		t.Fatalf("history has %d records, want both same-SHA runs", len(bf.History))
+	}
+	if bf.History[0].GitSHA != "same111" || bf.History[1].GitSHA != "same111" {
+		t.Errorf("SHAs = %q, %q", bf.History[0].GitSHA, bf.History[1].GitSHA)
+	}
+	if bf.History[0].Timestamp == bf.History[1].Timestamp {
+		t.Error("same-SHA records should still differ by timestamp")
+	}
+	oldRec, newRec, err := LastTwoRecords(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldRec.Quality[0].ErrorPct != 8 || newRec.Quality[0].ErrorPct != 9 {
+		t.Errorf("records out of order: %+v, %+v", oldRec.Quality, newRec.Quality)
+	}
+}
+
+// TestBenchFileEmptyFile: an empty file (a `touch`ed placeholder, or
+// what a non-atomic writer would have left after a crash) reads as a
+// missing trajectory instead of a parse error, so the next append
+// recovers it.
+func TestBenchFileEmptyFile(t *testing.T) {
+	for name, content := range map[string]string{"empty": "", "whitespace": "\n  \n"} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "BENCH_quality.json")
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			bf, err := ReadBenchFile(path)
+			if err != nil {
+				t.Fatalf("empty file should read as empty trajectory: %v", err)
+			}
+			if bf.FeedbackLoopReport != nil || len(bf.History) != 0 {
+				t.Fatalf("empty file parsed as %+v", bf)
+			}
+			if err := AppendBenchRecord(path, BenchRecord{GitSHA: "rec0"}); err != nil {
+				t.Fatalf("append over empty file: %v", err)
+			}
+			bf, err = ReadBenchFile(path)
+			if err != nil || len(bf.History) != 1 {
+				t.Fatalf("recovered trajectory = %+v, %v", bf, err)
+			}
+		})
+	}
+}
+
+// TestBenchFileCorrupted: corrupted JSON errors on read and append —
+// the append-only history must never be silently replaced by an empty
+// one — and the failed append leaves the corrupt file untouched.
+func TestBenchFileCorrupted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_quality.json")
+	corrupt := `{"history": [{"git_sha": "aaa", "timestamp":`
+	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchFile(path); err == nil {
+		t.Fatal("corrupted trajectory read without error")
+	}
+	if err := AppendBenchRecord(path, BenchRecord{GitSHA: "bbb"}); err == nil {
+		t.Fatal("append to corrupted trajectory succeeded")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != corrupt {
+		t.Errorf("failed append modified the corrupt file: %q", data)
+	}
+}
+
+// TestBenchFileAtomicWrite: WriteBenchFile goes through a tmpfile +
+// rename, so the destination always holds complete JSON and no tmpfile
+// debris survives a successful write.
+func TestBenchFileAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_quality.json")
+	if err := WriteBenchFile(path, &BenchFile{History: []BenchRecord{{GitSHA: "aaa"}}}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("tmpfile %q left behind", e.Name())
+		}
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Errorf("mode = %v, want 0644", info.Mode().Perm())
+	}
+	// Writing into a missing directory fails without leaving debris.
+	if err := WriteBenchFile(filepath.Join(dir, "missing", "x.json"), &BenchFile{}); err == nil {
+		t.Error("write into missing directory succeeded")
+	}
+}
+
+// TestBenchFileConcurrentAppend: concurrent appenders race on the
+// read-modify-write (appends may be lost — the callers are sequential
+// CI steps, not a database), but the atomic rename guarantees every
+// reader always sees a complete, parseable trajectory.
+func TestBenchFileConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_quality.json")
+	const writers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := BenchRecord{GitSHA: fmt.Sprintf("sha%d", i), Timestamp: "2026-08-08T00:00:00Z"}
+			if err := AppendBenchRecord(path, rec); err != nil {
+				t.Errorf("writer %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	bf, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatalf("trajectory unreadable after concurrent appends: %v", err)
+	}
+	if len(bf.History) < 1 || len(bf.History) > writers {
+		t.Fatalf("history has %d records after %d concurrent appends", len(bf.History), writers)
 	}
 }
 

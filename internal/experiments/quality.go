@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"arcs/internal/core"
+	"arcs/internal/dataset"
+	"arcs/internal/quality"
+	"arcs/internal/synth"
+)
+
+// QualityRow is one function's entry in the quality trajectory: the
+// headline numbers of a quality.Report, flat and JSON-stable so
+// BENCH_quality.json records diff across commits.
+type QualityRow struct {
+	Function int    `json:"function"`
+	XAttr    string `json:"x_attr"`
+	YAttr    string `json:"y_attr"`
+	Rules    int    `json:"rules"`
+	// ErrorPct is the held-out classification error (FP+FN) in percent.
+	ErrorPct float64 `json:"error_pct"`
+	MDLCost  float64 `json:"mdl_cost"`
+	// HasRecovery marks functions whose generating disjuncts are
+	// rectangular in the mined plane; the Recovery* fields are only
+	// meaningful when it is set.
+	HasRecovery       bool    `json:"has_recovery,omitempty"`
+	RecoveryIoU       float64 `json:"recovery_iou,omitempty"`
+	RecoveryPrecision float64 `json:"recovery_precision,omitempty"`
+	RecoveryRecall    float64 `json:"recovery_recall,omitempty"`
+	// MeanLift is the average lift across the mined rules (0 when the
+	// segmentation is empty).
+	MeanLift float64 `json:"mean_lift,omitempty"`
+	// Seconds is the wall-clock cost of mining + evaluating the function.
+	Seconds float64 `json:"seconds"`
+}
+
+// QualityReport is the outcome of one all-functions quality sweep.
+type QualityReport struct {
+	TrainN int `json:"train_n"`
+	TestN  int `json:"test_n"`
+	// Rows has one entry per classification function, 1..10 in order.
+	Rows []QualityRow `json:"rows"`
+	// Reports are the full per-function quality reports (per-rule
+	// measures included), in Rows order. Not persisted in the bench
+	// trajectory — rows carry the diffable summary.
+	Reports []*quality.Report `json:"-"`
+}
+
+// TruthOptions converts exported synth ground truth into quality
+// evaluation options: the mined pair, the criterion, the recovery
+// domain and (when the function is rectangular in the pair) the
+// generating disjuncts.
+func TruthOptions(tr synth.Truth) quality.Options {
+	opts := quality.Options{
+		XAttr: tr.XAttr, YAttr: tr.YAttr,
+		CritAttr: synth.AttrGroup, CritValue: synth.GroupA,
+		XLo: tr.XLo, XHi: tr.XHi,
+		YLo: tr.YLo, YHi: tr.YHi,
+	}
+	for _, r := range tr.Regions {
+		opts.Truth = append(opts.Truth, quality.Rect{XLo: r.XLo, XHi: r.XHi, YLo: r.YLo, YHi: r.YHi})
+	}
+	return opts
+}
+
+// qualityDataConfig is the per-function generator setup: the paper's
+// standard noise regime (P=5%, U=10%, 40% Group A) on every function.
+func qualityDataConfig(fn, n int, seed int64) synth.Config {
+	return synth.Config{
+		Function:        fn,
+		N:               n,
+		Seed:            seed,
+		Perturbation:    0.05,
+		OutlierFraction: 0.10,
+		FracA:           0.4,
+	}
+}
+
+// QualityEval mines one classification function with the standard ARCS
+// configuration and evaluates the segmentation against a held-out test
+// table. Functions whose recommended pair has a categorical axis are
+// mined with categorical reordering disabled, so the mined value ranges
+// live in the same unpermuted code space as the ground-truth regions.
+func QualityEval(fn, trainN, testN int) (*quality.Report, error) {
+	tr, err := synth.GroundTruth(fn)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := synth.New(qualityDataConfig(fn, trainN, DefaultSeed))
+	if err != nil {
+		return nil, err
+	}
+	cfg := arcsConfig(50, DefaultSeed)
+	cfg.XAttr, cfg.YAttr = tr.XAttr, tr.YAttr
+	if tr.CategoricalY {
+		f := false
+		cfg.ReorderCategorical = &f
+	}
+	sys, err := core.New(gen, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return nil, err
+	}
+	testGen, err := synth.New(qualityDataConfig(fn, testN, DefaultSeed+7919))
+	if err != nil {
+		return nil, err
+	}
+	test, err := dataset.Materialize(testGen)
+	if err != nil {
+		return nil, err
+	}
+	opts := TruthOptions(tr)
+	opts.LatticeSteps = 200
+	return quality.Evaluate(res, test, opts)
+}
+
+// Quality sweeps all ten Agrawal classification functions, mining each
+// with the standard configuration and measuring the segmentation's
+// quality on an independent test table. It is the producer behind
+// `arcsbench -exp quality` and the BENCH_quality.json trajectory.
+func Quality(trainN, testN int) (*QualityReport, error) {
+	report := &QualityReport{TrainN: trainN, TestN: testN}
+	for fn := 1; fn <= 10; fn++ {
+		tr, err := synth.GroundTruth(fn)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		rep, err := QualityEval(fn, trainN, testN)
+		if err != nil {
+			return nil, fmt.Errorf("quality on function %d: %w", fn, err)
+		}
+		row := QualityRow{
+			Function: fn,
+			XAttr:    tr.XAttr, YAttr: tr.YAttr,
+			Rules:    rep.Rules,
+			ErrorPct: rep.ErrorPct,
+			MDLCost:  rep.MDLCost,
+			Seconds:  time.Since(start).Seconds(),
+		}
+		if rep.Recovery != nil {
+			row.HasRecovery = true
+			row.RecoveryIoU = rep.Recovery.IoU
+			row.RecoveryPrecision = rep.Recovery.Precision
+			row.RecoveryRecall = rep.Recovery.Recall
+		}
+		if len(rep.RuleMeasures) > 0 {
+			sum := 0.0
+			for _, m := range rep.RuleMeasures {
+				sum += m.Lift
+			}
+			row.MeanLift = sum / float64(len(rep.RuleMeasures))
+		}
+		report.Rows = append(report.Rows, row)
+		report.Reports = append(report.Reports, rep)
+	}
+	return report, nil
+}
+
+// RenderQuality formats a quality sweep as an aligned text table.
+func RenderQuality(r *QualityReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "train %d tuples, test %d tuples, P=5%% U=10%%\n", r.TrainN, r.TestN)
+	fmt.Fprintf(&b, "%4s %18s %6s %10s %10s %10s %10s %8s\n",
+		"fn", "pair", "rules", "err%", "IoU", "mdl cost", "mean lift", "time")
+	for _, row := range r.Rows {
+		iou := "—"
+		if row.HasRecovery {
+			iou = fmt.Sprintf("%.3f", row.RecoveryIoU)
+		}
+		fmt.Fprintf(&b, "%4d %18s %6d %10.2f %10s %10.1f %10.2f %7.2fs\n",
+			row.Function, row.XAttr+"×"+row.YAttr, row.Rules,
+			row.ErrorPct, iou, row.MDLCost, row.MeanLift, row.Seconds)
+	}
+	return b.String()
+}
+
+// QualityBenchRecord converts a quality sweep into the BENCH_*.json
+// history schema: the per-function rows the diff gate compares, plus
+// one quality-f<N> phase timing per function so the sweep's wall-clock
+// cost is trended alongside its quality.
+func QualityBenchRecord(r *QualityReport, gitSHA string, now time.Time) BenchRecord {
+	rec := BenchRecord{
+		GitSHA:    gitSHA,
+		Timestamp: now.UTC().Format(time.RFC3339),
+		Tuples:    r.TrainN,
+		Quality:   r.Rows,
+	}
+	for _, row := range r.Rows {
+		rec.Phases = append(rec.Phases, core.PhaseTiming{
+			Name: fmt.Sprintf("quality-f%d", row.Function), Seconds: row.Seconds,
+		})
+	}
+	return rec
+}

@@ -273,8 +273,13 @@ type Regression struct {
 }
 
 func (r Regression) String() string {
-	if r.Kind == "phase" {
+	switch r.Kind {
+	case "phase":
 		return fmt.Sprintf("phase %-40s %10.4fs -> %10.4fs  (+%.0f%%)", r.Name, r.Old, r.New, 100*r.Growth)
+	case "quality":
+		// Quality values are small floats (error percent, IoU) where
+		// the counter rendering's %.0f would round away the signal.
+		return fmt.Sprintf("%-5s %-40s %12.4f -> %12.4f  (+%.0f%%)", r.Kind, r.Name, r.Old, r.New, 100*r.Growth)
 	}
 	return fmt.Sprintf("%-5s %-40s %12.0f -> %12.0f  (+%.0f%%)", r.Kind, r.Name, r.Old, r.New, 100*r.Growth)
 }

@@ -192,12 +192,15 @@ func (o *Observer) FlushMetrics() {
 		return
 	}
 	snap := o.reg.Snapshot()
-	attrs := make([]Attr, 0, len(snap.Counters)+len(snap.Gauges)+2*len(snap.Histograms))
+	attrs := make([]Attr, 0, len(snap.Counters)+len(snap.Gauges)+len(snap.FloatGauges)+2*len(snap.Histograms))
 	for _, name := range sortedKeys(snap.Counters) {
 		attrs = append(attrs, Attr{Key: "counter." + name, Value: strconv.FormatInt(snap.Counters[name], 10)})
 	}
 	for _, name := range sortedKeys(snap.Gauges) {
 		attrs = append(attrs, Attr{Key: "gauge." + name, Value: strconv.FormatInt(snap.Gauges[name], 10)})
+	}
+	for _, name := range sortedKeys(snap.FloatGauges) {
+		attrs = append(attrs, Attr{Key: "gauge." + name, Value: strconv.FormatFloat(snap.FloatGauges[name], 'g', -1, 64)})
 	}
 	for _, name := range sortedKeys(snap.Histograms) {
 		h := snap.Histograms[name]

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -129,6 +130,46 @@ func TestObsRegistryMetrics(t *testing.T) {
 	_ = empty
 	if _, err := json.Marshal(r.Snapshot()); err != nil {
 		t.Fatalf("snapshot with empty histogram does not marshal: %v", err)
+	}
+}
+
+func TestObsFloatGauge(t *testing.T) {
+	r := NewRegistry()
+	r.FloatGauge("error_rate").Set(12.5)
+	r.FloatGauge("error_rate").Add(-2.5)
+	if got := r.FloatGauge("error_rate").Value(); got != 10 {
+		t.Fatalf("error_rate = %g, want 10", got)
+	}
+	r.FloatGauge("bad").Set(math.Inf(1))
+	snap := r.Snapshot()
+	if snap.FloatGauges["error_rate"] != 10 {
+		t.Fatalf("snapshot error_rate = %g, want 10", snap.FloatGauges["error_rate"])
+	}
+	// Non-finite values are clamped at snapshot time so the snapshot
+	// stays JSON-encodable.
+	if snap.FloatGauges["bad"] != math.MaxFloat64 {
+		t.Fatalf("snapshot bad = %g, want clamp", snap.FloatGauges["bad"])
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, snap, "arcs"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE arcs_error_rate gauge",
+		"arcs_error_rate 10",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, buf.String())
+		}
+	}
+	// Nil registry hands out a nil no-op handle.
+	var nilReg *Registry
+	nilReg.FloatGauge("x").Set(1)
+	if got := nilReg.FloatGauge("x").Value(); got != 0 {
+		t.Fatalf("nil handle value = %g, want 0", got)
 	}
 }
 

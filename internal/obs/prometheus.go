@@ -36,6 +36,13 @@ func WritePrometheus(w io.Writer, s *Snapshot, namespace string) error {
 			return err
 		}
 	}
+	for _, name := range sortedKeys(s.FloatGauges) {
+		fn := full(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", fn, fn,
+			strconv.FormatFloat(s.FloatGauges[name], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
 	for _, name := range sortedKeys(s.Histograms) {
 		fn := full(name)
 		h := s.Histograms[name]

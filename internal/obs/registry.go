@@ -23,6 +23,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	fgauges  map[string]*FloatGauge
 	hists    map[string]*Histogram
 }
 
@@ -31,6 +32,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		fgauges:  make(map[string]*FloatGauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -72,6 +74,27 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g, ok = r.gauges[name]; !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatGauge returns the named float gauge, creating it on first use.
+// Nil-safe.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.fgauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.fgauges[name]; !ok {
+		g = &FloatGauge{}
+		r.fgauges[name] = g
 	}
 	return g
 }
@@ -164,6 +187,36 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is a float-valued metric that can go up and down — ratios,
+// percentages, costs. Snapshots clamp non-finite values the same way
+// HistogramSnapshot does, so keep unbounded measures (e.g. conviction)
+// capped at the source if the raw value matters downstream.
+type FloatGauge struct{ v atomicFloat }
+
+// Set stores the gauge value; no-op on a nil handle.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.store(v)
+}
+
+// Add moves the gauge by v; no-op on a nil handle.
+func (g *FloatGauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.add(v)
+}
+
+// Value reads the gauge, 0 on a nil handle.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.load()
+}
+
 // Histogram is a fixed-bucket distribution with atomic observation:
 // cumulative-on-read buckets plus running count, sum, min and max.
 type Histogram struct {
@@ -240,9 +293,12 @@ func (f *atomicFloat) storeMax(v float64) {
 // (no infinities) and renderable as Prometheus text via
 // WritePrometheus.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters,omitempty"`
-	Gauges     map[string]int64             `json:"gauges,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	// FloatGauges hold float-valued gauges; non-finite values are
+	// clamped at snapshot time (see jsonSafe).
+	FloatGauges map[string]float64           `json:"float_gauges,omitempty"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // HistogramSnapshot is one histogram's exported state. Buckets are
@@ -308,9 +364,10 @@ func (h HistogramSnapshot) Mean() float64 {
 // registry yields an empty snapshot.
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{
-		Counters:   map[string]int64{},
-		Gauges:     map[string]int64{},
-		Histograms: map[string]HistogramSnapshot{},
+		Counters:    map[string]int64{},
+		Gauges:      map[string]int64{},
+		FloatGauges: map[string]float64{},
+		Histograms:  map[string]HistogramSnapshot{},
 	}
 	if r == nil {
 		return s
@@ -322,6 +379,9 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
+	}
+	for name, g := range r.fgauges {
+		s.FloatGauges[name] = jsonSafe(g.Value())
 	}
 	for name, h := range r.hists {
 		hs := HistogramSnapshot{

@@ -23,6 +23,7 @@ import (
 	"arcs/internal/dataset"
 	"arcs/internal/obs"
 	"arcs/internal/optimizer"
+	"arcs/internal/quality"
 	"arcs/internal/report"
 	"arcs/internal/synth"
 )
@@ -207,6 +208,7 @@ type Run struct {
 	finished  time.Time
 	errMsg    string
 	results   map[string]*core.Result
+	quality   map[string]*quality.Report
 	quar      dataset.ResilientStats
 }
 
@@ -220,6 +222,11 @@ type Status struct {
 	FinishedAt  *time.Time     `json:"finished_at,omitempty"`
 	Error       string         `json:"error,omitempty"`
 	Results     map[string]any `json:"results,omitempty"`
+	// Quality carries per-criterion-value mining-quality reports for
+	// synth-spec runs: held-out classification error, per-rule
+	// interestingness measures, and (when the function's generating
+	// disjuncts are rectangular in the mined pair) rectangle recovery.
+	Quality map[string]*quality.Report `json:"quality,omitempty"`
 	// StreamDropped counts span-stream events lost to slow consumers of
 	// this run (sum over all subscribers so far).
 	StreamDropped int64 `json:"stream_dropped,omitempty"`
@@ -251,6 +258,12 @@ func (r *Run) Status() Status {
 		st.Results = make(map[string]any, len(r.results))
 		for label, res := range r.results {
 			st.Results[label] = report.JSONResult(res)
+		}
+	}
+	if len(r.quality) > 0 {
+		st.Quality = make(map[string]*quality.Report, len(r.quality))
+		for label, rep := range r.quality {
+			st.Quality[label] = rep
 		}
 	}
 	st.RowsQuarantined = int64(r.quar.Total())
@@ -387,6 +400,15 @@ func (s *Server) execute(ctx context.Context, r *Run, observer *obs.Observer) {
 		results, runErr = sys.SegmentAllContext(ctx)
 	})
 
+	// Synth runs know their own ground truth — re-running the generator
+	// on a shifted seed yields a held-out test table — so mining quality
+	// is measured and published before the metrics flush, landing the
+	// quality gauges in the trace and on /metrics alongside perf.
+	var qual map[string]*quality.Report
+	if spec.Synth != nil && len(results) > 0 && s.qualityN > 0 {
+		qual = s.evaluateQuality(r.ID, spec, results, observer.Registry())
+	}
+
 	// The final registry state and runtime gauges belong in the trace
 	// (and flight record) before the stream closes.
 	observer.FlushMetrics()
@@ -396,6 +418,7 @@ func (s *Server) execute(ctx context.Context, r *Run, observer *obs.Observer) {
 	defer r.mu.Unlock()
 	r.finished = time.Now()
 	r.results = results
+	r.quality = qual
 	switch re := core.AsRunError(runErr); {
 	case runErr == nil:
 		r.state = StateDone
@@ -414,4 +437,64 @@ func (s *Server) execute(ctx context.Context, r *Run, observer *obs.Observer) {
 	}
 	slog.Info("run finished", "run", r.ID, "state", r.state,
 		"elapsed", r.finished.Sub(r.started).Round(time.Millisecond))
+}
+
+// evaluateQuality measures each mined result of a synth run against a
+// held-out test table (the generator re-run on a shifted seed) and
+// publishes the headline numbers into the shared registry. Generating
+// disjuncts are attached only when the spec mines the function's
+// recommended pair and that pair is fully quantitative — categorical
+// regions live in unpermuted code space, which the server's default
+// category reordering would misalign. Evaluation failures degrade to a
+// missing quality block, never to a failed run.
+func (s *Server) evaluateQuality(runID string, spec JobSpec, results map[string]*core.Result, reg *obs.Registry) map[string]*quality.Report {
+	testGen, err := synth.New(synth.Config{
+		Function:        spec.Synth.Function,
+		N:               s.qualityN,
+		Seed:            spec.Synth.Seed + 7919,
+		Perturbation:    spec.Synth.Perturbation,
+		OutlierFraction: spec.Synth.Outliers,
+		FracA:           spec.Synth.FracA,
+	})
+	if err != nil {
+		slog.Warn("quality: building test generator", "run", runID, "err", err)
+		return nil
+	}
+	test, err := dataset.Materialize(testGen)
+	if err != nil {
+		slog.Warn("quality: materializing test table", "run", runID, "err", err)
+		return nil
+	}
+
+	out := make(map[string]*quality.Report, len(results))
+	for label, res := range results {
+		opts := quality.Options{
+			XAttr: spec.X, YAttr: spec.Y,
+			CritAttr: spec.Crit, CritValue: label,
+		}
+		if tr, terr := synth.GroundTruth(spec.Synth.Function); terr == nil &&
+			tr.HasRegions() && !tr.CategoricalY &&
+			tr.XAttr == spec.X && tr.YAttr == spec.Y &&
+			spec.Crit == synth.AttrGroup && label == synth.GroupA {
+			opts.XLo, opts.XHi = tr.XLo, tr.XHi
+			opts.YLo, opts.YHi = tr.YLo, tr.YHi
+			opts.LatticeSteps = 200
+			for _, reg := range tr.Regions {
+				opts.Truth = append(opts.Truth, quality.Rect{
+					XLo: reg.XLo, XHi: reg.XHi, YLo: reg.YLo, YHi: reg.YHi,
+				})
+			}
+		}
+		rep, err := quality.Evaluate(res, test, opts)
+		if err != nil {
+			slog.Warn("quality: evaluating result", "run", runID, "value", label, "err", err)
+			continue
+		}
+		rep.Observe(reg)
+		out[label] = rep
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }

@@ -43,6 +43,10 @@ type Options struct {
 	// are evicted past it (default 64). Runs still in flight are never
 	// evicted.
 	MaxRuns int
+	// QualityTestN is the held-out test table size used to evaluate
+	// mining quality after synth-spec runs (the generator re-run on a
+	// shifted seed). Default 5000; negative disables quality evaluation.
+	QualityTestN int
 }
 
 // Server is the arcsd HTTP surface. Construct with New, mount
@@ -56,6 +60,7 @@ type Server struct {
 	csvRoot   string
 	subBuf    int
 	maxRuns   int
+	qualityN  int
 
 	ready atomic.Bool
 
@@ -95,6 +100,9 @@ func New(opts Options) *Server {
 	if opts.MaxRuns <= 0 {
 		opts.MaxRuns = 64
 	}
+	if opts.QualityTestN == 0 {
+		opts.QualityTestN = 5000
+	}
 	s := &Server{
 		reg:       opts.Registry,
 		flight:    opts.Flight,
@@ -104,6 +112,7 @@ func New(opts Options) *Server {
 		csvRoot:   opts.CSVRoot,
 		subBuf:    opts.SubscriberBuffer,
 		maxRuns:   opts.MaxRuns,
+		qualityN:  opts.QualityTestN,
 		runs:      make(map[string]*Run),
 
 		mRunsStarted:  opts.Registry.Counter("serve_runs_started_total"),

@@ -159,6 +159,73 @@ func TestObsServeMetricsScrape(t *testing.T) {
 	}
 }
 
+// TestObsServeQualityBlock: a synth run's status carries a quality
+// report for the mined value — held-out error, per-rule measures, and
+// (Function 2 mines its recommended pair) rectangle recovery — and the
+// quality gauges land on /metrics.
+func TestObsServeQualityBlock(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, ts := newTestServer(t, Options{Registry: reg, QualityTestN: 2000})
+	id := submit(t, ts, synthSpec())
+	st := waitTerminal(t, s, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("run ended %q (err %q)", st.State, st.Error)
+	}
+	rep, ok := st.Quality["A"]
+	if !ok {
+		t.Fatalf("status has no quality report for A: %+v", st.Quality)
+	}
+	if rep.TestN != 2000 {
+		t.Errorf("quality TestN = %d, want the configured 2000", rep.TestN)
+	}
+	if rep.Rules < 1 || len(rep.RuleMeasures) != rep.Rules {
+		t.Errorf("quality rules = %d with %d measures", rep.Rules, len(rep.RuleMeasures))
+	}
+	if rep.ErrorPct < 0 || rep.ErrorPct > 100 {
+		t.Errorf("quality error = %g out of range", rep.ErrorPct)
+	}
+	// The spec mines Function 2 over age×salary = the recommended pair,
+	// so recovery against the generating disjuncts must be present.
+	if rep.Recovery == nil {
+		t.Fatal("quality report lacks rectangle recovery for Function 2 on its recommended pair")
+	}
+	if rep.Recovery.IoU <= 0 || rep.Recovery.IoU > 1 {
+		t.Errorf("recovery IoU = %g out of range", rep.Recovery.IoU)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	for _, want := range []string{
+		"arcs_quality_error_rate_pct",
+		"arcs_quality_rules",
+		"arcs_quality_recovery_iou",
+		"arcs_quality_rule_lift_count",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("scrape lacks %q", want)
+		}
+	}
+}
+
+// TestObsServeQualityDisabled: a negative QualityTestN turns the
+// evaluation off without touching the rest of the run.
+func TestObsServeQualityDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Options{QualityTestN: -1})
+	id := submit(t, ts, synthSpec())
+	st := waitTerminal(t, s, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("run ended %q (err %q)", st.State, st.Error)
+	}
+	if len(st.Quality) != 0 {
+		t.Fatalf("quality evaluation ran despite being disabled: %+v", st.Quality)
+	}
+}
+
 func TestObsServeCancelDegradesRun(t *testing.T) {
 	s, ts := newTestServer(t, Options{})
 	// A large slow run so the cancel lands mid-flight.
