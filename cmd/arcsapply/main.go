@@ -6,6 +6,12 @@
 // Usage:
 //
 //	arcsapply -model segment.json -in prospects.csv [-matched-only] > scored.csv
+//	arcsapply -registry ./models [-model-version m000003] -in prospects.csv
+//
+// -model loads a model file directly; -registry loads from a versioned
+// model registry (the same store arcsd serves from), defaulting to the
+// active version so the CLI and the daemon score with one validation
+// and bind path.
 //
 // Output is the input CSV with an extra column holding "yes"/"no" for
 // segment membership; -matched-only emits only the matching rows,
@@ -31,13 +37,16 @@ import (
 	"arcs/internal/dataset"
 	"arcs/internal/obs"
 	"arcs/internal/segment"
+	"arcs/internal/segment/registry"
 )
 
 const exitCanceled = 3
 
 func main() {
 	var (
-		modelPath   = flag.String("model", "", "segmentation model JSON (required)")
+		modelPath   = flag.String("model", "", "segmentation model JSON file")
+		registryDir = flag.String("registry", "", "model registry directory (alternative to -model)")
+		version     = flag.String("model-version", "", "registry version to load (default: the active one)")
 		in          = flag.String("in", "", "input CSV file (required)")
 		out         = flag.String("out", "", "output file (default stdout)")
 		matchedOnly = flag.Bool("matched-only", false, "emit only matching rows, without the membership column")
@@ -49,7 +58,13 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "log output format: text, json")
 	)
 	flag.Parse()
-	if *modelPath == "" || *in == "" {
+	if (*modelPath == "") == (*registryDir == "") || *in == "" {
+		fmt.Fprintln(os.Stderr, "arcsapply: need -in plus exactly one of -model or -registry")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *version != "" && *registryDir == "" {
+		fmt.Fprintln(os.Stderr, "arcsapply: -model-version needs -registry")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -73,14 +88,40 @@ func main() {
 	// swallowed while the partial output flushes.
 	go func() { <-ctx.Done(); stopSignals() }()
 
-	mf, err := os.Open(*modelPath)
-	if err != nil {
-		fatal(err)
-	}
-	model, err := segment.Read(mf)
-	mf.Close()
-	if err != nil {
-		fatal(err)
+	// Both load paths end in the same read-validation: a file goes
+	// through segment.Read directly, a registry version additionally
+	// gets its manifest checksum verified before the document is
+	// trusted — the exact gate the daemon serves behind.
+	var model *segment.Model
+	if *registryDir != "" {
+		reg, err := registry.Open(*registryDir, registry.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		id := *version
+		if id == "" {
+			if id = reg.ActiveID(); id == "" {
+				fatal(fmt.Errorf("registry %s has no active model; activate one or pass -model-version", *registryDir))
+			}
+		}
+		m, man, err := reg.Load(id)
+		if err != nil {
+			fatal(err)
+		}
+		model = m
+		slog.Debug("loaded model from registry", "version", id,
+			"rules", man.Rules, "source_run", man.SourceRun)
+	} else {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := segment.Read(mf)
+		mf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		model = m
 	}
 
 	schema, err := dataset.InferCSVSchema(*in, 10_000)

@@ -20,6 +20,14 @@
 //	                           rectangle recovery; see -quality-testn)
 //	DELETE /runs/{id}          cooperative cancel
 //	GET  /runs/{id}/spans      live NDJSON/SSE span stream (replay when done)
+//	POST /models               publish a model (from a finished run or upload);
+//	                           requires -registry
+//	GET  /models               list versions incl. quarantined ones + active
+//	GET  /models/{id}          one version's manifest, state and document
+//	POST /models/{id}/activate re-validate from disk and hot-swap; on failure
+//	                           the previous model keeps serving
+//	POST /apply                score a tuple or [x,y] batch against the active
+//	                           model, behind deadline/limiter/breaker admission
 //	GET  /debug/flightrecord   dump the flight-recorder ring [?run=id]
 //	GET  /debug/vars           expvar (registry snapshot)
 //	GET  /debug/pprof/...      pprof; samples carry arcs_run/arcs_phase labels
@@ -43,6 +51,7 @@ import (
 
 	"arcs/internal/obs"
 	"arcs/internal/obs/serve"
+	"arcs/internal/segment/registry"
 )
 
 func main() {
@@ -54,10 +63,16 @@ func main() {
 		maxRuns   = flag.Int("max-runs", 64, "finished runs retained for status queries")
 		qualityN  = flag.Int("quality-testn", 5000, "held-out test table size for synth-run quality evaluation (negative: disable)")
 		streamBuf = flag.Int("stream-buffer", 1024, "per-subscriber span stream buffer before events drop")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
-		lameDuck  = flag.Duration("lame-duck", 0, "hold /readyz at 503 this long before canceling runs, so load balancers stop routing first")
-		verbose   = flag.Bool("v", false, "debug logging")
-		logFormat = flag.String("log-format", "text", "log output format: text, json")
+
+		registryDir    = flag.String("registry", "", "segmentation-model registry directory; enables /models and /apply")
+		applyInFlight  = flag.Int("apply-max-inflight", 64, "concurrent /apply requests before load is shed with 429")
+		applyTimeout   = flag.Duration("apply-timeout", 5*time.Second, "per-request /apply deadline ceiling")
+		applyBreakerN  = flag.Int("apply-breaker-errors", 5, "consecutive apply errors that trip the breaker to 503")
+		applyBreakerCD = flag.Duration("apply-breaker-cooldown", 5*time.Second, "tripped-breaker hold before traffic is retried")
+		drain          = flag.Duration("drain", 10*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
+		lameDuck       = flag.Duration("lame-duck", 0, "hold /readyz at 503 this long before canceling runs, so load balancers stop routing first")
+		verbose        = flag.Bool("v", false, "debug logging")
+		logFormat      = flag.String("log-format", "text", "log output format: text, json")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -100,6 +115,22 @@ func main() {
 		}()
 	}
 
+	// The model registry survives restarts: corrupt or half-published
+	// versions found on disk are quarantined (visible in GET /models and
+	// the models_quarantined_total counter), and the activation history
+	// replays to the most recent version that still validates.
+	var models *registry.Registry
+	if *registryDir != "" {
+		var err error
+		models, err = registry.Open(*registryDir, registry.Options{Metrics: reg})
+		if err != nil {
+			slog.Error(err.Error())
+			os.Exit(1)
+		}
+		slog.Info("model registry open", "dir", *registryDir,
+			"versions", len(models.List()), "active", models.ActiveID())
+	}
+
 	srv := serve.New(serve.Options{
 		Registry:         reg,
 		Flight:           flight,
@@ -109,6 +140,12 @@ func main() {
 		SubscriberBuffer: *streamBuf,
 		MaxRuns:          *maxRuns,
 		QualityTestN:     *qualityN,
+
+		Models:                models,
+		ApplyMaxInFlight:      *applyInFlight,
+		ApplyTimeout:          *applyTimeout,
+		ApplyBreakerThreshold: *applyBreakerN,
+		ApplyBreakerCooldown:  *applyBreakerCD,
 	})
 
 	httpSrv := &http.Server{

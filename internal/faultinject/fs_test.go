@@ -1,0 +1,165 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestFaultFSWriteFaults exercises the write schedule directly against
+// the real filesystem: the scheduled call fails (or tears), every
+// other call passes through untouched, and each fault fires once.
+func TestFaultFSWriteFaults(t *testing.T) {
+	dir := t.TempDir()
+	ffs := WrapFS(nil, FSSchedule{FailWriteAt: 2})
+
+	f, err := ffs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("write 1 should pass through: %v", err)
+	}
+	if _, err := f.Write([]byte("second")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 2 = %v, want ENOSPC", err)
+	}
+	if _, err := f.Write([]byte("third")); err != nil {
+		t.Fatalf("faults must fire once; write 3 = %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ffs.Stats().WriteFails; got != 1 {
+		t.Fatalf("WriteFails = %d, want 1", got)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "firstthird" {
+		t.Fatalf("file content = %q: the failed write leaked bytes", raw)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := WrapFS(nil, FSSchedule{TornWriteAt: 1})
+	f, err := ffs.Create(filepath.Join(dir, "torn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("12345678"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn write error = %v, want ENOSPC", err)
+	}
+	if n != 4 {
+		t.Fatalf("torn write reported %d bytes, want 4 (half)", n)
+	}
+	f.Close()
+	raw, _ := os.ReadFile(filepath.Join(dir, "torn"))
+	if string(raw) != "1234" {
+		t.Fatalf("on-disk bytes = %q, want the torn half", raw)
+	}
+	if got := ffs.Stats().TornWrites; got != 1 {
+		t.Fatalf("TornWrites = %d, want 1", got)
+	}
+}
+
+func TestFaultFSSyncFault(t *testing.T) {
+	dir := t.TempDir()
+	ffs := WrapFS(nil, FSSchedule{FailSyncAt: 1})
+	f, err := ffs.Create(filepath.Join(dir, "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync 1 = %v, want EIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 2 should pass through: %v", err)
+	}
+	f.Close()
+	if got := ffs.Stats().SyncFails; got != 1 {
+		t.Fatalf("SyncFails = %d, want 1", got)
+	}
+}
+
+func TestFaultFSRenameFault(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := WrapFS(nil, FSSchedule{FailRenameAt: 1})
+	if err := ffs.Rename(src, filepath.Join(dir, "dst")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("rename 1 = %v, want ENOSPC", err)
+	}
+	// Like a crash between write and commit: the source must be intact.
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("failed rename disturbed the source: %v", err)
+	}
+	if err := ffs.Rename(src, filepath.Join(dir, "dst")); err != nil {
+		t.Fatalf("rename 2 should pass through: %v", err)
+	}
+	if got := ffs.Stats().RenameFails; got != 1 {
+		t.Fatalf("RenameFails = %d, want 1", got)
+	}
+}
+
+func TestFaultFSReadFaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r")
+	if err := os.WriteFile(path, []byte("12345678"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := WrapFS(nil, FSSchedule{FailReadAt: 1, ShortReadAt: 2})
+	if _, err := ffs.ReadFile(path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("read 1 = %v, want EIO", err)
+	}
+	raw, err := ffs.ReadFile(path)
+	if err != nil {
+		t.Fatalf("short read must not error: %v", err)
+	}
+	if string(raw) != "1234" {
+		t.Fatalf("short read = %q, want the first half", raw)
+	}
+	raw, err = ffs.ReadFile(path)
+	if err != nil || string(raw) != "12345678" {
+		t.Fatalf("read 3 = %q, %v; want full passthrough", raw, err)
+	}
+	st := ffs.Stats()
+	if st.ReadFails != 1 || st.ShortReads != 1 {
+		t.Fatalf("stats = %+v, want one read fail and one short read", st)
+	}
+}
+
+// TestFaultFSCountersAreGlobal pins the scheduling contract the chaos
+// suites depend on: operation counts are shared across all files, so a
+// schedule addresses the nth protocol step regardless of which file
+// performs it.
+func TestFaultFSCountersAreGlobal(t *testing.T) {
+	dir := t.TempDir()
+	ffs := WrapFS(nil, FSSchedule{FailWriteAt: 3})
+	f1, err := ffs.Create(filepath.Join(dir, "f1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ffs.Create(filepath.Join(dir, "f2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.Write([]byte("a")); err != nil { // global write 1
+		t.Fatal(err)
+	}
+	if _, err := f2.Write([]byte("b")); err != nil { // global write 2
+		t.Fatal(err)
+	}
+	// Global write 3 lands on f1 even though it is f1's second write.
+	if _, err := f1.Write([]byte("c")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("f1 write at global count 3 = %v, want ENOSPC", err)
+	}
+	f1.Close()
+	f2.Close()
+}

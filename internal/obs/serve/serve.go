@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"arcs/internal/obs"
+	"arcs/internal/segment/registry"
 )
 
 // Options configures a Server. Registry and Flight are required; the
@@ -47,6 +48,24 @@ type Options struct {
 	// mining quality after synth-spec runs (the generator re-run on a
 	// shifted seed). Default 5000; negative disables quality evaluation.
 	QualityTestN int
+
+	// Models is the versioned segmentation-model registry behind the
+	// /models and /apply endpoints. Nil leaves the routes mounted but
+	// answering 503, so probes distinguish "not configured" from 404.
+	Models *registry.Registry
+	// ApplyMaxInFlight bounds concurrently served /apply requests;
+	// excess load is shed with 429 + Retry-After instead of queuing
+	// (default 64).
+	ApplyMaxInFlight int
+	// ApplyTimeout is the per-request apply deadline; a request's
+	// timeout_ms can lower it but never raise it (default 5s).
+	ApplyTimeout time.Duration
+	// ApplyBreakerThreshold is the consecutive bind/apply error count
+	// that trips the apply breaker to fast 503s (default 5).
+	ApplyBreakerThreshold int
+	// ApplyBreakerCooldown is how long a tripped breaker holds before
+	// half-opening (default 5s).
+	ApplyBreakerCooldown time.Duration
 }
 
 // Server is the arcsd HTTP surface. Construct with New, mount
@@ -69,6 +88,13 @@ type Server struct {
 	order []string // submission order, for listing and eviction
 	seq   atomic.Uint64
 
+	// Serving data plane: the model registry, the bounded in-flight
+	// apply limiter, and the bind/apply-error breaker.
+	models       *registry.Registry
+	applySem     chan struct{}
+	applyTimeout time.Duration
+	applyBreaker *breaker
+
 	mRunsStarted  *obs.Counter
 	mRunsDegraded *obs.Counter
 	mRunsCanceled *obs.Counter
@@ -77,10 +103,23 @@ type Server struct {
 	mHTTPReqs     *obs.Counter
 	mHTTPLatency  *obs.Histogram
 
+	mApplyReqs        *obs.Counter
+	mApplyShed        *obs.Counter
+	mApplyDeadline    *obs.Counter
+	mApplyErrors      *obs.Counter
+	mApplyBreakerOpen *obs.Counter
+	mApplyTuples      *obs.Counter
+	gApplyInFlight    *obs.Gauge
+	hApplySeconds     *obs.Histogram
+
 	// streamWriteDelay is a test seam: a per-event artificial write
 	// stall in the span stream loop, forcing the slow-consumer drop
 	// path deterministically. Zero in production.
 	streamWriteDelay time.Duration
+	// applyGate is a test seam: when non-nil it is called while an
+	// /apply request holds its in-flight slot, so overload tests pin a
+	// slot deterministically. Nil in production.
+	applyGate func()
 }
 
 // New builds a Server over the shared observability plumbing.
@@ -103,6 +142,18 @@ func New(opts Options) *Server {
 	if opts.QualityTestN == 0 {
 		opts.QualityTestN = 5000
 	}
+	if opts.ApplyMaxInFlight <= 0 {
+		opts.ApplyMaxInFlight = 64
+	}
+	if opts.ApplyTimeout <= 0 {
+		opts.ApplyTimeout = 5 * time.Second
+	}
+	if opts.ApplyBreakerThreshold <= 0 {
+		opts.ApplyBreakerThreshold = 5
+	}
+	if opts.ApplyBreakerCooldown <= 0 {
+		opts.ApplyBreakerCooldown = 5 * time.Second
+	}
 	s := &Server{
 		reg:       opts.Registry,
 		flight:    opts.Flight,
@@ -122,6 +173,25 @@ func New(opts Options) *Server {
 		mStreamDrops:  opts.Registry.Counter("serve_stream_dropped_total"),
 		mHTTPReqs:     opts.Registry.Counter("serve_http_requests_total"),
 		mHTTPLatency:  opts.Registry.Histogram("serve_http_request_seconds"),
+
+		models:       opts.Models,
+		applySem:     make(chan struct{}, opts.ApplyMaxInFlight),
+		applyTimeout: opts.ApplyTimeout,
+		applyBreaker: &breaker{
+			threshold: opts.ApplyBreakerThreshold,
+			cooldown:  opts.ApplyBreakerCooldown,
+			now:       time.Now,
+			mTripped:  opts.Registry.Counter("apply_breaker_tripped_total"),
+		},
+
+		mApplyReqs:        opts.Registry.Counter("apply_requests_total"),
+		mApplyShed:        opts.Registry.Counter("apply_shed_total"),
+		mApplyDeadline:    opts.Registry.Counter("apply_deadline_exceeded_total"),
+		mApplyErrors:      opts.Registry.Counter("apply_errors_total"),
+		mApplyBreakerOpen: opts.Registry.Counter("apply_breaker_open_total"),
+		mApplyTuples:      opts.Registry.Counter("apply_tuples_total"),
+		gApplyInFlight:    opts.Registry.Gauge("apply_in_flight"),
+		hApplySeconds:     opts.Registry.Histogram("apply_seconds"),
 	}
 	s.ready.Store(true)
 	return s
@@ -173,6 +243,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /runs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /runs/{id}/spans", s.handleSpans)
+	mux.HandleFunc("POST /models", s.handlePublishModel)
+	mux.HandleFunc("GET /models", s.handleListModels)
+	mux.HandleFunc("GET /models/{id}", s.handleGetModel)
+	mux.HandleFunc("POST /models/{id}/activate", s.handleActivateModel)
+	mux.HandleFunc("POST /apply", s.handleApply)
 	mux.HandleFunc("GET /debug/flightrecord", s.handleFlightRecord)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	// net/http/pprof registers on the default mux; mount its handlers

@@ -1,0 +1,169 @@
+package segment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// validDoc is a minimal model document that must pass Read.
+const validDoc = `{
+  "format": 1,
+  "x_attr": "age",
+  "y_attr": "salary",
+  "criterion_attr": "group",
+  "criterion_value": "A",
+  "rules": [
+    {"x_lo": 20, "x_hi": 40, "y_lo": 50, "y_hi": 100, "support": 0.2, "confidence": 0.9}
+  ],
+  "min_support": 0.1,
+  "min_confidence": 0.5
+}`
+
+// TestReadTable is the registry's load-validation contract in table
+// form: every way a model document can be damaged on disk — truncation,
+// bit rot inside values, a future format, hand-edits that break the
+// invariants — must be rejected with a diagnosable error, and the
+// legacy pre-format document must still load.
+func TestReadTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		doc     string
+		ok      bool
+		errWant string // substring of the error when !ok
+	}{
+		{name: "valid", doc: validDoc, ok: true},
+		{
+			name: "legacy format zero",
+			doc:  strings.Replace(validDoc, `"format": 1,`, "", 1),
+			ok:   true,
+		},
+		{
+			name:    "future format",
+			doc:     strings.Replace(validDoc, `"format": 1`, `"format": 99`, 1),
+			errWant: "format 99 is not supported",
+		},
+		{
+			name:    "truncated mid-document",
+			doc:     validDoc[:len(validDoc)/2],
+			errWant: "decoding model",
+		},
+		{
+			name:    "truncated to nothing",
+			doc:     "",
+			errWant: "decoding model",
+		},
+		{
+			name:    "corrupt byte inside a number",
+			doc:     strings.Replace(validDoc, `"x_lo": 20`, `"x_lo": 2}0`, 1),
+			errWant: "decoding model",
+		},
+		{
+			name:    "unknown field",
+			doc:     strings.Replace(validDoc, `"format": 1`, `"formatt": 1`, 1),
+			errWant: "decoding model",
+		},
+		{
+			name:    "not json at all",
+			doc:     "PK\x03\x04 this is a zip, not a model",
+			errWant: "decoding model",
+		},
+		{
+			name:    "missing attribute names",
+			doc:     strings.Replace(validDoc, `"x_attr": "age"`, `"x_attr": ""`, 1),
+			errWant: "missing attribute names",
+		},
+		{
+			name:    "no rules",
+			doc:     strings.Replace(validDoc, `"rules": [`, `"rules": [],  "ignore": [`, 1),
+			errWant: "decoding model", // unknown field guard fires first
+		},
+		{
+			name:    "empty x range",
+			doc:     strings.Replace(validDoc, `"x_hi": 40`, `"x_hi": 20`, 1),
+			errWant: "empty range",
+		},
+		{
+			name:    "inverted y range",
+			doc:     strings.Replace(validDoc, `"y_hi": 100`, `"y_hi": 10`, 1),
+			errWant: "empty range",
+		},
+		{
+			name:    "non-finite bound",
+			doc:     strings.Replace(validDoc, `"x_hi": 40`, `"x_hi": 1e999`, 1),
+			errWant: "decoding model", // json rejects the overflow itself
+		},
+		{
+			name:    "support above one",
+			doc:     strings.Replace(validDoc, `"support": 0.2`, `"support": 1.5`, 1),
+			errWant: "outside [0, 1]",
+		},
+		{
+			name:    "negative confidence",
+			doc:     strings.Replace(validDoc, `"confidence": 0.9`, `"confidence": -0.1`, 1),
+			errWant: "outside [0, 1]",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := Read(strings.NewReader(c.doc))
+			if c.ok {
+				if err != nil {
+					t.Fatalf("Read: %v", err)
+				}
+				if !m.Covers(30, 75) || m.Covers(50, 75) {
+					t.Fatal("loaded model scores wrong")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("Read accepted a damaged document")
+			}
+			if !strings.Contains(err.Error(), c.errWant) {
+				t.Fatalf("error = %v, want substring %q", err, c.errWant)
+			}
+		})
+	}
+}
+
+// FuzzRead drives Read with arbitrary bytes. The invariant is narrow
+// but important for a file format that is hot-loaded by a daemon: Read
+// never panics, and anything it accepts survives a write/read round
+// trip with identical validation status.
+func FuzzRead(f *testing.F) {
+	// Seeds: the valid document, its legacy form, and the damage classes
+	// from the table test.
+	f.Add([]byte(validDoc))
+	f.Add([]byte(strings.Replace(validDoc, `"format": 1,`, "", 1)))
+	f.Add([]byte(strings.Replace(validDoc, `"format": 1`, `"format": 99`, 1)))
+	f.Add([]byte(validDoc[:len(validDoc)/2]))
+	f.Add([]byte(validDoc[:len(validDoc)-3]))
+	f.Add([]byte(""))
+	f.Add([]byte("{}"))
+	f.Add([]byte("null"))
+	f.Add([]byte(`{"x_attr":"a","y_attr":"b","criterion_attr":"g","criterion_value":"A","rules":[{"x_lo":0,"x_hi":0,"y_lo":0,"y_hi":1}]}`))
+	f.Add([]byte(strings.Replace(validDoc, `"support": 0.2`, `"support": 1e308`, 1)))
+	f.Add([]byte(strings.Replace(validDoc, `20`, `-20`, 1)))
+	f.Add([]byte("PK\x03\x04"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := Read(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Accepted documents must re-serialize to something Read accepts
+		// again — otherwise a registry could publish a model it can never
+		// load back.
+		var buf bytes.Buffer
+		if err := m.Write(&buf); err != nil {
+			t.Fatalf("Write of an accepted model failed: %v", err)
+		}
+		re, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip of an accepted model failed: %v", err)
+		}
+		if len(re.Rules) != len(m.Rules) || re.XAttr != m.XAttr {
+			t.Fatalf("round trip changed the model: %+v vs %+v", re, m)
+		}
+	})
+}

@@ -1,0 +1,238 @@
+package registry_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"arcs/internal/faultinject"
+	"arcs/internal/obs"
+	"arcs/internal/segment"
+	"arcs/internal/segment/registry"
+)
+
+// chaosModel mirrors registry_test's testModel (the chaos suite lives
+// in the external test package to avoid an import cycle through
+// faultinject).
+func chaosModel() *segment.Model {
+	return &segment.Model{
+		XAttr: "age", YAttr: "salary",
+		CritAttr: "group", CritValue: "A",
+		MinSupport: 0.1, MinConfidence: 0.5,
+		Rules: []segment.Rule{
+			{XLo: 20, XHi: 40, YLo: 50, YHi: 100, Support: 0.2, Confidence: 0.9},
+		},
+	}
+}
+
+// publishAndActivate seeds a registry with one good, active version.
+// Write/sync/rename counts after it: model (write 1, sync 1+dir,
+// rename 1), manifest (write 2, rename 2), ACTIVE (write 3, rename 3).
+func publishAndActivate(t *testing.T, reg *registry.Registry) string {
+	t.Helper()
+	v, err := reg.Publish(chaosModel(), registry.PublishMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Activate(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	return v.ID
+}
+
+// assertServes checks the last-known-good contract: id is active and
+// scores correctly, now and after a clean reopen of the directory.
+func assertServes(t *testing.T, reg *registry.Registry, dir, id string) {
+	t.Helper()
+	if reg.ActiveID() != id {
+		t.Fatalf("active = %q, want %s", reg.ActiveID(), id)
+	}
+	if s := reg.Active(); s == nil || !s.Covers(30, 75) {
+		t.Fatal("active model does not serve")
+	}
+	re, err := registry.Open(dir, registry.Options{})
+	if err != nil {
+		t.Fatalf("reopen after fault: %v", err)
+	}
+	if re.ActiveID() != id {
+		t.Fatalf("reopened active = %q, want %s", re.ActiveID(), id)
+	}
+}
+
+func TestChaosTornModelWriteLeavesRegistryServing(t *testing.T) {
+	dir := t.TempDir()
+	// Publish #2's model write is global write call 4 (model 1,
+	// manifest 2, ACTIVE 3 during seeding).
+	ffs := faultinject.WrapFS(nil, faultinject.FSSchedule{TornWriteAt: 4})
+	reg, err := registry.Open(dir, registry.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := publishAndActivate(t, reg)
+
+	if _, err := reg.Publish(chaosModel(), registry.PublishMeta{}); err == nil {
+		t.Fatal("publish with a torn model write succeeded")
+	}
+	if got := ffs.Stats().TornWrites; got != 1 {
+		t.Fatalf("torn writes injected = %d, want 1", got)
+	}
+	if got := len(reg.List()); got != 1 {
+		t.Fatalf("failed publish registered a version: %d listed, want 1", got)
+	}
+	assertServes(t, reg, dir, id)
+}
+
+func TestChaosENOSPCManifestWriteNeverCommits(t *testing.T) {
+	dir := t.TempDir()
+	// Publish #2's manifest write is global write call 5.
+	ffs := faultinject.WrapFS(nil, faultinject.FSSchedule{FailWriteAt: 5})
+	reg, err := registry.Open(dir, registry.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := publishAndActivate(t, reg)
+
+	if _, err := reg.Publish(chaosModel(), registry.PublishMeta{}); err == nil {
+		t.Fatal("publish with ENOSPC on the manifest succeeded")
+	}
+	assertServes(t, reg, dir, id)
+	// The fault was transient (fires once): the next publish must
+	// succeed and get a fresh sequence number.
+	v, err := reg.Publish(chaosModel(), registry.PublishMeta{})
+	if err != nil {
+		t.Fatalf("publish after transient ENOSPC: %v", err)
+	}
+	if v.ID != "m000003" {
+		t.Fatalf("recovered publish = %s, want m000003 (sequence not reused)", v.ID)
+	}
+}
+
+func TestChaosRenameFailureMidPublish(t *testing.T) {
+	dir := t.TempDir()
+	// Publish #2's manifest rename is global rename call 5 — the model
+	// file is already in place, the commit record is not: the moment a
+	// crash would leave an unmanifested model.
+	ffs := faultinject.WrapFS(nil, faultinject.FSSchedule{FailRenameAt: 5})
+	reg, err := registry.Open(dir, registry.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := publishAndActivate(t, reg)
+	if _, err := reg.Publish(chaosModel(), registry.PublishMeta{}); err == nil {
+		t.Fatal("publish with a failed manifest rename succeeded")
+	}
+	assertServes(t, reg, dir, id)
+}
+
+func TestChaosFsyncFailureFailsPublish(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.WrapFS(nil, faultinject.FSSchedule{FailSyncAt: 1})
+	reg, err := registry.Open(dir, registry.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The very first publish hits the fsync failure: nothing may be
+	// registered, and the registry must keep working afterwards.
+	if _, err := reg.Publish(chaosModel(), registry.PublishMeta{}); err == nil {
+		t.Fatal("publish with a failed fsync succeeded")
+	}
+	if got := len(reg.List()); got != 0 {
+		t.Fatalf("failed publish registered %d versions", got)
+	}
+	id := publishAndActivate(t, reg)
+	assertServes(t, reg, dir, id)
+}
+
+func TestChaosReadErrorDuringActivationRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := registry.Open(dir, registry.Options{FS: faultinject.WrapFS(nil, faultinject.FSSchedule{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1 := publishAndActivate(t, reg) // reads 1 (manifest), 2 (model)
+	v2, err := reg.Publish(chaosModel(), registry.PublishMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v2
+
+	// A second registry over the same dir, with a read fault scheduled
+	// for the activation's model read. Open's reads: 2 versions x
+	// (manifest + model) = 4, ACTIVE = 5, history replay of id1 = 6, 7;
+	// the activation then reads v2's manifest (8) and model (9).
+	ffs := faultinject.WrapFS(nil, faultinject.FSSchedule{FailReadAt: 9})
+	re, err := registry.Open(dir, registry.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.ActiveID() != id1 {
+		t.Fatalf("reopened active = %q, want %s", re.ActiveID(), id1)
+	}
+	if _, err := re.Activate(v2.ID); err == nil {
+		t.Fatal("activation with an injected read error succeeded")
+	} else if !strings.Contains(err.Error(), "still serving "+id1) {
+		t.Fatalf("error does not promise the surviving model: %v", err)
+	}
+	if re.ActiveID() != id1 {
+		t.Fatalf("active = %q after failed activation, want %s", re.ActiveID(), id1)
+	}
+}
+
+func TestChaosShortReadQuarantinesAsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := registry.Open(dir, registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1 := publishAndActivate(t, reg)
+	v2, err := reg.Publish(chaosModel(), registry.PublishMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same counting as above: the activation's model read is read 9.
+	ffs := faultinject.WrapFS(nil, faultinject.FSSchedule{ShortReadAt: 9})
+	re, err := registry.Open(dir, registry.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = re.Activate(v2.ID)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("short-read activation error = %v, want truncation", err)
+	}
+	if re.ActiveID() != id1 {
+		t.Fatalf("active = %q, want %s", re.ActiveID(), id1)
+	}
+}
+
+// TestApplyHotPathZeroAlloc is the allocation guard on the per-tuple
+// serving path: one atomic snapshot load per request plus a scoring
+// loop that allocates nothing per point.
+func TestApplyHotPathZeroAlloc(t *testing.T) {
+	reg, err := registry.Open(t.TempDir(), registry.Options{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := reg.Publish(chaosModel(), registry.PublishMeta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Activate(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	pts := make([][2]float64, 10_000)
+	for i := range pts {
+		pts[i] = [2]float64{float64(i % 100), float64(i % 120)}
+	}
+	out := make([]bool, len(pts))
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		snap := reg.Active()
+		if _, err := snap.Model.ApplyPointsContext(ctx, pts, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("apply hot path allocates %.1f times per 10k-point batch, want 0", allocs)
+	}
+}

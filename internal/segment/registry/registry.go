@@ -1,0 +1,507 @@
+// Package registry is a versioned, crash-safe store for segmentation
+// models — the control half of the serving data plane. Each published
+// model becomes an immutable numbered version committed by a
+// temp-file + fsync + atomic-rename protocol with a checksummed
+// manifest; the manifest rename is the commit point, so a crash at any
+// earlier instant leaves debris the next Open quarantines instead of a
+// half-written version that could be served. Activation hot-swaps the
+// served model through an atomic pointer (in-flight applies finish on
+// the version they started with) and records an activation history so
+// a corrupt or missing version always falls back to the last known
+// good one instead of taking serving down.
+//
+// On-disk layout, all inside one directory:
+//
+//	m000001.json           model document (segment JSON)
+//	m000001.manifest.json  commit record: sha256, size, provenance
+//	ACTIVE                 activation history, most recent first
+//	*.tmp                  in-flight writes; removed at next Open
+package registry
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arcs/internal/obs"
+	"arcs/internal/segment"
+)
+
+// Version states as surfaced by List and GET /models.
+const (
+	// StateOK marks a version that loaded and validated cleanly.
+	StateOK = "ok"
+	// StateQuarantined marks a version that failed checksum or
+	// validation; it is never served and never silently deleted.
+	StateQuarantined = "quarantined"
+)
+
+// manifestFormat is the manifest wire-format generation.
+const manifestFormat = 1
+
+// historyCap bounds the ACTIVE file's activation history.
+const historyCap = 8
+
+// Manifest is a version's commit record. Its atomic rename into place
+// is what makes the version visible; SHA256/Size let every later load
+// detect truncation and bit rot before the model is trusted.
+type Manifest struct {
+	Format  int       `json:"format"`
+	ID      string    `json:"id"`
+	SHA256  string    `json:"sha256"`
+	Size    int64     `json:"size"`
+	Created time.Time `json:"created"`
+	Rules   int       `json:"rules"`
+	// SourceRun and Note are provenance: the mining run the model was
+	// published from, and a free-form operator annotation.
+	SourceRun string `json:"source_run,omitempty"`
+	Note      string `json:"note,omitempty"`
+}
+
+// VersionInfo is one version's externally visible state.
+type VersionInfo struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Reason explains a quarantine; empty for healthy versions.
+	Reason string `json:"reason,omitempty"`
+	// Active marks the currently served version.
+	Active   bool     `json:"active,omitempty"`
+	Manifest Manifest `json:"manifest,omitempty"`
+}
+
+// Snapshot is an immutable loaded version: what the hot apply path
+// scores against. Handlers take one Snapshot per request so a
+// concurrent activation never changes the model mid-request.
+type Snapshot struct {
+	ID    string
+	Model *segment.Model
+}
+
+// Covers reports segment membership for an (x, y) point.
+func (s *Snapshot) Covers(x, y float64) bool { return s.Model.Covers(x, y) }
+
+// Options configures Open.
+type Options struct {
+	// FS overrides the filesystem, for fault injection. Nil uses OSFS.
+	FS FS
+	// Metrics, when non-nil, receives the registry's counters and the
+	// active-version gauge (models_published_total,
+	// models_quarantined_total, models_activated_total,
+	// models_activate_failed_total, model_active_version).
+	Metrics *obs.Registry
+}
+
+// Registry is the store. All mutating operations are serialized by an
+// internal mutex; the active snapshot is read lock-free.
+type Registry struct {
+	dir string
+	fs  FS
+
+	mu       sync.Mutex
+	versions map[string]*VersionInfo
+	seq      int
+	history  []string // activation history, most recent first
+
+	active atomic.Pointer[Snapshot]
+
+	mPublished      *obs.Counter
+	mQuarantined    *obs.Counter
+	mActivated      *obs.Counter
+	mActivateFailed *obs.Counter
+	gActiveVersion  *obs.Gauge
+}
+
+// activeFile is the JSON body of the ACTIVE pointer file.
+type activeFile struct {
+	History []string `json:"history"`
+}
+
+// Open loads (or initializes) a registry directory: leftover temp
+// files from interrupted publishes are removed, every version is
+// read-validated (corrupt ones quarantined, never deleted), and the
+// activation history is replayed to the most recent version that still
+// loads cleanly — the last-known-good fallback.
+func Open(dir string, opts Options) (*Registry, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	r := &Registry{
+		dir:      dir,
+		fs:       fsys,
+		versions: make(map[string]*VersionInfo),
+
+		mPublished:      opts.Metrics.Counter("models_published_total"),
+		mQuarantined:    opts.Metrics.Counter("models_quarantined_total"),
+		mActivated:      opts.Metrics.Counter("models_activated_total"),
+		mActivateFailed: opts.Metrics.Counter("models_activate_failed_total"),
+		gActiveVersion:  opts.Metrics.Gauge("model_active_version"),
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: creating %s: %w", dir, err)
+	}
+	if err := r.scan(); err != nil {
+		return nil, err
+	}
+	r.restoreActive()
+	return r, nil
+}
+
+// scan inventories the directory: temp debris is deleted, manifested
+// versions are validated, unmanifested model files (a crash between
+// the two renames) are quarantined.
+func (r *Registry) scan() error {
+	entries, err := r.fs.ReadDir(r.dir)
+	if err != nil {
+		return fmt.Errorf("registry: reading %s: %w", r.dir, err)
+	}
+	manifests := map[string]bool{}
+	models := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// An interrupted write that was never renamed into place;
+			// it was never visible, so deleting it is safe.
+			_ = r.fs.Remove(filepath.Join(r.dir, name))
+		case strings.HasSuffix(name, ".manifest.json"):
+			id := strings.TrimSuffix(name, ".manifest.json")
+			if n, ok := parseID(id); ok {
+				manifests[id] = true
+				if n > r.seq {
+					r.seq = n
+				}
+			}
+		case strings.HasSuffix(name, ".json"):
+			id := strings.TrimSuffix(name, ".json")
+			if n, ok := parseID(id); ok {
+				models[id] = true
+				if n > r.seq {
+					r.seq = n
+				}
+			}
+		}
+	}
+	for id := range models {
+		if !manifests[id] {
+			r.quarantineLocked(id, "missing manifest (interrupted publish)")
+		}
+	}
+	for id := range manifests {
+		_, man, err := r.load(id)
+		if err != nil {
+			r.quarantineLocked(id, err.Error())
+			continue
+		}
+		r.versions[id] = &VersionInfo{ID: id, State: StateOK, Manifest: *man}
+	}
+	return nil
+}
+
+// restoreActive replays the ACTIVE history to the most recent version
+// that still loads, quarantining the ones that no longer do.
+func (r *Registry) restoreActive() {
+	raw, err := r.fs.ReadFile(filepath.Join(r.dir, "ACTIVE"))
+	if err != nil {
+		return // never activated (or pointer unreadable): serve nothing
+	}
+	var af activeFile
+	if err := json.Unmarshal(raw, &af); err != nil {
+		return
+	}
+	r.history = af.History
+	for _, id := range af.History {
+		model, _, err := r.load(id)
+		if err != nil {
+			r.quarantineLocked(id, err.Error())
+			continue
+		}
+		r.active.Store(&Snapshot{ID: id, Model: model})
+		if n, ok := parseID(id); ok {
+			r.gActiveVersion.Set(int64(n))
+		}
+		return
+	}
+}
+
+// quarantineLocked marks a version as unservable. The files stay on
+// disk for forensics; only the in-memory state and metrics change.
+func (r *Registry) quarantineLocked(id, reason string) {
+	v := r.versions[id]
+	if v == nil {
+		v = &VersionInfo{ID: id}
+		r.versions[id] = v
+	}
+	if v.State == StateQuarantined {
+		v.Reason = reason
+		return
+	}
+	v.State = StateQuarantined
+	v.Reason = reason
+	r.mQuarantined.Inc()
+}
+
+// parseID accepts the m%06d version naming, returning the sequence
+// number.
+func parseID(id string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "m%d", &n); err != nil || !strings.HasPrefix(id, "m") {
+		return 0, false
+	}
+	return n, true
+}
+
+// readManifest loads and structurally checks a version's manifest.
+func (r *Registry) readManifest(id string) (*Manifest, error) {
+	raw, err := r.fs.ReadFile(filepath.Join(r.dir, id+".manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("corrupt manifest: %w", err)
+	}
+	if m.Format != manifestFormat {
+		return nil, fmt.Errorf("manifest format %d not supported", m.Format)
+	}
+	if m.ID != id {
+		return nil, fmt.Errorf("manifest names %q, file names %q", m.ID, id)
+	}
+	return &m, nil
+}
+
+// load reads and fully validates one version from disk: manifest
+// structure, model size and checksum, then segment.Read's semantic
+// validation. Every serving and activation path funnels through here,
+// so a version that passes load is safe to serve.
+func (r *Registry) load(id string) (*segment.Model, *Manifest, error) {
+	man, err := r.readManifest(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := r.fs.ReadFile(filepath.Join(r.dir, id+".json"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading model: %w", err)
+	}
+	if int64(len(raw)) != man.Size {
+		return nil, nil, fmt.Errorf("model is %d bytes, manifest says %d (truncated?)", len(raw), man.Size)
+	}
+	sum := sha256.Sum256(raw)
+	if got := hex.EncodeToString(sum[:]); got != man.SHA256 {
+		return nil, nil, fmt.Errorf("model checksum %s does not match manifest %s", got[:12], man.SHA256[:12])
+	}
+	model, err := segment.Read(bytes.NewReader(raw))
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, man, nil
+}
+
+// Load read-validates one version and returns its model — the shared
+// path the arcsapply CLI and the daemon both load through.
+func (r *Registry) Load(id string) (*segment.Model, *Manifest, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	model, man, err := r.load(id)
+	if err != nil {
+		r.quarantineLocked(id, err.Error())
+		return nil, nil, fmt.Errorf("registry: version %s: %w", id, err)
+	}
+	return model, man, nil
+}
+
+// PublishMeta is optional provenance recorded in the manifest.
+type PublishMeta struct {
+	SourceRun string
+	Note      string
+}
+
+// Publish commits a new version: model document first, checksummed
+// manifest second, each through temp + fsync + rename with a directory
+// sync after. A crash anywhere in between leaves either invisible temp
+// debris or an unmanifested model file — both quarantined, never
+// served — and every previously committed version untouched.
+func (r *Registry) Publish(m *segment.Model, meta PublishMeta) (*VersionInfo, error) {
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		return nil, fmt.Errorf("registry: encoding model: %w", err)
+	}
+	doc := buf.Bytes()
+	sum := sha256.Sum256(doc)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	id := fmt.Sprintf("m%06d", r.seq)
+	man := Manifest{
+		Format:    manifestFormat,
+		ID:        id,
+		SHA256:    hex.EncodeToString(sum[:]),
+		Size:      int64(len(doc)),
+		Created:   time.Now().UTC(),
+		Rules:     len(m.Rules),
+		SourceRun: meta.SourceRun,
+		Note:      meta.Note,
+	}
+	manDoc, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("registry: encoding manifest: %w", err)
+	}
+	if err := r.writeFileAtomic(id+".json", doc); err != nil {
+		return nil, fmt.Errorf("registry: publishing %s: %w", id, err)
+	}
+	if err := r.writeFileAtomic(id+".manifest.json", manDoc); err != nil {
+		// The unmanifested model file is exactly what a crash here would
+		// leave; remove it eagerly since we are still alive to do so.
+		_ = r.fs.Remove(filepath.Join(r.dir, id+".json"))
+		return nil, fmt.Errorf("registry: committing %s: %w", id, err)
+	}
+	v := &VersionInfo{ID: id, State: StateOK, Manifest: man}
+	r.versions[id] = v
+	r.mPublished.Inc()
+	out := *v
+	return &out, nil
+}
+
+// writeFileAtomic writes name via a temp file, fsyncs it, renames it
+// into place, and fsyncs the directory so the rename itself is
+// durable.
+func (r *Registry) writeFileAtomic(name string, data []byte) error {
+	path := filepath.Join(r.dir, name)
+	tmp := path + ".tmp"
+	f, err := r.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		_ = r.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		_ = r.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = r.fs.Remove(tmp)
+		return err
+	}
+	if err := r.fs.Rename(tmp, path); err != nil {
+		_ = r.fs.Remove(tmp)
+		return err
+	}
+	return r.syncDir()
+}
+
+// syncDir makes a completed rename durable.
+func (r *Registry) syncDir() error {
+	d, err := r.fs.Open(r.dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Activate makes a version the served model. The version is re-read
+// and re-validated from disk first — activation is the last gate
+// before traffic — and on any failure the previous model keeps
+// serving untouched (the rollback guarantee); the broken version is
+// quarantined. The swap itself is a single atomic pointer store:
+// requests that already took a Snapshot finish on the version they
+// started with.
+func (r *Registry) Activate(id string) (*Snapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	model, _, err := r.load(id)
+	if err != nil {
+		r.quarantineLocked(id, err.Error())
+		r.mActivateFailed.Inc()
+		return nil, fmt.Errorf("registry: activating %s: %w (still serving %s)", id, err, r.activeIDLocked())
+	}
+
+	// Durable pointer first: if the ACTIVE write fails the in-memory
+	// active model is untouched, so disk and memory never disagree in
+	// the dangerous direction (serving a version a restart would lose).
+	hist := make([]string, 0, historyCap)
+	hist = append(hist, id)
+	for _, h := range r.history {
+		if h != id && len(hist) < historyCap {
+			hist = append(hist, h)
+		}
+	}
+	doc, err := json.MarshalIndent(activeFile{History: hist}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("registry: encoding ACTIVE: %w", err)
+	}
+	if err := r.writeFileAtomic("ACTIVE", doc); err != nil {
+		r.mActivateFailed.Inc()
+		return nil, fmt.Errorf("registry: recording activation of %s: %w (still serving %s)", id, err, r.activeIDLocked())
+	}
+	r.history = hist
+	snap := &Snapshot{ID: id, Model: model}
+	r.active.Store(snap)
+	if n, ok := parseID(id); ok {
+		r.gActiveVersion.Set(int64(n))
+	}
+	r.mActivated.Inc()
+	return snap, nil
+}
+
+// activeIDLocked names the served version for error messages; "none"
+// when nothing is active.
+func (r *Registry) activeIDLocked() string {
+	if s := r.active.Load(); s != nil {
+		return s.ID
+	}
+	return "none"
+}
+
+// Active returns the served model snapshot, nil when nothing has been
+// activated. The load is a single atomic read — this is the per-request
+// entry to the hot path and allocates nothing.
+func (r *Registry) Active() *Snapshot { return r.active.Load() }
+
+// ActiveID returns the served version's ID, "" when none.
+func (r *Registry) ActiveID() string {
+	if s := r.active.Load(); s != nil {
+		return s.ID
+	}
+	return ""
+}
+
+// List snapshots every known version in ID order, marking the active
+// one.
+func (r *Registry) List() []VersionInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	activeID := r.activeIDLocked()
+	out := make([]VersionInfo, 0, len(r.versions))
+	for _, v := range r.versions {
+		vi := *v
+		vi.Active = vi.ID == activeID
+		out = append(out, vi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Dir returns the backing directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// ErrNoActive is returned by helpers that need a served model when
+// nothing has been activated yet.
+var ErrNoActive = errors.New("registry: no active model")

@@ -1,0 +1,273 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arcs/internal/obs"
+	"arcs/internal/segment"
+)
+
+// testModel is a small valid two-rule segmentation.
+func testModel() *segment.Model {
+	return &segment.Model{
+		XAttr: "age", YAttr: "salary",
+		CritAttr: "group", CritValue: "A",
+		MinSupport: 0.1, MinConfidence: 0.5,
+		Rules: []segment.Rule{
+			{XLo: 20, XHi: 40, YLo: 50, YHi: 100, Support: 0.2, Confidence: 0.9},
+			{XLo: 60, XHi: 75, YLo: 25, YHi: 60, Support: 0.1, Confidence: 0.8},
+		},
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Registry {
+	t.Helper()
+	r, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustPublish(t *testing.T, r *Registry) string {
+	t.Helper()
+	v, err := r.Publish(testModel(), PublishMeta{Note: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.ID
+}
+
+func TestPublishActivateServe(t *testing.T) {
+	reg := mustOpen(t, t.TempDir(), Options{})
+	if reg.Active() != nil {
+		t.Fatal("fresh registry should have no active model")
+	}
+	id := mustPublish(t, reg)
+	if id != "m000001" {
+		t.Fatalf("first version = %s, want m000001", id)
+	}
+	snap, err := reg.Activate(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != id || reg.ActiveID() != id {
+		t.Fatalf("active = %s / %s, want %s", snap.ID, reg.ActiveID(), id)
+	}
+	if !snap.Covers(30, 75) || snap.Covers(50, 75) {
+		t.Fatal("active model does not score like the published one")
+	}
+}
+
+func TestReopenRestoresActiveAndHistory(t *testing.T) {
+	dir := t.TempDir()
+	reg := mustOpen(t, dir, Options{})
+	id1 := mustPublish(t, reg)
+	id2 := mustPublish(t, reg)
+	if _, err := reg.Activate(id1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Activate(id2); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, dir, Options{})
+	if re.ActiveID() != id2 {
+		t.Fatalf("reopened active = %q, want %s", re.ActiveID(), id2)
+	}
+	list := re.List()
+	if len(list) != 2 {
+		t.Fatalf("reopened registry lists %d versions, want 2", len(list))
+	}
+	for _, v := range list {
+		if v.State != StateOK {
+			t.Fatalf("version %s reopened as %s (%s)", v.ID, v.State, v.Reason)
+		}
+	}
+	// Sequence numbering continues after the highest on disk.
+	if id3 := mustPublish(t, re); id3 != "m000003" {
+		t.Fatalf("post-reopen publish = %s, want m000003", id3)
+	}
+}
+
+// corruptFile flips bytes in the middle of a file without changing its
+// size, so only the checksum can catch it.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(raw) / 2; i < len(raw)/2+8 && i < len(raw); i++ {
+		raw[i] ^= 0xff
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActivateCorruptVersionRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	mreg := obs.NewRegistry()
+	reg := mustOpen(t, dir, Options{Metrics: mreg})
+	id1 := mustPublish(t, reg)
+	id2 := mustPublish(t, reg)
+	if _, err := reg.Activate(id1); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, filepath.Join(dir, id2+".json"))
+
+	_, err := reg.Activate(id2)
+	if err == nil {
+		t.Fatal("activating a corrupt version succeeded")
+	}
+	if !strings.Contains(err.Error(), "still serving "+id1) {
+		t.Fatalf("activation error does not name the surviving model: %v", err)
+	}
+	if reg.ActiveID() != id1 {
+		t.Fatalf("active = %q after failed activation, want %s", reg.ActiveID(), id1)
+	}
+	if s := reg.Active(); s == nil || !s.Covers(30, 75) {
+		t.Fatal("last-known-good model stopped serving")
+	}
+	var quarantined *VersionInfo
+	for _, v := range reg.List() {
+		if v.ID == id2 {
+			vv := v
+			quarantined = &vv
+		}
+	}
+	if quarantined == nil || quarantined.State != StateQuarantined {
+		t.Fatalf("corrupt version not quarantined: %+v", quarantined)
+	}
+	if got := mreg.Counter("models_quarantined_total").Value(); got != 1 {
+		t.Fatalf("models_quarantined_total = %d, want 1", got)
+	}
+	if got := mreg.Counter("models_activate_failed_total").Value(); got != 1 {
+		t.Fatalf("models_activate_failed_total = %d, want 1", got)
+	}
+	if got := mreg.Gauge("model_active_version").Value(); got != 1 {
+		t.Fatalf("model_active_version = %d, want 1", got)
+	}
+}
+
+func TestReopenFallsBackPastCorruptActive(t *testing.T) {
+	dir := t.TempDir()
+	reg := mustOpen(t, dir, Options{})
+	id1 := mustPublish(t, reg)
+	id2 := mustPublish(t, reg)
+	for _, id := range []string{id1, id2} {
+		if _, err := reg.Activate(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The active version rots on disk while the daemon is down. The
+	// next Open must fall back to the previous activation instead of
+	// serving garbage or nothing.
+	corruptFile(t, filepath.Join(dir, id2+".json"))
+	mreg := obs.NewRegistry()
+	re := mustOpen(t, dir, Options{Metrics: mreg})
+	if re.ActiveID() != id1 {
+		t.Fatalf("reopened active = %q, want fallback to %s", re.ActiveID(), id1)
+	}
+	if got := mreg.Counter("models_quarantined_total").Value(); got != 1 {
+		t.Fatalf("models_quarantined_total = %d, want 1", got)
+	}
+}
+
+func TestUnmanifestedModelQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	// A model file with no manifest is exactly what a crash between the
+	// two publish renames leaves behind.
+	if err := os.WriteFile(filepath.Join(dir, "m000009.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := mustOpen(t, dir, Options{})
+	list := reg.List()
+	if len(list) != 1 || list[0].State != StateQuarantined {
+		t.Fatalf("unmanifested model not quarantined: %+v", list)
+	}
+	if !strings.Contains(list[0].Reason, "interrupted publish") {
+		t.Fatalf("quarantine reason = %q", list[0].Reason)
+	}
+	// The sequence must skip past quarantined IDs, never reuse them.
+	if id := mustPublish(t, reg); id != "m000010" {
+		t.Fatalf("publish after quarantined m000009 = %s, want m000010", id)
+	}
+}
+
+func TestTruncatedModelQuarantinedOnLoad(t *testing.T) {
+	dir := t.TempDir()
+	reg := mustOpen(t, dir, Options{})
+	id := mustPublish(t, reg)
+	path := filepath.Join(dir, id+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.Load(id); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated load error = %v, want size mismatch", err)
+	}
+	if _, err := reg.Activate(id); err == nil {
+		t.Fatal("truncated version activated")
+	}
+}
+
+func TestActivateUnknownVersion(t *testing.T) {
+	reg := mustOpen(t, t.TempDir(), Options{})
+	id := mustPublish(t, reg)
+	if _, err := reg.Activate(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Activate("m999999"); err == nil {
+		t.Fatal("activating an unknown version succeeded")
+	}
+	if reg.ActiveID() != id {
+		t.Fatalf("active changed to %q after failed activation", reg.ActiveID())
+	}
+}
+
+func TestTempDebrisRemovedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	reg := mustOpen(t, dir, Options{})
+	mustPublish(t, reg)
+	if err := os.WriteFile(filepath.Join(dir, "m000002.json.tmp"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re := mustOpen(t, dir, Options{})
+	if _, err := os.Stat(filepath.Join(dir, "m000002.json.tmp")); !os.IsNotExist(err) {
+		t.Fatal("temp debris survived reopen")
+	}
+	if got := len(re.List()); got != 1 {
+		t.Fatalf("registry lists %d versions, want 1", got)
+	}
+}
+
+func TestManifestIDMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	reg := mustOpen(t, dir, Options{})
+	id := mustPublish(t, reg)
+	// Copy the version under a different ID: checksums match but the
+	// manifest names the original — a moved/renamed file must not serve.
+	for _, suffix := range []string{".json", ".manifest.json"} {
+		raw, err := os.ReadFile(filepath.Join(dir, id+suffix))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "m000007"+suffix), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re := mustOpen(t, dir, Options{})
+	for _, v := range re.List() {
+		if v.ID == "m000007" && v.State != StateQuarantined {
+			t.Fatalf("renamed version served as %s", v.State)
+		}
+	}
+}

@@ -10,14 +10,25 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
+	"arcs/internal/cancelcheck"
 	"arcs/internal/dataset"
 	"arcs/internal/rules"
 )
 
+// FormatVersion is the model wire-format generation this package
+// writes. Read accepts the current generation plus 0 (models saved
+// before the field existed); anything else is from a newer binary and
+// is rejected rather than misinterpreted.
+const FormatVersion = 1
+
 // Model is a serializable segmentation: the clustered rules for one
 // criterion value over a fixed attribute pair.
 type Model struct {
+	// Format is the wire-format generation (see FormatVersion). Zero in
+	// documents written before the field existed.
+	Format int `json:"format,omitempty"`
 	// XAttr and YAttr are the LHS attribute names the rules range over.
 	XAttr string `json:"x_attr"`
 	YAttr string `json:"y_attr"`
@@ -50,7 +61,8 @@ func New(rs []rules.ClusteredRule, minSupport, minConfidence float64) (*Model, e
 	}
 	first := rs[0]
 	m := &Model{
-		XAttr: first.XAttr, YAttr: first.YAttr,
+		Format: FormatVersion,
+		XAttr:  first.XAttr, YAttr: first.YAttr,
 		CritAttr: first.CritAttr, CritValue: first.CritValue,
 		MinSupport: minSupport, MinConfidence: minConfidence,
 	}
@@ -120,8 +132,45 @@ func (a *Applier) ApplyContext(ctx context.Context, src dataset.Source, fn func(
 	})
 }
 
-// Write serializes the model as indented JSON.
+// ApplyPoints scores (x, y) pairs in attribute value space against the
+// model. When out is non-nil it must have len(pts) slots and receives
+// the per-point membership. The loop allocates nothing per point.
+func (m *Model) ApplyPoints(pts [][2]float64, out []bool) (matched int) {
+	matched, _ = m.ApplyPointsContext(context.Background(), pts, out)
+	return matched
+}
+
+// ApplyPointsContext is ApplyPoints with checkpointed cancellation: a
+// canceled context or expired deadline stops the pass at the next
+// checkpoint and returns the cancellation error, with every point
+// scored so far still recorded in out. This is the hot serving path —
+// per-request deadlines propagate from the daemon's /apply handler down
+// to this loop — so the cancellation poll is batched the same way the
+// ingest path batches it.
+func (m *Model) ApplyPointsContext(ctx context.Context, pts [][2]float64, out []bool) (matched int, err error) {
+	chk := cancelcheck.New(ctx).Point(4096)
+	for i := range pts {
+		if err := chk.Check(); err != nil {
+			return matched, err
+		}
+		c := m.Covers(pts[i][0], pts[i][1])
+		if out != nil {
+			out[i] = c
+		}
+		if c {
+			matched++
+		}
+	}
+	return matched, nil
+}
+
+// Write serializes the model as indented JSON, stamping the current
+// format version so readers can tell a document from a newer generation
+// apart from a corrupt one.
 func (m *Model) Write(w io.Writer) error {
+	if m.Format == 0 {
+		m.Format = FormatVersion
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(m)
@@ -142,6 +191,9 @@ func Read(r io.Reader) (*Model, error) {
 }
 
 func (m *Model) validate() error {
+	if m.Format != 0 && m.Format != FormatVersion {
+		return fmt.Errorf("segment: model format %d is not supported (this build reads format %d)", m.Format, FormatVersion)
+	}
 	if m.XAttr == "" || m.YAttr == "" || m.CritAttr == "" || m.CritValue == "" {
 		return fmt.Errorf("segment: model is missing attribute names")
 	}
@@ -149,8 +201,17 @@ func (m *Model) validate() error {
 		return fmt.Errorf("segment: model has no rules")
 	}
 	for i, r := range m.Rules {
+		for _, v := range [...]float64{r.XLo, r.XHi, r.YLo, r.YHi} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("segment: rule %d has a non-finite bound", i)
+			}
+		}
 		if !(r.XLo < r.XHi) || !(r.YLo < r.YHi) {
 			return fmt.Errorf("segment: rule %d has an empty range", i)
+		}
+		if math.IsNaN(r.Support) || r.Support < 0 || r.Support > 1 ||
+			math.IsNaN(r.Confidence) || r.Confidence < 0 || r.Confidence > 1 {
+			return fmt.Errorf("segment: rule %d has support/confidence outside [0, 1]", i)
 		}
 	}
 	return nil
