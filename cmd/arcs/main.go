@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"arcs/internal/core"
+	"arcs/internal/counts"
 	"arcs/internal/dataset"
 	"arcs/internal/obs"
 	"arcs/internal/optimizer"
@@ -61,6 +62,9 @@ func main() {
 		maxBadRows = flag.Int("max-bad-rows", 0, "input rows to quarantine per pass before failing; -1 unlimited, 0 strict")
 		retries    = flag.Int("retries", 2, "retries per read for transient input errors")
 		ingestW    = flag.Int("ingest-workers", 0, "workers for the parallel counting pass (0/1 sequential; needs an in-memory source, so not with -stream)")
+		memBudget  = flag.String("mem-budget", "", "memory budget for the count substrate: bytes with optional K/M/G/T suffix, or 'off' for unlimited (empty keeps the 1 GiB default; grids over budget use the sparse or spill backend)")
+		backend    = flag.String("counts-backend", "auto", "count backend: auto, dense, sparse, spill")
+		spillDir   = flag.String("spill-dir", "", "directory for spill-backend files (default: OS temp dir)")
 		prof       obs.Profiler
 	)
 	prof.RegisterFlags(flag.CommandLine)
@@ -216,6 +220,10 @@ func main() {
 		return
 	}
 
+	budget, err := counts.ParseBudget(*memBudget)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := core.Config{
 		XAttr: *xAttr, YAttr: *yAttr,
 		CritAttr: *critAttr, CritValue: *critValue,
@@ -226,6 +234,9 @@ func main() {
 		FixedMinConfidence: *minConf,
 		Seed:               *seed,
 		IngestWorkers:      *ingestW,
+		MemBudget:          budget,
+		CountsBackend:      *backend,
+		SpillDir:           *spillDir,
 		Walk:               optimizer.ThresholdWalk{},
 		Observer:           observer,
 	}

@@ -38,6 +38,8 @@ import (
 	"syscall"
 	"time"
 
+	"arcs/internal/binarray"
+	"arcs/internal/counts"
 	"arcs/internal/experiments"
 	"arcs/internal/obs"
 )
@@ -51,6 +53,8 @@ func main() {
 		exp       = flag.String("exp", "all", "experiment: rules, fig11, fig12, fig13, fig14, fig15, table2, bins, smoothing, ablation, why, feedbackloop, ingest, quality, all")
 		ingestW   = flag.String("ingest-workers", "2,4,8", "comma-separated worker counts for -exp ingest")
 		ingestN   = flag.String("ingest-tuples", "1000000,2000000,5000000,10000000", "comma-separated workload sizes for -exp ingest (each divided by -scale)")
+		ingestB   = flag.String("ingest-backends", "sparse,spill", "comma-separated count backends swept by -exp ingest alongside dense (sparse, spill; empty skips the backend dimension)")
+		memBudget = flag.String("mem-budget", "", "advisory memory budget for count structures: bytes with optional K/M/G/T suffix, or 'off' for unlimited (empty keeps the 1 GiB default)")
 		scale     = flag.Int("scale", 1, "divide every database size by this factor")
 		c45Cap    = flag.Int("c45cap", 200_000, "largest database C4.5 is attempted on (the paper's C4.5 ran out of memory beyond 100k)")
 		testN     = flag.Int("testn", 10_000, "held-out test table size")
@@ -74,6 +78,14 @@ func main() {
 	}()
 	if *scale < 1 {
 		fatal(fmt.Errorf("scale must be >= 1"))
+	}
+	// The experiments build their core.Configs internally, so the budget
+	// flag lands in the process-wide default (set once, before any
+	// builds start) rather than being plumbed through every experiment.
+	if budget, err := counts.ParseBudget(*memBudget); err != nil {
+		fatal(err)
+	} else if budget != 0 {
+		binarray.DefaultMemBudget = budget
 	}
 
 	// SIGINT/SIGTERM and -timeout cancel the suite between experiments:
@@ -278,7 +290,7 @@ func main() {
 	})
 
 	run("ingest", func() error {
-		fmt.Println("counting pass: sequential dense build vs streamed sharded ingest (byte-identity re-checked)")
+		fmt.Println("counting pass: dense vs sparse/spill backends, sequential vs sharded ingest (byte-identity re-checked)")
 		workers, err := parseWorkers(*ingestW)
 		if err != nil {
 			return err
@@ -287,7 +299,11 @@ func main() {
 		if err != nil {
 			return err
 		}
-		report, benchErr := experiments.IngestBench(ctx, sizes, 50, workers)
+		backends, err := parseBackends(*ingestB)
+		if err != nil {
+			return err
+		}
+		report, benchErr := experiments.IngestBench(ctx, sizes, 50, workers, backends)
 		if benchErr != nil && report == nil {
 			return benchErr
 		}
@@ -360,6 +376,22 @@ func parseWorkers(s string) ([]int, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("-ingest-workers is empty")
+	}
+	return out, nil
+}
+
+// parseBackends parses the -ingest-backends list ("sparse,spill").
+func parseBackends(s string) ([]counts.Kind, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []counts.Kind
+	for _, part := range strings.Split(s, ",") {
+		k, err := counts.ParseKind(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad -ingest-backends entry %q: %w", part, err)
+		}
+		out = append(out, k)
 	}
 	return out, nil
 }

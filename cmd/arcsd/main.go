@@ -49,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"arcs/internal/counts"
 	"arcs/internal/obs"
 	"arcs/internal/obs/serve"
 	"arcs/internal/segment/registry"
@@ -71,12 +72,24 @@ func main() {
 		applyBreakerCD = flag.Duration("apply-breaker-cooldown", 5*time.Second, "tripped-breaker hold before traffic is retried")
 		drain          = flag.Duration("drain", 10*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
 		lameDuck       = flag.Duration("lame-duck", 0, "hold /readyz at 503 this long before canceling runs, so load balancers stop routing first")
+		memBudget      = flag.String("mem-budget", "", "default count-substrate memory budget for runs: bytes with optional K/M/G/T suffix, or 'off' for unlimited (specs override per run via mem_budget)")
+		countsBackend  = flag.String("counts-backend", "auto", "default count backend for runs: auto, dense, sparse, spill (specs override per run via counts_backend)")
+		spillDir       = flag.String("spill-dir", "", "directory for spill-backend files (default: OS temp dir)")
 		verbose        = flag.Bool("v", false, "debug logging")
 		logFormat      = flag.String("log-format", "text", "log output format: text, json")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	budget, err := counts.ParseBudget(*memBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arcsd:", err)
+		os.Exit(2)
+	}
+	if _, err := counts.ParseKind(*countsBackend); err != nil {
+		fmt.Fprintln(os.Stderr, "arcsd:", err)
 		os.Exit(2)
 	}
 
@@ -140,6 +153,9 @@ func main() {
 		SubscriberBuffer: *streamBuf,
 		MaxRuns:          *maxRuns,
 		QualityTestN:     *qualityN,
+		MemBudget:        budget,
+		CountsBackend:    *countsBackend,
+		SpillDir:         *spillDir,
 
 		Models:                models,
 		ApplyMaxInFlight:      *applyInFlight,

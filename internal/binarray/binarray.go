@@ -35,8 +35,14 @@ type BinArray struct {
 // The paper's design point is a grid that comfortably fits main memory
 // (50×50×3 ≈ 30 KB; even 1000×1000×16 is 68 MB), so the default — 1 GiB
 // — only rejects absurd grids that would otherwise OOM-kill the process
-// or wrap the int size arithmetic. Adjustable for constrained or
-// oversized deployments.
+// or wrap the int size arithmetic.
+//
+// Deprecated: mutating this package global is racy and process-wide.
+// It survives only as the default applied when no budget is plumbed;
+// configure budgets through counts.Options.MemBudget / core.Config.
+// MemBudget / the -mem-budget flags instead. Note the budget is no
+// longer a hard failure either: the counts layer treats a dense refusal
+// as dispatch advice and falls over to the sparse or spill backend.
 var DefaultMemBudget int64 = 1 << 30
 
 // MemNeeded reports the bytes a BinArray of the given dimensions
@@ -203,6 +209,26 @@ func (b *BinArray) Occupied(seg int, fn func(x, y int, segCount, cellTotal uint3
 	}
 }
 
+// Cells invokes fn for every occupied cell (cell total > 0) in
+// deterministic row-major order (x outer, y inner), passing the cell's
+// full count slab [seg 0 .. seg nseg-1, total]. The slice aliases the
+// backing array and is only valid during the callback; callers must not
+// retain or mutate it. This is the bulk read path: snapshot
+// serialization, occupancy metrics and backend conversion all iterate
+// occupied cells instead of scanning the full grid.
+func (b *BinArray) Cells(fn func(x, y int, cell []uint32)) {
+	stride := b.nseg + 1
+	for x := 0; x < b.nx; x++ {
+		for y := 0; y < b.ny; y++ {
+			base := (x*b.ny + y) * stride
+			if b.counts[base+b.nseg] == 0 {
+				continue
+			}
+			fn(x, y, b.counts[base:base+stride:base+stride])
+		}
+	}
+}
+
 // Merge adds every count of other into b; dimensions must match. This
 // is how sharded ingest combines per-worker private arrays: saturating
 // addition is commutative and associative, so the merged counts are
@@ -241,8 +267,11 @@ type Stats struct {
 	Cells int
 	// OccupiedCells counts cells holding at least one tuple.
 	OccupiedCells int
-	// MemBytes is the size of the backing count array.
+	// MemBytes is the resident size of the backing structures.
 	MemBytes int
+	// DiskBytes is the bytes a backend keeps on disk (the spill
+	// backend's record file); zero for in-memory backends.
+	DiskBytes int64
 }
 
 // Stats scans the cell totals and reports occupancy and memory use.
@@ -291,7 +320,16 @@ const buildCheckEvery = 1024
 // dispatches per tuple, and an in-memory dataset.Table source is walked
 // by row index, skipping the Source cursor protocol entirely.
 func BuildContext(ctx context.Context, src dataset.Source, xIdx, yIdx, critIdx int, xb, yb binning.Binner, nseg int) (*BinArray, error) {
-	ba, err := New(xb.NumBins(), yb.NumBins(), nseg)
+	return BuildBudgetContext(ctx, src, xIdx, yIdx, critIdx, xb, yb, nseg, DefaultMemBudget)
+}
+
+// BuildBudgetContext is BuildContext under an explicit memory budget in
+// bytes (non-positive: unlimited, overflow still rejected) — the
+// plumbed replacement for mutating DefaultMemBudget. A refusal here is
+// not terminal: counts.Build treats it as dispatch advice and retries
+// the same pass on a backend that fits.
+func BuildBudgetContext(ctx context.Context, src dataset.Source, xIdx, yIdx, critIdx int, xb, yb binning.Binner, nseg int, budget int64) (*BinArray, error) {
+	ba, err := NewBudget(xb.NumBins(), yb.NumBins(), nseg, budget)
 	if err != nil {
 		return nil, err
 	}

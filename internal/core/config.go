@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"arcs/internal/counts"
 	"arcs/internal/mdl"
 	"arcs/internal/obs"
 	"arcs/internal/optimizer"
@@ -202,6 +203,24 @@ type Config struct {
 	// setting; only wall-clock time changes.
 	IngestWorkers int
 
+	// MemBudget is the advisory memory cap in bytes for the count
+	// substrate. 0 applies the deprecated binarray.DefaultMemBudget
+	// (1 GiB); negative means unlimited. When the dense array would not
+	// fit, the build dispatches to the sparse or spill backend instead
+	// of failing — counts are byte-identical whichever backend serves
+	// them (see counts.Options).
+	MemBudget int64
+
+	// CountsBackend pins a count backend: "auto" (default), "dense",
+	// "sparse" or "spill". Auto selects dense when the full grid fits
+	// MemBudget, sparse when the expected occupied cells fit, spill
+	// otherwise.
+	CountsBackend string
+
+	// SpillDir is where the spill backend keeps its run and record
+	// files; empty uses the OS temp directory.
+	SpillDir string
+
 	// SerialSearch forces the optimizer's probe batches to evaluate one
 	// at a time instead of fanning out across the worker pool. Results
 	// are identical either way (the batch path merges in probe order and
@@ -298,6 +317,9 @@ func (c Config) validate() error {
 	}
 	if c.IngestWorkers < 0 {
 		return fmt.Errorf("core: ingest workers %d is negative", c.IngestWorkers)
+	}
+	if _, err := counts.ParseKind(c.CountsBackend); err != nil {
+		return err
 	}
 	if c.Search == SearchFixed {
 		if c.FixedMinSupport < 0 || c.FixedMinSupport > 1 ||

@@ -70,6 +70,9 @@ type Result struct {
 	// FailedProbes counts search probes skipped after an isolated failure
 	// (recovered panic); see optimizer.Best.Failures.
 	FailedProbes int
+	// Counts identifies the count backend the run read from and its
+	// memory/disk footprint.
+	Counts CountsInfo
 }
 
 // PhaseTiming is the wall-clock duration of one pipeline stage of a run.
@@ -566,6 +569,7 @@ func (s *System) RunValueContext(ctx context.Context, label string) (*Result, er
 		Phases:        phases,
 		Degraded:      degraded,
 		FailedProbes:  best.Failures,
+		Counts:        s.countsInfo,
 	}
 	if degraded {
 		return res, &RunError{Phase: "search", Err: serr, Partial: true}

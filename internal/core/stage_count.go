@@ -9,28 +9,68 @@ import (
 	"arcs/internal/obs"
 )
 
+// CountsInfo identifies the count backend a System serves reads from
+// and its footprint — published on every Result, in the JSON report,
+// and as gauges on /metrics, so operators can see which substrate a
+// run landed on and what it cost.
+type CountsInfo struct {
+	// Backend is the backend kind: dense, sparse or spill.
+	Backend string `json:"backend"`
+	// Workers is the ingest parallelism of the build (1 = sequential).
+	Workers int `json:"workers,omitempty"`
+	// Cells is the grid size nx×ny; OccupiedCells counts cells holding
+	// at least one tuple.
+	Cells         int64 `json:"cells"`
+	OccupiedCells int64 `json:"occupied_cells"`
+	// MemBytes is resident memory; DiskBytes is on-disk state (spill
+	// backend only).
+	MemBytes  int64 `json:"mem_bytes"`
+	DiskBytes int64 `json:"disk_bytes,omitempty"`
+}
+
+// countsInfoOf summarizes a built backend.
+func countsInfoOf(b counts.Backend, workers int) CountsInfo {
+	info := CountsInfo{
+		Backend: counts.KindOf(b).String(),
+		Workers: workers,
+		Cells:   int64(b.NX()) * int64(b.NY()),
+	}
+	if szr, ok := b.(counts.Sizer); ok {
+		st := szr.Stats()
+		info.OccupiedCells = int64(st.OccupiedCells)
+		info.MemBytes = int64(st.MemBytes)
+		info.DiskBytes = st.DiskBytes
+	}
+	return info
+}
+
 // stageCount is the Count stage: fill the count backend with one pass
-// over the source. Three variants, all producing bit-identical counts:
-//
-//   - fused: a single pass doing reservoir sampling and counting
-//     together, taken when the binners needed no fitting pass (fixed
-//     ranges or categorical axes) and ingest is sequential;
-//   - sharded: IngestWorkers > 1 and the source shards by range — each
-//     worker fills a private dense array, merged deterministically;
-//   - dense: the sequential reference build (also the fallback when a
-//     streaming source cannot shard).
+// over the source. The pass shape (fused single-pass, sharded
+// parallel, sequential) and the backend kind (dense, sparse,
+// spill-to-disk) dispatch independently — Config.CountsBackend pins a
+// kind, Config.MemBudget lets Auto pick one the budget fits — and all
+// combinations produce bit-identical counts.
 func (s *System) stageCount(ctx context.Context, src dataset.Source, nseg int, fused bool) ([]obs.Attr, error) {
 	spec := counts.Spec{
 		XIdx: s.xIdx, YIdx: s.yIdx, CritIdx: s.critIdx,
 		XBinner: s.xb, YBinner: s.yb, NSeg: nseg,
 	}
-	mode, workers := "dense", 1
-	var err error
+	kind, err := counts.ParseKind(s.cfg.CountsBackend)
+	if err != nil {
+		return nil, err // unreachable: Config.validate parses it first
+	}
+	opts := counts.Options{
+		Workers:   s.cfg.IngestWorkers,
+		Kind:      kind,
+		MemBudget: s.cfg.MemBudget,
+		SpillDir:  s.cfg.SpillDir,
+	}
+	mode, workers := "sequential", 1
 	switch {
 	case fused:
 		mode = "fused"
 		sm := s.newSampler()
-		if s.ba, err = counts.BuildFused(ctx, src, spec, sm.observe); err != nil {
+		if s.ba, err = counts.BuildFused(ctx, src, spec, sm.observe, opts); err != nil {
 			return nil, err
 		}
 		if s.ba.N() == 0 {
@@ -40,7 +80,7 @@ func (s *System) stageCount(ctx context.Context, src dataset.Source, nseg int, f
 			return nil, err
 		}
 	default:
-		if s.ba, err = counts.Build(ctx, src, spec, s.cfg.IngestWorkers); err != nil {
+		if s.ba, err = counts.Build(ctx, src, spec, opts); err != nil {
 			return nil, err
 		}
 		if sh, ok := s.ba.(*counts.Sharded); ok {
@@ -50,11 +90,13 @@ func (s *System) stageCount(ctx context.Context, src dataset.Source, nseg int, f
 			return nil, fmt.Errorf("core: source yielded no tuples")
 		}
 	}
+	s.countsInfo = countsInfoOf(s.ba, workers)
 	attrs := []obs.Attr{
 		obs.Int("tuples", int(s.ba.N())),
 		obs.Int("grid_x", s.ba.NX()), obs.Int("grid_y", s.ba.NY()),
 		obs.Int("segments", nseg),
-		obs.Str("backend", mode), obs.Int("workers", workers),
+		obs.Str("backend", s.countsInfo.Backend),
+		obs.Str("mode", mode), obs.Int("workers", workers),
 	}
 	if s.obs.Enabled() {
 		attrs = append(attrs, s.countMetrics()...)
@@ -62,36 +104,49 @@ func (s *System) stageCount(ctx context.Context, src dataset.Source, nseg int, f
 	return attrs, nil
 }
 
-// countMetrics scans the built backend once for occupancy metrics and
-// reports the occupancy span attributes. The cell scan runs once per
-// New with observability on, never on the probe path.
+// countMetrics walks the built backend's occupied cells once for
+// occupancy metrics and reports the occupancy span attributes. The
+// walk is occupied-cells-only (counts.Backend.Cells), so a sparse or
+// spilled high-resolution grid pays for its tuples, not its
+// resolution; it runs once per New with observability on, never on the
+// probe path.
 func (s *System) countMetrics() []obs.Attr {
 	reg := s.obs.Registry()
 	occ := reg.HistogramBuckets("bin_cell_occupancy", obs.SizeBuckets)
-	occupied := 0
-	cells := s.ba.NX() * s.ba.NY()
-	for y := 0; y < s.ba.NY(); y++ {
-		for x := 0; x < s.ba.NX(); x++ {
-			if n := s.ba.CellTotal(x, y); n > 0 {
-				occupied++
-				occ.Observe(float64(n))
-			}
+	nseg := s.ba.NSeg()
+	occupied := int64(0)
+	s.ba.Cells(func(_, _ int, cell []uint32) {
+		if n := cell[nseg]; n > 0 {
+			occupied++
+			occ.Observe(float64(n))
 		}
+	})
+	info := s.countsInfo
+	cells := info.Cells
+	reg.Gauge("binarray_mem_bytes").Set(info.MemBytes)
+	reg.Gauge("counts_disk_bytes").Set(info.DiskBytes)
+	reg.Gauge("counts_occupied_cells").Set(occupied)
+	reg.Gauge("bin_cells_total").Set(cells)
+	reg.Gauge("bin_cells_empty").Set(cells - occupied)
+	// The backend identity as a one-hot gauge family: no label support
+	// in the registry, so the kind is encoded in the metric name
+	// (counts_backend_dense|sparse|spill), with the losers zeroed so a
+	// scrape after a backend switch does not show two ones.
+	for _, k := range []counts.Kind{counts.Dense, counts.Sparse, counts.Spill} {
+		v := int64(0)
+		if k.String() == info.Backend {
+			v = 1
+		}
+		reg.Gauge("counts_backend_" + k.String()).Set(v)
 	}
-	memBytes := 0
-	if szr, ok := s.ba.(counts.Sizer); ok {
-		memBytes = szr.Stats().MemBytes
-	}
-	reg.Gauge("binarray_mem_bytes").Set(int64(memBytes))
-	reg.Gauge("bin_cells_total").Set(int64(cells))
-	reg.Gauge("bin_cells_empty").Set(int64(cells - occupied))
 	emptyFrac := 0.0
 	if cells > 0 {
 		emptyFrac = float64(cells-occupied) / float64(cells)
 	}
 	return []obs.Attr{
-		obs.Int("occupied_cells", occupied),
+		obs.Int("occupied_cells", int(occupied)),
 		obs.Float("empty_fraction", emptyFrac),
-		obs.Int("mem_bytes", memBytes),
+		obs.Int("mem_bytes", int(info.MemBytes)),
+		obs.Int("disk_bytes", int(info.DiskBytes)),
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"reflect"
 	"testing"
 
-	"arcs/internal/binarray"
 	"arcs/internal/counts"
 	"arcs/internal/dataset"
 	"arcs/internal/obs"
@@ -38,20 +37,12 @@ func f2Config(cfg Config) Config {
 }
 
 // countsBytes snapshots a system's count backend through the dense
-// array's serialization — the byte-identity claim of the refactor.
+// wire format (counts.Snapshot) — the byte-identity claim of the
+// refactor, and it holds for every backend kind, not just dense.
 func countsBytes(t *testing.T, sys *System) []byte {
 	t.Helper()
-	var ba *binarray.BinArray
-	switch v := sys.Counts().(type) {
-	case *binarray.BinArray:
-		ba = v
-	case *counts.Sharded:
-		ba = v.Merged()
-	default:
-		t.Fatalf("backend %T has no dense form", v)
-	}
 	var buf bytes.Buffer
-	if err := ba.Write(&buf); err != nil {
+	if err := counts.Snapshot(sys.Counts(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -169,8 +160,11 @@ func TestFusedMatchesTwoPass(t *testing.T) {
 		t.Errorf("fused build emitted %d ingest spans, want 0", got)
 	}
 	countSpans := sink.Spans("count")
-	if len(countSpans) != 1 || countSpans[0].Attr("backend") != "fused" {
-		t.Errorf("count span backend = %q, want \"fused\"", countSpans[0].Attr("backend"))
+	if len(countSpans) != 1 || countSpans[0].Attr("mode") != "fused" {
+		t.Errorf("count span mode = %q, want \"fused\"", countSpans[0].Attr("mode"))
+	}
+	if got := countSpans[0].Attr("backend"); got != "dense" {
+		t.Errorf("count span backend = %q, want \"dense\"", got)
 	}
 
 	// Two-pass reference: same fixed ranges, but IngestWorkers=2 keeps

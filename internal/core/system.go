@@ -34,8 +34,12 @@ type System struct {
 	xb, yb              binning.Binner
 	xCat, yCat          bool
 
-	ba     counts.Backend
-	sample *dataset.Table
+	ba counts.Backend
+	// countsInfo is the build-time summary of the count backend (kind,
+	// parallelism, footprint), set once by stageCount and copied into
+	// every Result.
+	countsInfo CountsInfo
+	sample     *dataset.Table
 	// vindex pre-bins the verification sample against the binner
 	// boundaries, so every probe verifies coverage in O(1) per tuple.
 	// Rebuilt by Extend; read-only otherwise.
@@ -319,6 +323,10 @@ func (s *System) segCode(label string) (int, error) {
 
 // Counts exposes the count backend (read-only by convention).
 func (s *System) Counts() counts.Backend { return s.ba }
+
+// CountsStats reports which backend the build selected and what it
+// costs in memory and disk — the numbers behind the counts_* gauges.
+func (s *System) CountsStats() CountsInfo { return s.countsInfo }
 
 // BinArray is the historical name for Counts, from when the dense array
 // was the only backend.

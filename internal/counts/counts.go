@@ -3,17 +3,28 @@
 // the feedback loop never touches the source again; everything
 // downstream of the build — the rule engine, grid construction,
 // categorical reorder, threshold enumeration — needs only the small read
-// API captured here as Backend. The dense in-memory BinArray is the
-// reference implementation; Sharded is a second implementation that
-// fills the same counts with a parallel, partitioned ingest pass.
+// API captured here as Backend.
+//
+// Four implementations fill that API, selected by memory budget and
+// expected occupancy (Options/Kind): the dense in-memory BinArray is
+// the reference and the fast path; SparseArray keeps memory
+// proportional to occupied cells for high-resolution mostly-empty
+// grids; SpillArray external-sorts counts to disk so grid resolution
+// and dataset size are not RAM-bound; and Sharded wraps any of them
+// with a partitioned parallel ingest. Every backend produces counts
+// byte-identical to the dense reference (see Snapshot), at any worker
+// count — saturating addition is associative and commutative, so no
+// partitioning or merge order can change a single bit.
 package counts
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 
 	"arcs/internal/binarray"
 	"arcs/internal/binning"
+	"arcs/internal/cancelcheck"
 	"arcs/internal/dataset"
 )
 
@@ -44,6 +55,12 @@ type Backend interface {
 	// Occupied invokes fn for every cell with at least one tuple of RHS
 	// value seg, in deterministic row-major order (x outer, y inner).
 	Occupied(seg int, fn func(x, y int, segCount, cellTotal uint32))
+	// Cells invokes fn for every occupied cell in deterministic
+	// row-major order with the full count slab [seg 0 .. seg nseg-1,
+	// total]. The slice is only valid during the callback. This is the
+	// bulk read path: snapshots, occupancy metrics and backend
+	// conversion iterate occupied cells instead of scanning the grid.
+	Cells(fn func(x, y int, cell []uint32))
 }
 
 // Adder is the optional mutable extension of Backend, implemented by
@@ -54,10 +71,38 @@ type Adder interface {
 	Add(x, y, seg int)
 }
 
+// AsAdder reports whether b supports incremental mutation, unwrapping
+// the Sharded decorator (whose Add delegates to its inner backend and
+// is only valid when that backend is itself mutable — a spill-backed
+// Sharded is not).
+func AsAdder(b Backend) (Adder, bool) {
+	if sh, ok := b.(*Sharded); ok {
+		if _, ok := sh.inner.(Adder); !ok {
+			return nil, false
+		}
+		return sh, true
+	}
+	a, ok := b.(Adder)
+	return a, ok
+}
+
 // Sizer is the optional introspection extension: backends that can
-// summarize their shape and memory footprint for observability.
+// summarize their shape, memory footprint and disk footprint for
+// observability.
 type Sizer interface {
 	Stats() binarray.Stats
+}
+
+// Permuter is the optional extension for the categorical
+// densest-cluster reorder: backends that can rebuild themselves with
+// bins reordered. Backends without it fall back to a dense copy in
+// PermuteX/PermuteY, subject to the deprecated default budget.
+type Permuter interface {
+	// PermuteX returns a backend with old x bin i at position order[i];
+	// order must be a permutation of 0..NX-1.
+	PermuteX(order []int) (Backend, error)
+	// PermuteY is PermuteX for the y axis.
+	PermuteY(order []int) (Backend, error)
 }
 
 // The dense array is the reference Backend (and is mutable and sized).
@@ -75,39 +120,179 @@ type Spec struct {
 	NSeg                int
 }
 
-// Build fills a count backend from one pass over src. workers <= 1
-// builds the dense array sequentially; workers > 1 shards the pass
-// across a worker pool when the source supports range sharding
-// (dataset.Sharder) and falls back to the sequential dense build when it
-// does not. The resulting counts are bit-identical either way.
-func Build(ctx context.Context, src dataset.Source, spec Spec, workers int) (Backend, error) {
-	if workers > 1 {
-		if sh, ok := src.(dataset.Sharder); ok {
-			return BuildSharded(ctx, sh, spec, workers)
+// resolveKind pins or auto-selects the backend for a build over src.
+// For sharded builds each worker holds private count state, so the
+// budget each one selects against is the plumbed budget divided by the
+// worker count.
+func resolveKind(spec Spec, src dataset.Source, opts Options, workers int) Kind {
+	if opts.Kind != Auto {
+		return opts.Kind
+	}
+	srcLen := int64(-1)
+	if ss, ok := src.(dataset.SizedSource); ok {
+		srcLen = int64(ss.Len())
+	}
+	budget := opts.budget()
+	if budget > 0 && workers > 1 {
+		budget /= int64(workers)
+		if budget < 1 {
+			budget = 1
 		}
 	}
-	return buildDense(ctx, src, spec)
+	return selectKind(spec, srcLen, budget)
 }
 
-func buildDense(ctx context.Context, src dataset.Source, spec Spec) (*binarray.BinArray, error) {
-	return binarray.BuildContext(ctx, src, spec.XIdx, spec.YIdx, spec.CritIdx,
-		spec.XBinner, spec.YBinner, spec.NSeg)
+// Build fills a count backend from one pass over src. Options.Workers
+// > 1 shards the pass across a worker pool when the source supports
+// range sharding (dataset.Sharder) and falls back to the sequential
+// build when it does not; Options.Kind/MemBudget pick the backend —
+// Auto selects dense when the full grid fits the budget, sparse when
+// the expected occupied cells fit, and spill-to-disk otherwise, so a
+// grid the dense array refuses under the budget still builds. The
+// resulting counts are bit-identical across every backend and worker
+// count.
+func Build(ctx context.Context, src dataset.Source, spec Spec, opts Options) (Backend, error) {
+	if opts.Workers > 1 {
+		if sh, ok := src.(dataset.Sharder); ok {
+			return BuildSharded(ctx, sh, spec, opts)
+		}
+	}
+	return buildOne(ctx, src, spec, resolveKind(spec, src, opts, 1), opts)
+}
+
+// buildOne builds a single (unsharded) backend of the given kind.
+func buildOne(ctx context.Context, src dataset.Source, spec Spec, kind Kind, opts Options) (Backend, error) {
+	switch kind {
+	case Sparse:
+		s, err := NewSparse(spec.XBinner.NumBins(), spec.YBinner.NumBins(), spec.NSeg)
+		if err != nil {
+			return nil, err
+		}
+		err = fillFrom(ctx, src, spec, nil, func(x, y, seg int) error {
+			s.Add(x, y, seg)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	case Spill:
+		b, err := newSpillBuilder(spec.XBinner.NumBins(), spec.YBinner.NumBins(), spec.NSeg, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := fillFrom(ctx, src, spec, nil, b.Add); err != nil {
+			b.abort()
+			return nil, err
+		}
+		sa, err := b.finalize()
+		if err != nil {
+			return nil, err
+		}
+		return sa, nil
+	default:
+		return buildDense(ctx, src, spec, opts.budget())
+	}
+}
+
+func buildDense(ctx context.Context, src dataset.Source, spec Spec, budget int64) (*binarray.BinArray, error) {
+	return binarray.BuildBudgetContext(ctx, src, spec.XIdx, spec.YIdx, spec.CritIdx,
+		spec.XBinner, spec.YBinner, spec.NSeg, budget)
+}
+
+// fillCheckEvery matches the dense build's cooperative-cancellation
+// granularity on the in-memory table fast path.
+const fillCheckEvery = 1024
+
+// fillFrom is the generic build pass feeding the sparse and spill
+// builders (the dense backend keeps its own allocation-free pass in
+// binarray): compiled binners, the Table row-index fast path, the same
+// criterion validation and cancellation contract as the dense build.
+func fillFrom(ctx context.Context, src dataset.Source, spec Spec, observe func(dataset.Tuple), add func(x, y, seg int) error) error {
+	cx, cy := binning.Compile(spec.XBinner), binning.Compile(spec.YBinner)
+	if tb, ok := src.(*dataset.Table); ok && observe == nil {
+		point := cancelcheck.New(ctx).Point(fillCheckEvery)
+		n := tb.Len()
+		for i := 0; i < n; i++ {
+			if err := point.Check(); err != nil {
+				return err
+			}
+			t := tb.Row(i)
+			seg := int(t[spec.CritIdx])
+			if seg < 0 || seg >= spec.NSeg {
+				return fmt.Errorf("counts: criterion value %d out of range 0..%d", seg, spec.NSeg-1)
+			}
+			if err := add(cx.Bin(t[spec.XIdx]), cy.Bin(t[spec.YIdx]), seg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	width := src.Schema().Len()
+	return dataset.ForEachContext(ctx, src, func(t dataset.Tuple) error {
+		if len(t) != width {
+			return dataset.ErrSchemaMismatch
+		}
+		seg := int(t[spec.CritIdx])
+		if seg < 0 || seg >= spec.NSeg {
+			return fmt.Errorf("counts: criterion value %d out of range 0..%d", seg, spec.NSeg-1)
+		}
+		if err := add(cx.Bin(t[spec.XIdx]), cy.Bin(t[spec.YIdx]), seg); err != nil {
+			return err
+		}
+		if observe != nil {
+			observe(t)
+		}
+		return nil
+	})
 }
 
 // BuildFused is the single-pass fast path fusing Ingest and Count: it
-// streams src once, counting every tuple into a dense backend and
-// invoking observe on it (for reservoir sampling) along the way. Used
-// when the binners need no fitting pass — fixed-range equi-width or
-// categorical axes. observe sees tuples in stream order; the tuple
-// buffer may be reused, so observers that retain tuples must Clone.
-func BuildFused(ctx context.Context, src dataset.Source, spec Spec, observe func(dataset.Tuple)) (Backend, error) {
-	ba, err := binarray.New(spec.XBinner.NumBins(), spec.YBinner.NumBins(), spec.NSeg)
+// streams src once, counting every tuple and invoking observe on it
+// (for reservoir sampling) along the way. Used when the binners need
+// no fitting pass — fixed-range equi-width or categorical axes. observe
+// sees tuples in stream order; the tuple buffer may be reused, so
+// observers that retain tuples must Clone. Backend selection follows
+// the same Options policy as Build (the fused pass is sequential, so
+// Workers is ignored).
+func BuildFused(ctx context.Context, src dataset.Source, spec Spec, observe func(dataset.Tuple), opts Options) (Backend, error) {
+	kind := resolveKind(spec, src, opts, 1)
+	switch kind {
+	case Sparse:
+		s, err := NewSparse(spec.XBinner.NumBins(), spec.YBinner.NumBins(), spec.NSeg)
+		if err != nil {
+			return nil, err
+		}
+		err = fillFrom(ctx, src, spec, observe, func(x, y, seg int) error {
+			s.Add(x, y, seg)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	case Spill:
+		b, err := newSpillBuilder(spec.XBinner.NumBins(), spec.YBinner.NumBins(), spec.NSeg, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := fillFrom(ctx, src, spec, observe, b.Add); err != nil {
+			b.abort()
+			return nil, err
+		}
+		sa, err := b.finalize()
+		if err != nil {
+			return nil, err
+		}
+		return sa, nil
+	}
+	// Dense keeps the direct, allocation-free loop (guarded by
+	// TestFusedZeroAllocPerTuple): no per-tuple closure indirection.
+	ba, err := binarray.NewBudget(spec.XBinner.NumBins(), spec.YBinner.NumBins(), spec.NSeg, opts.budget())
 	if err != nil {
 		return nil, err
 	}
 	width := src.Schema().Len()
-	// Compile the binners once so the per-tuple cost is two direct
-	// lookups instead of two interface dispatches, same as BuildContext.
 	cx, cy := binning.Compile(spec.XBinner), binning.Compile(spec.YBinner)
 	err = dataset.ForEachContext(ctx, src, func(t dataset.Tuple) error {
 		if len(t) != width {
@@ -129,22 +314,39 @@ func BuildFused(ctx context.Context, src dataset.Source, spec Spec, observe func
 	return ba, nil
 }
 
+// permutePositions validates a bin permutation, mirroring the dense
+// array's contract: order[i] is the new position of old bin i.
+func permutePositions(order []int, n int, axis string) ([]int, error) {
+	if len(order) != n {
+		return nil, fmt.Errorf("counts: order has %d entries for %d %s bins", len(order), n, axis)
+	}
+	seen := make([]bool, n)
+	for _, p := range order {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("counts: order is not a permutation: %v", order)
+		}
+		seen[p] = true
+	}
+	return order, nil
+}
+
 // PermuteX returns a backend with the x bins reordered by order (the
-// categorical densest-cluster reorder). The dense array and the sharded
-// backend both support it; other backends report an error.
+// categorical densest-cluster reorder). Backends implementing Permuter
+// rebuild natively; anything else is densified through a snapshot
+// round-trip (subject to the deprecated default budget) and permuted as
+// a dense array.
 func PermuteX(b Backend, order []int) (Backend, error) {
 	switch v := b.(type) {
 	case *binarray.BinArray:
 		return binarray.PermuteX(v, order)
-	case *Sharded:
-		m, err := binarray.PermuteX(v.merged, order)
-		if err != nil {
-			return nil, err
-		}
-		return v.withMerged(m), nil
-	default:
-		return nil, fmt.Errorf("counts: backend %T does not support x permutation", b)
+	case Permuter:
+		return v.PermuteX(order)
 	}
+	d, err := densify(b)
+	if err != nil {
+		return nil, fmt.Errorf("counts: backend %T does not support x permutation: %w", b, err)
+	}
+	return binarray.PermuteX(d, order)
 }
 
 // PermuteY is PermuteX for the y axis.
@@ -152,13 +354,23 @@ func PermuteY(b Backend, order []int) (Backend, error) {
 	switch v := b.(type) {
 	case *binarray.BinArray:
 		return binarray.PermuteY(v, order)
-	case *Sharded:
-		m, err := binarray.PermuteY(v.merged, order)
-		if err != nil {
-			return nil, err
-		}
-		return v.withMerged(m), nil
-	default:
-		return nil, fmt.Errorf("counts: backend %T does not support y permutation", b)
+	case Permuter:
+		return v.PermuteY(order)
 	}
+	d, err := densify(b)
+	if err != nil {
+		return nil, fmt.Errorf("counts: backend %T does not support y permutation: %w", b, err)
+	}
+	return binarray.PermuteY(d, order)
+}
+
+// densify copies any backend into a dense array by round-tripping the
+// snapshot serialization — exact for any backend the dense format can
+// represent under the deprecated default budget.
+func densify(b Backend) (*binarray.BinArray, error) {
+	var buf bytes.Buffer
+	if err := Snapshot(b, &buf); err != nil {
+		return nil, err
+	}
+	return binarray.Read(&buf)
 }

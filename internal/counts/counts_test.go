@@ -73,7 +73,7 @@ func denseOf(t *testing.T, b Backend) *binarray.BinArray {
 	case *binarray.BinArray:
 		return v
 	case *Sharded:
-		return v.Merged()
+		return denseOf(t, v.Inner())
 	default:
 		t.Fatalf("backend %T has no dense form", b)
 		return nil
@@ -85,17 +85,17 @@ func denseOf(t *testing.T, b Backend) *binarray.BinArray {
 func TestShardedMatchesDenseByteIdentical(t *testing.T) {
 	tab := testTable(t, 10_007) // prime, so shards are uneven
 	spec := testSpec(t)
-	ref, err := Build(context.Background(), tab, spec, 1)
+	ref, err := Build(context.Background(), tab, spec, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := baBytes(t, denseOf(t, ref))
 	for _, workers := range []int{1, 2, 3, 4, 8} {
-		sh, err := BuildSharded(context.Background(), tab, spec, workers)
+		sh, err := BuildSharded(context.Background(), tab, spec, Options{Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		if got := baBytes(t, sh.Merged()); !bytes.Equal(got, want) {
+		if got := baBytes(t, denseOf(t, sh)); !bytes.Equal(got, want) {
 			t.Errorf("workers=%d: sharded build differs from sequential build", workers)
 		}
 		if sh.Workers() != workers {
@@ -116,7 +116,7 @@ func TestShardedMatchesDenseByteIdentical(t *testing.T) {
 func TestShardedClampsWorkersToRows(t *testing.T) {
 	tab := testTable(t, 3)
 	spec := testSpec(t)
-	sh, err := BuildSharded(context.Background(), tab, spec, 8)
+	sh, err := BuildSharded(context.Background(), tab, spec, Options{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,11 +126,11 @@ func TestShardedClampsWorkersToRows(t *testing.T) {
 	if sh.N() != 3 {
 		t.Errorf("N() = %d, want 3", sh.N())
 	}
-	ref, err := Build(context.Background(), tab, spec, 1)
+	ref, err := Build(context.Background(), tab, spec, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(baBytes(t, sh.Merged()), baBytes(t, denseOf(t, ref))) {
+	if !bytes.Equal(baBytes(t, denseOf(t, sh)), baBytes(t, denseOf(t, ref))) {
 		t.Error("clamped sharded build differs from sequential build")
 	}
 }
@@ -140,7 +140,7 @@ func TestShardedClampsWorkersToRows(t *testing.T) {
 func TestBuildFallsBackToDense(t *testing.T) {
 	tab := testTable(t, 100)
 	stream := dataset.Limit(tab, 100) // limitSource implements no Shard
-	b, err := Build(context.Background(), stream, testSpec(t), 4)
+	b, err := Build(context.Background(), stream, testSpec(t), Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestBuildFallsBackToDense(t *testing.T) {
 // TestBuildShardedUsesShards: a shardable source with workers > 1 gets
 // the sharded backend through the Build front door.
 func TestBuildShardedUsesShards(t *testing.T) {
-	b, err := Build(context.Background(), testTable(t, 100), testSpec(t), 4)
+	b, err := Build(context.Background(), testTable(t, 100), testSpec(t), Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,14 +173,14 @@ func TestBuildShardedUsesShards(t *testing.T) {
 func TestBuildFusedMatchesTwoPass(t *testing.T) {
 	tab := testTable(t, 1_000)
 	spec := testSpec(t)
-	ref, err := Build(context.Background(), tab, spec, 1)
+	ref, err := Build(context.Background(), tab, spec, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var seen []dataset.Tuple
 	fused, err := BuildFused(context.Background(), tab, spec, func(tp dataset.Tuple) {
 		seen = append(seen, tp.Clone())
-	})
+	}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestBuildFusedMatchesTwoPass(t *testing.T) {
 func TestBuildFusedRejectsBadCriterion(t *testing.T) {
 	tab := dataset.NewTable(testSchema(t))
 	tab.MustAppend(dataset.Tuple{1, 1, 7}) // category code 7 out of 0..2
-	_, err := BuildFused(context.Background(), tab, testSpec(t), nil)
+	_, err := BuildFused(context.Background(), tab, testSpec(t), nil, Options{})
 	if err == nil || !strings.Contains(err.Error(), "out of range") {
 		t.Fatalf("err = %v, want criterion range error", err)
 	}
@@ -213,7 +213,7 @@ func TestBuildFusedRejectsBadCriterion(t *testing.T) {
 func TestBuildShardedCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := BuildSharded(ctx, testTable(t, 50_000), testSpec(t), 4); err == nil {
+	if _, err := BuildSharded(ctx, testTable(t, 50_000), testSpec(t), Options{Workers: 4}); err == nil {
 		t.Fatal("canceled sharded build returned nil error")
 	}
 }
@@ -223,7 +223,7 @@ func TestBuildShardedCancel(t *testing.T) {
 func TestPermuteSharded(t *testing.T) {
 	tab := testTable(t, 500)
 	spec := testSpec(t)
-	sh, err := BuildSharded(context.Background(), tab, spec, 3)
+	sh, err := BuildSharded(context.Background(), tab, spec, Options{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,11 +242,11 @@ func TestPermuteSharded(t *testing.T) {
 	if psh.Workers() != sh.Workers() {
 		t.Errorf("permuted Workers() = %d, want %d", psh.Workers(), sh.Workers())
 	}
-	want, err := binarray.PermuteX(sh.Merged(), order)
+	want, err := binarray.PermuteX(denseOf(t, sh), order)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(baBytes(t, psh.Merged()), baBytes(t, want)) {
+	if !bytes.Equal(baBytes(t, denseOf(t, psh)), baBytes(t, want)) {
 		t.Error("permuted sharded counts differ from permuted dense counts")
 	}
 	yOrder := make([]int, sh.NY())
@@ -260,7 +260,7 @@ func TestPermuteSharded(t *testing.T) {
 
 // TestShardedAddDelegates: the Adder extension lands in the merged array.
 func TestShardedAddDelegates(t *testing.T) {
-	sh, err := BuildSharded(context.Background(), testTable(t, 10), testSpec(t), 2)
+	sh, err := BuildSharded(context.Background(), testTable(t, 10), testSpec(t), Options{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,207 @@
+package counts
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"arcs/internal/binarray"
+	"arcs/internal/vfs"
+)
+
+// Kind names a count-backend implementation. The zero value is Auto:
+// pick from the memory budget and the expected occupancy.
+type Kind int
+
+const (
+	// Auto selects dense when the full grid fits the budget, sparse when
+	// the expected occupied cells fit, and spill otherwise.
+	Auto Kind = iota
+	// Dense is the contiguous in-memory array — the paper's BinArray and
+	// the byte-identity reference. Fastest per tuple; memory is
+	// nx×ny×(nseg+1)×4 bytes regardless of occupancy.
+	Dense
+	// Sparse is the hash-indexed slab for high-resolution mostly-empty
+	// grids: memory scales with occupied cells, not grid cells.
+	Sparse
+	// Spill is the external-sort on-disk backend: a bounded in-memory
+	// accumulator flushes sorted runs to disk and a final merge leaves a
+	// sorted record file served by binary search, so neither grid
+	// resolution nor dataset size is RAM-bound.
+	Spill
+)
+
+// String implements fmt.Stringer with the names ParseKind accepts.
+func (k Kind) String() string {
+	switch k {
+	case Auto:
+		return "auto"
+	case Dense:
+		return "dense"
+	case Sparse:
+		return "sparse"
+	case Spill:
+		return "spill"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// KindOf reports the kind of a built backend, unwrapping Sharded to
+// the inner backend the shards merged into. Unknown (out-of-tree)
+// backends report Auto.
+func KindOf(b Backend) Kind {
+	switch v := b.(type) {
+	case *Sharded:
+		return v.kind
+	case *binarray.BinArray:
+		return Dense
+	case *SparseArray:
+		return Sparse
+	case *SpillArray:
+		return Spill
+	default:
+		return Auto
+	}
+}
+
+// ParseKind parses a backend name as accepted by the -counts-backend
+// flags and job specs. The empty string means Auto.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return Auto, nil
+	case "dense":
+		return Dense, nil
+	case "sparse":
+		return Sparse, nil
+	case "spill", "disk":
+		return Spill, nil
+	default:
+		return Auto, fmt.Errorf("counts: unknown backend %q (want auto, dense, sparse or spill)", s)
+	}
+}
+
+// ParseBudget parses a -mem-budget flag value: a byte count with an
+// optional K/M/G/T suffix (binary multiples), "off"/"unlimited" for no
+// cap, or empty for the deprecated package default.
+func ParseBudget(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	switch s {
+	case "":
+		return 0, nil
+	case "off", "unlimited", "none":
+		return -1, nil
+	}
+	mult := int64(1)
+	trimmed := strings.TrimSuffix(s, "b")
+	if len(trimmed) > 0 {
+		switch trimmed[len(trimmed)-1] {
+		case 'k':
+			mult = 1 << 10
+		case 'm':
+			mult = 1 << 20
+		case 'g':
+			mult = 1 << 30
+		case 't':
+			mult = 1 << 40
+		}
+		if mult > 1 {
+			trimmed = strings.TrimSpace(trimmed[:len(trimmed)-1])
+		}
+	}
+	if mult == 1 {
+		trimmed = s
+	}
+	n, err := strconv.ParseInt(trimmed, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("counts: bad memory budget %q (want bytes, a K/M/G/T size, or off)", s)
+	}
+	if mult > 1 && n > (int64(^uint64(0)>>1))/mult {
+		return 0, fmt.Errorf("counts: memory budget %q overflows", s)
+	}
+	return n * mult, nil
+}
+
+// Options configures a count build: parallelism, backend choice and the
+// resources the choice is made against. The zero value reproduces the
+// historical behavior — sequential dense build under the deprecated
+// binarray.DefaultMemBudget.
+type Options struct {
+	// Workers shards the pass when > 1 and the source supports range
+	// sharding; counts are byte-identical at any worker count.
+	Workers int
+	// Kind pins a backend; Auto dispatches on MemBudget and occupancy.
+	Kind Kind
+	// MemBudget is the advisory cap in bytes for in-memory count state.
+	// 0 applies binarray.DefaultMemBudget (the deprecated global);
+	// negative means unlimited.
+	MemBudget int64
+	// SpillDir is where the spill backend keeps run and record files;
+	// empty uses the OS temp directory.
+	SpillDir string
+	// FS is the filesystem the spill backend writes through; nil uses
+	// the real one. The chaos suite injects faults here.
+	FS vfs.FS
+}
+
+// budget resolves the effective budget: the deprecated global for 0,
+// otherwise the plumbed value (negative = unlimited, normalized to -1).
+func (o Options) budget() int64 {
+	if o.MemBudget == 0 {
+		return binarray.DefaultMemBudget
+	}
+	if o.MemBudget < 0 {
+		return -1
+	}
+	return o.MemBudget
+}
+
+func (o Options) fs() vfs.FS {
+	if o.FS == nil {
+		return vfs.OSFS{}
+	}
+	return o.FS
+}
+
+// sparseBytesPerCell estimates the resident cost of one occupied cell
+// in the sparse backend: the count slab entry plus the hash-map entry
+// and the sorted-key cache. The map constant is deliberately generous —
+// Go map internals cost ~48 bytes per int64→int entry once load factor
+// and tophash overhead are amortized.
+func sparseBytesPerCell(nseg int) int64 {
+	return int64(nseg+1)*4 + 48 + 8
+}
+
+// selectKind is the Auto dispatch policy: dense while the full grid
+// fits the budget (it is the fastest and the reference), sparse while
+// the expected occupied cells fit, spill otherwise. srcLen is the
+// source size when known (occupancy can never exceed the tuple count)
+// and -1 for unbounded streams; an unlimited budget always picks dense.
+func selectKind(spec Spec, srcLen int64, budget int64) Kind {
+	if budget <= 0 {
+		return Dense
+	}
+	nx, ny := spec.XBinner.NumBins(), spec.YBinner.NumBins()
+	denseBytes, err := binarray.MemNeeded(nx, ny, spec.NSeg)
+	if err == nil && denseBytes <= budget {
+		return Dense
+	}
+	// Expected occupancy: every tuple could land in its own cell, but
+	// never more cells than the grid has or tuples exist.
+	cells := uint64(nx) * uint64(ny)
+	occ := int64(-1)
+	if cells <= uint64(1<<62) {
+		occ = int64(cells)
+	}
+	if srcLen >= 0 && (occ < 0 || srcLen < occ) {
+		occ = srcLen
+	}
+	if occ >= 0 {
+		perCell := sparseBytesPerCell(spec.NSeg)
+		if occ <= budget/perCell {
+			return Sparse
+		}
+	}
+	return Spill
+}

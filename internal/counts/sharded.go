@@ -2,6 +2,7 @@ package counts
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"arcs/internal/binarray"
@@ -10,26 +11,25 @@ import (
 
 // Sharded is a count backend built by a partitioned parallel ingest:
 // the source is split into disjoint range shards (dataset.Sharder),
-// each worker fills a private dense array with no shared mutable state,
-// and the shards are merged deterministically in shard order. Because
-// count merging is plain uint32 addition, the merged array is
-// byte-identical to a sequential single-pass build regardless of worker
-// count or scheduling. Reads delegate to the merged dense array, so the
+// each worker fills private count state with no shared mutation, and
+// the shards are merged deterministically in shard order. Because count
+// merging is saturating addition — associative and commutative — the
+// merged counts are byte-identical to a sequential single-pass build
+// regardless of worker count or scheduling, whichever backend kind the
+// workers filled. Reads delegate to the merged inner backend, so the
 // probe path pays nothing for having been built in parallel.
 type Sharded struct {
-	merged  *binarray.BinArray
+	inner   Backend
+	kind    Kind
 	workers int
 	// shardN records the tuples each worker ingested — build provenance
 	// for observability; not updated by later Adds.
 	shardN []uint64
 }
 
-// BuildSharded partitions src into `workers` range shards and fills one
-// private dense array per shard concurrently, then merges them in shard
-// order. The worker count is clamped to the source size for sized
-// sources; a canceled context aborts every worker and returns the
-// cancellation error.
-func BuildSharded(ctx context.Context, src dataset.Sharder, spec Spec, workers int) (*Sharded, error) {
+// makeShards clamps the worker count to the source size and cuts src
+// into that many range shards.
+func makeShards(src dataset.Sharder, workers int) ([]dataset.Source, int, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -45,18 +45,37 @@ func BuildSharded(ctx context.Context, src dataset.Sharder, spec Spec, workers i
 	for i := range shards {
 		sh, err := src.Shard(i, workers)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		shards[i] = sh
 	}
-	parts := make([]*binarray.BinArray, workers)
+	return shards, workers, nil
+}
+
+// BuildSharded partitions src into Options.Workers range shards and
+// fills private count state per shard concurrently, then merges in
+// shard order. The backend kind follows the same Options policy as
+// Build (each worker holds its own state, so Auto selects against the
+// per-worker budget share). A canceled context aborts every worker and
+// returns the cancellation error.
+func BuildSharded(ctx context.Context, src dataset.Sharder, spec Spec, opts Options) (*Sharded, error) {
+	shards, workers, err := makeShards(src, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	kind := resolveKind(spec, src, opts, workers)
+	if kind == Spill {
+		return buildShardedSpill(ctx, shards, spec, opts, workers)
+	}
+
+	parts := make([]Backend, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for i := range shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			parts[i], errs[i] = buildDense(ctx, shards[i], spec)
+			parts[i], errs[i] = buildOne(ctx, shards[i], spec, kind, opts)
 		}(i)
 	}
 	wg.Wait()
@@ -67,27 +86,109 @@ func BuildSharded(ctx context.Context, src dataset.Sharder, spec Spec, workers i
 			return nil, err
 		}
 	}
-	merged := parts[0]
 	shardN := make([]uint64, workers)
-	shardN[0] = parts[0].N()
+	for i, p := range parts {
+		shardN[i] = p.N()
+	}
+	merged := parts[0]
 	for i := 1; i < workers; i++ {
-		shardN[i] = parts[i].N()
-		if err := merged.Merge(parts[i]); err != nil {
+		if err := mergeInto(merged, parts[i]); err != nil {
 			return nil, err
 		}
 	}
-	return &Sharded{merged: merged, workers: workers, shardN: shardN}, nil
+	return &Sharded{inner: merged, kind: kind, workers: workers, shardN: shardN}, nil
 }
 
-// withMerged is the permute helper: same build provenance, new counts.
-func (s *Sharded) withMerged(m *binarray.BinArray) *Sharded {
-	return &Sharded{merged: m, workers: s.workers, shardN: s.shardN}
+// mergeInto folds src's counts into dst in place (dst and src must be
+// the same kind — BuildSharded guarantees it).
+func mergeInto(dst, src Backend) error {
+	switch d := dst.(type) {
+	case *binarray.BinArray:
+		s, ok := src.(*binarray.BinArray)
+		if !ok {
+			return fmt.Errorf("counts: cannot merge %T into dense array", src)
+		}
+		return d.Merge(s)
+	case *SparseArray:
+		s, ok := src.(*SparseArray)
+		if !ok {
+			return fmt.Errorf("counts: cannot merge %T into sparse array", src)
+		}
+		s.Cells(func(x, y int, cell []uint32) { d.addCell(x, y, cell) })
+		d.n += s.n
+		return nil
+	default:
+		return fmt.Errorf("counts: backend %T does not support merging", dst)
+	}
 }
 
-// Merged exposes the underlying dense array (read-only by convention) —
-// the seam equivalence tests use to compare byte-for-byte against a
+// buildShardedSpill runs the spill build per shard — each worker
+// accumulates and flushes its own sorted runs — then adopts every
+// worker's runs into one builder and merges them in a single external
+// pass. Run order cannot change the counts (saturating addition is
+// associative and commutative), so the result is byte-identical to a
+// sequential spill build, which is byte-identical to dense.
+func buildShardedSpill(ctx context.Context, shards []dataset.Source, spec Spec, opts Options, workers int) (*Sharded, error) {
+	builders := make([]*spillBuilder, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err := newSpillBuilder(spec.XBinner.NumBins(), spec.YBinner.NumBins(), spec.NSeg, opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			builders[i] = b
+			errs[i] = fillFrom(ctx, shards[i], spec, nil, b.Add)
+		}(i)
+	}
+	wg.Wait()
+	abortAll := func() {
+		for _, b := range builders {
+			if b != nil {
+				b.abort()
+			}
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			abortAll()
+			return nil, err
+		}
+	}
+	shardN := make([]uint64, workers)
+	for i, b := range builders {
+		shardN[i] = b.n
+	}
+	root := builders[0]
+	for i := 1; i < workers; i++ {
+		if err := root.mergeFrom(builders[i]); err != nil {
+			abortAll()
+			return nil, err
+		}
+	}
+	merged, err := root.finalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{inner: merged, kind: Spill, workers: workers, shardN: shardN}, nil
+}
+
+// withInner is the permute helper: same build provenance, new counts.
+func (s *Sharded) withInner(b Backend) *Sharded {
+	return &Sharded{inner: b, kind: s.kind, workers: s.workers, shardN: s.shardN}
+}
+
+// Inner exposes the merged backend (read-only by convention) — the
+// seam equivalence tests use to compare byte-for-byte against a
 // sequential build, and what snapshot serialization writes.
-func (s *Sharded) Merged() *binarray.BinArray { return s.merged }
+func (s *Sharded) Inner() Backend { return s.inner }
+
+// Kind reports the backend kind the workers filled.
+func (s *Sharded) Kind() Kind { return s.kind }
 
 // Workers reports how many shards the build used after clamping.
 func (s *Sharded) Workers() int { return s.workers }
@@ -95,48 +196,84 @@ func (s *Sharded) Workers() int { return s.workers }
 // ShardTuples reports the per-shard tuple counts of the build pass.
 func (s *Sharded) ShardTuples() []uint64 { return s.shardN }
 
-// Backend delegation to the merged dense array.
+// Backend delegation to the merged inner backend.
 
 // NX implements Backend.
-func (s *Sharded) NX() int { return s.merged.NX() }
+func (s *Sharded) NX() int { return s.inner.NX() }
 
 // NY implements Backend.
-func (s *Sharded) NY() int { return s.merged.NY() }
+func (s *Sharded) NY() int { return s.inner.NY() }
 
 // NSeg implements Backend.
-func (s *Sharded) NSeg() int { return s.merged.NSeg() }
+func (s *Sharded) NSeg() int { return s.inner.NSeg() }
 
 // N implements Backend.
-func (s *Sharded) N() uint64 { return s.merged.N() }
+func (s *Sharded) N() uint64 { return s.inner.N() }
 
 // Count implements Backend.
-func (s *Sharded) Count(x, y, seg int) uint32 { return s.merged.Count(x, y, seg) }
+func (s *Sharded) Count(x, y, seg int) uint32 { return s.inner.Count(x, y, seg) }
 
 // CellTotal implements Backend.
-func (s *Sharded) CellTotal(x, y int) uint32 { return s.merged.CellTotal(x, y) }
+func (s *Sharded) CellTotal(x, y int) uint32 { return s.inner.CellTotal(x, y) }
 
 // Support implements Backend.
-func (s *Sharded) Support(x, y, seg int) float64 { return s.merged.Support(x, y, seg) }
+func (s *Sharded) Support(x, y, seg int) float64 { return s.inner.Support(x, y, seg) }
 
 // Confidence implements Backend.
-func (s *Sharded) Confidence(x, y, seg int) float64 { return s.merged.Confidence(x, y, seg) }
+func (s *Sharded) Confidence(x, y, seg int) float64 { return s.inner.Confidence(x, y, seg) }
 
 // SegmentTotal implements Backend.
-func (s *Sharded) SegmentTotal(seg int) uint64 { return s.merged.SegmentTotal(seg) }
+func (s *Sharded) SegmentTotal(seg int) uint64 { return s.inner.SegmentTotal(seg) }
 
 // Occupied implements Backend.
 func (s *Sharded) Occupied(seg int, fn func(x, y int, segCount, cellTotal uint32)) {
-	s.merged.Occupied(seg, fn)
+	s.inner.Occupied(seg, fn)
 }
 
-// Add implements Adder: incremental tuples (core.Extend) land in the
-// merged array directly.
-func (s *Sharded) Add(x, y, seg int) { s.merged.Add(x, y, seg) }
+// Cells implements Backend.
+func (s *Sharded) Cells(fn func(x, y int, cell []uint32)) { s.inner.Cells(fn) }
+
+// Add implements Adder when the inner backend is mutable: incremental
+// tuples (core.Extend) land in the merged counts directly. Callers
+// must gate on AsAdder — a spill-backed Sharded has no mutable inner
+// and Add panics.
+func (s *Sharded) Add(x, y, seg int) {
+	a, ok := s.inner.(Adder)
+	if !ok {
+		panic(fmt.Sprintf("counts: sharded %s backend is immutable; gate Add on counts.AsAdder", s.kind))
+	}
+	a.Add(x, y, seg)
+}
 
 // Stats implements Sizer.
-func (s *Sharded) Stats() binarray.Stats { return s.merged.Stats() }
+func (s *Sharded) Stats() binarray.Stats {
+	if szr, ok := s.inner.(Sizer); ok {
+		return szr.Stats()
+	}
+	return binarray.Stats{Cells: s.inner.NX() * s.inner.NY()}
+}
+
+// PermuteX implements Permuter by permuting the inner backend and
+// keeping the build provenance.
+func (s *Sharded) PermuteX(order []int) (Backend, error) {
+	m, err := PermuteX(s.inner, order)
+	if err != nil {
+		return nil, err
+	}
+	return s.withInner(m), nil
+}
+
+// PermuteY implements Permuter for the y axis.
+func (s *Sharded) PermuteY(order []int) (Backend, error) {
+	m, err := PermuteY(s.inner, order)
+	if err != nil {
+		return nil, err
+	}
+	return s.withInner(m), nil
+}
 
 var (
-	_ Adder = (*Sharded)(nil)
-	_ Sizer = (*Sharded)(nil)
+	_ Adder    = (*Sharded)(nil)
+	_ Sizer    = (*Sharded)(nil)
+	_ Permuter = (*Sharded)(nil)
 )

@@ -1,0 +1,73 @@
+package counts
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+
+	"arcs/internal/binarray"
+)
+
+// snapMagic mirrors the dense serialization header (binarray/io.go):
+// Snapshot promises byte-for-byte the stream binarray.Write would
+// produce for equal counts, whatever backend built them. That promise
+// is what makes cross-backend equivalence cheap to prove — the test
+// harness compares snapshots, not cells.
+var snapMagic = []byte("ARCSBA1\n")
+
+// Snapshot serializes any backend in the dense BinArray wire format:
+// magic, nx/ny/nseg/n header, then the full row-major count array with
+// empty cells as zeros. For a dense (or dense-sharded) backend this is
+// exactly Write; other backends stream their occupied cells into the
+// gaps, so even a spill-backed grid snapshots without materializing
+// densely in memory.
+func Snapshot(b Backend, w io.Writer) error {
+	if sh, ok := b.(*Sharded); ok {
+		b = sh.inner
+	}
+	if d, ok := b.(*binarray.BinArray); ok {
+		return d.Write(w)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(snapMagic); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(b.NX()), uint64(b.NY()), uint64(b.NSeg()), b.N()} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	stride := b.NSeg() + 1
+	zeros := make([]byte, stride*4)
+	cellBuf := make([]byte, stride*4)
+	var werr error
+	writeZeroCells := func(n int64) {
+		for ; n > 0 && werr == nil; n-- {
+			_, werr = bw.Write(zeros)
+		}
+	}
+	next := int64(0) // row-major index of the next cell to emit
+	b.Cells(func(x, y int, cell []uint32) {
+		if werr != nil {
+			return
+		}
+		idx := int64(x)*int64(b.NY()) + int64(y)
+		writeZeroCells(idx - next)
+		if werr != nil {
+			return
+		}
+		for k, v := range cell {
+			binary.LittleEndian.PutUint32(cellBuf[k*4:], v)
+		}
+		_, werr = bw.Write(cellBuf)
+		next = idx + 1
+	})
+	if werr != nil {
+		return werr
+	}
+	writeZeroCells(int64(b.NX())*int64(b.NY()) - next)
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,129 @@
+package counts
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+
+	"arcs/internal/faultinject"
+	"arcs/internal/vfs"
+)
+
+// The spill chaos suite drives the spill backend through scripted
+// filesystem faults and asserts its crash contract: any fault during
+// the build fails cleanly with an error and no leftover files, and a
+// read fault after the build panics rather than serving a zero count
+// as data. The small test table produces one run file, so the fault
+// schedule addresses exact protocol steps: write #1 / sync #1 are the
+// run flush, write #2 / sync #2 the final segment, read #1 the merge
+// cursor, read #2 the first post-build positioned read.
+
+// chaosBuild runs a pinned spill build through a fault schedule.
+func chaosBuild(t *testing.T, sch faultinject.FSSchedule) (Backend, string, error) {
+	t.Helper()
+	dir := t.TempDir()
+	b, err := Build(context.Background(), testTable(t, 2_000), testSpec(t),
+		Options{Kind: Spill, SpillDir: dir, FS: faultinject.WrapFS(vfs.OSFS{}, sch), MemBudget: -1})
+	return b, dir, err
+}
+
+// assertCleanFailure checks the build surfaced an error wrapping want,
+// returned no backend, and removed every spill file it created.
+func assertCleanFailure(t *testing.T, b Backend, dir string, err, want error) {
+	t.Helper()
+	if err == nil {
+		closeBackend(b)
+		t.Fatal("build succeeded through the injected fault")
+	}
+	if want != nil && !errors.Is(err, want) {
+		t.Errorf("build error = %v, want %v in the chain", err, want)
+	}
+	if b != nil {
+		t.Errorf("backend %T returned alongside error", b)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, e := range entries {
+		t.Errorf("failed build left %s behind in the spill dir", e.Name())
+	}
+}
+
+func TestSpillChaosRunWriteENOSPC(t *testing.T) {
+	b, dir, err := chaosBuild(t, faultinject.FSSchedule{FailWriteAt: 1})
+	assertCleanFailure(t, b, dir, err, syscall.ENOSPC)
+}
+
+func TestSpillChaosSegmentTornWrite(t *testing.T) {
+	b, dir, err := chaosBuild(t, faultinject.FSSchedule{TornWriteAt: 2})
+	assertCleanFailure(t, b, dir, err, syscall.ENOSPC)
+}
+
+func TestSpillChaosRunFsyncFault(t *testing.T) {
+	b, dir, err := chaosBuild(t, faultinject.FSSchedule{FailSyncAt: 1})
+	assertCleanFailure(t, b, dir, err, syscall.EIO)
+}
+
+func TestSpillChaosSegmentFsyncFault(t *testing.T) {
+	b, dir, err := chaosBuild(t, faultinject.FSSchedule{FailSyncAt: 2})
+	assertCleanFailure(t, b, dir, err, syscall.EIO)
+}
+
+func TestSpillChaosMergeReadFault(t *testing.T) {
+	b, dir, err := chaosBuild(t, faultinject.FSSchedule{FailReadAt: 1})
+	assertCleanFailure(t, b, dir, err, syscall.EIO)
+}
+
+// TestSpillChaosMergeShortRead injects the hardest corruption: the
+// merge cursor's read silently returns half the requested bytes with
+// no error. Record-count validation must turn that into a hard build
+// error, never into missing counts.
+func TestSpillChaosMergeShortRead(t *testing.T) {
+	b, dir, err := chaosBuild(t, faultinject.FSSchedule{ShortReadAt: 1})
+	assertCleanFailure(t, b, dir, err, nil)
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("short merge read surfaced as %q, want a truncation error", err)
+	}
+}
+
+// TestSpillChaosPostBuildReadPanics schedules the read fault one step
+// past the merge: the build succeeds, then the first probe read hits
+// EIO. The backend must panic — the engine's per-probe panic isolation
+// contains it — instead of serving a zero count for an occupied cell.
+func TestSpillChaosPostBuildReadPanics(t *testing.T) {
+	b, _, err := chaosBuild(t, faultinject.FSSchedule{FailReadAt: 2})
+	if err != nil {
+		t.Fatalf("build failed before the scheduled post-build fault: %v", err)
+	}
+	defer closeBackend(b)
+	sa, ok := b.(*SpillArray)
+	if !ok {
+		t.Fatalf("backend is %T, want *SpillArray", b)
+	}
+	if len(sa.idx) == 0 {
+		t.Fatal("spill backend has no occupied cells")
+	}
+	// find consults only the in-RAM index, so this picks an occupied
+	// cell without spending the scheduled read.
+	x, y := int(sa.idx[0]/int64(sa.ny)), int(sa.idx[0]%int64(sa.ny))
+	panicked := func() (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+			}
+		}()
+		_ = sa.CellTotal(x, y)
+		return ""
+	}()
+	if panicked == "" {
+		t.Fatal("post-build read fault served a count instead of panicking")
+	}
+	if !strings.Contains(panicked, "refusing to serve corrupt counts") {
+		t.Errorf("panic message %q lacks the corrupt-counts marker", panicked)
+	}
+}

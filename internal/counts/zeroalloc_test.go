@@ -60,7 +60,7 @@ func TestIngestZeroAllocPerTuple(t *testing.T) {
 	for _, src := range sources {
 		build := func(s dataset.Source) func() {
 			return func() {
-				if _, err := Build(ctx, s, spec, 1); err != nil {
+				if _, err := Build(ctx, s, spec, Options{Workers: 1}); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -91,7 +91,7 @@ func TestFusedZeroAllocPerTuple(t *testing.T) {
 	small, big := zeroAllocFuncSource(1_000), zeroAllocFuncSource(16_000)
 	build := func(s dataset.Source) func() {
 		return func() {
-			if _, err := BuildFused(ctx, s, spec, nil); err != nil {
+			if _, err := BuildFused(ctx, s, spec, nil, Options{}); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"time"
 
-	"arcs/internal/binarray"
 	"arcs/internal/binning"
 	"arcs/internal/core"
 	"arcs/internal/counts"
@@ -144,18 +143,20 @@ func IngestStreamSpec(n, bins int) (*dataset.FuncSource, counts.Spec, error) {
 }
 
 // IngestBench measures the counting pass at each workload size: the
-// sequential dense build, then the sharded build at each worker count,
-// verifying byte-identity of every variant against the dense baseline
-// and locating the dense-vs-sharded crossover across sizes. Tuples are
-// streamed (IngestStreamSpec), so memory stays constant no matter the
-// size. A canceled context stops between measurements and returns the
-// completed rows as a partial report alongside the cancellation error,
-// so long runs degrade to a usable partial trajectory append.
-func IngestBench(ctx context.Context, sizes []int, bins int, workerCounts []int) (*IngestReport, error) {
+// sequential dense build, then each alternative backend (sparse,
+// spill) sequentially, then the sharded dense build at each worker
+// count — verifying byte-identity of every variant's snapshot against
+// the dense baseline and locating the dense-vs-sharded crossover
+// across sizes. Tuples are streamed (IngestStreamSpec), so memory
+// stays constant no matter the size. A canceled context stops between
+// measurements and returns the completed rows as a partial report
+// alongside the cancellation error, so long runs degrade to a usable
+// partial trajectory append.
+func IngestBench(ctx context.Context, sizes []int, bins int, workerCounts []int, backends []counts.Kind) (*IngestReport, error) {
 	report := &IngestReport{Experiment: "ingest", Identical: true}
-	snapshot := func(ba *binarray.BinArray) ([]byte, error) {
+	snapshot := func(b counts.Backend) ([]byte, error) {
 		var buf bytes.Buffer
-		if err := ba.Write(&buf); err != nil {
+		if err := counts.Snapshot(b, &buf); err != nil {
 			return nil, err
 		}
 		return buf.Bytes(), nil
@@ -173,7 +174,7 @@ func IngestBench(ctx context.Context, sizes []int, bins int, workerCounts []int)
 			return nil, err
 		}
 		start := time.Now()
-		dense, err := counts.Build(ctx, src, spec, 1)
+		dense, err := counts.Build(ctx, src, spec, counts.Options{Kind: counts.Dense, MemBudget: -1})
 		if err != nil {
 			if ctx.Err() != nil {
 				return finishPartial(ctx.Err())
@@ -181,7 +182,7 @@ func IngestBench(ctx context.Context, sizes []int, bins int, workerCounts []int)
 			return nil, err
 		}
 		denseSecs := time.Since(start).Seconds()
-		ref, err := snapshot(dense.(*binarray.BinArray))
+		ref, err := snapshot(dense)
 		if err != nil {
 			return nil, err
 		}
@@ -192,12 +193,18 @@ func IngestBench(ctx context.Context, sizes []int, bins int, workerCounts []int)
 				TuplesPerS: float64(n) / denseSecs, SpeedupVsDense: 1,
 			}},
 		}
-		for _, w := range workerCounts {
+		// The backend dimension: the same pass through each alternative
+		// substrate, sequential so the comparison isolates the backend's
+		// per-tuple cost from sharding effects.
+		for _, kind := range backends {
+			if kind == counts.Dense || kind == counts.Auto {
+				continue
+			}
 			if err := ctx.Err(); err != nil {
 				return finishPartial(err)
 			}
 			start := time.Now()
-			sh, err := counts.BuildSharded(ctx, src, spec, w)
+			alt, err := counts.Build(ctx, src, spec, counts.Options{Kind: kind, MemBudget: -1})
 			if err != nil {
 				if ctx.Err() != nil {
 					return finishPartial(ctx.Err())
@@ -205,7 +212,37 @@ func IngestBench(ctx context.Context, sizes []int, bins int, workerCounts []int)
 				return nil, err
 			}
 			secs := time.Since(start).Seconds()
-			got, err := snapshot(sh.Merged())
+			got, err := snapshot(alt)
+			if err != nil {
+				return nil, err
+			}
+			if c, ok := alt.(interface{ Close() error }); ok {
+				_ = c.Close() // spill backend: release fd + disk promptly
+			}
+			if !bytes.Equal(got, ref) {
+				row.Identical = false
+				report.Identical = false
+			}
+			row.Variants = append(row.Variants, IngestVariant{
+				Name: kind.String(), Workers: 1, Seconds: secs,
+				TuplesPerS:     float64(n) / secs,
+				SpeedupVsDense: denseSecs / secs,
+			})
+		}
+		for _, w := range workerCounts {
+			if err := ctx.Err(); err != nil {
+				return finishPartial(err)
+			}
+			start := time.Now()
+			sh, err := counts.BuildSharded(ctx, src, spec, counts.Options{Workers: w, Kind: counts.Dense, MemBudget: -1})
+			if err != nil {
+				if ctx.Err() != nil {
+					return finishPartial(ctx.Err())
+				}
+				return nil, err
+			}
+			secs := time.Since(start).Seconds()
+			got, err := snapshot(sh)
 			if err != nil {
 				return nil, err
 			}

@@ -5,18 +5,21 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"arcs/internal/counts"
 )
 
 // TestIngestBenchSmall: a small multi-size run produces one row per
-// size with the dense baseline plus one variant per worker count, all
-// byte-identical, with sane throughputs.
+// size with the dense baseline, one variant per swept backend, and one
+// variant per worker count — all byte-identical, with sane throughputs.
 func TestIngestBenchSmall(t *testing.T) {
-	r, err := IngestBench(context.Background(), []int{10_000, 20_000}, 30, []int{2, 4})
+	r, err := IngestBench(context.Background(), []int{10_000, 20_000}, 30, []int{2, 4},
+		[]counts.Kind{counts.Sparse, counts.Spill})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !r.Identical {
-		t.Fatal("sharded counting pass diverged from the dense build")
+		t.Fatal("a counting-pass variant diverged from the dense build")
 	}
 	if r.Partial {
 		t.Fatal("uncanceled run marked partial")
@@ -24,26 +27,27 @@ func TestIngestBenchSmall(t *testing.T) {
 	if len(r.Sizes) != 2 {
 		t.Fatalf("%d size rows, want 2", len(r.Sizes))
 	}
+	want := []string{"dense", "sparse", "spill", "sharded-2", "sharded-4"}
 	for _, row := range r.Sizes {
-		if len(row.Variants) != 3 {
-			t.Fatalf("size %d: %d variants, want dense + 2 sharded", row.Tuples, len(row.Variants))
+		if len(row.Variants) != len(want) {
+			t.Fatalf("size %d: %d variants, want %d (dense + 2 backends + 2 sharded)",
+				row.Tuples, len(row.Variants), len(want))
 		}
-		if row.Variants[0].Name != "dense" || row.Variants[1].Name != "sharded-2" || row.Variants[2].Name != "sharded-4" {
-			t.Fatalf("size %d variant names = %v", row.Tuples,
-				[]string{row.Variants[0].Name, row.Variants[1].Name, row.Variants[2].Name})
-		}
-		for _, v := range row.Variants {
+		for i, v := range row.Variants {
+			if v.Name != want[i] {
+				t.Fatalf("size %d variant %d = %q, want %q", row.Tuples, i, v.Name, want[i])
+			}
 			if v.Seconds <= 0 || v.TuplesPerS <= 0 || v.SpeedupVsDense <= 0 {
 				t.Errorf("size %d variant %s has non-positive measurements: %+v", row.Tuples, v.Name, v)
 			}
 		}
 	}
 	// Legacy top-level fields mirror the largest size.
-	if r.Tuples != 20_000 || len(r.Variants) != 3 {
-		t.Errorf("top-level mirror = %d tuples, %d variants; want 20000, 3", r.Tuples, len(r.Variants))
+	if r.Tuples != 20_000 || len(r.Variants) != len(want) {
+		t.Errorf("top-level mirror = %d tuples, %d variants; want 20000, %d", r.Tuples, len(r.Variants), len(want))
 	}
 	out := RenderIngest(r)
-	if !strings.Contains(out, "sharded-4") || !strings.Contains(out, "crossover") {
+	if !strings.Contains(out, "sharded-4") || !strings.Contains(out, "sparse") || !strings.Contains(out, "crossover") {
 		t.Errorf("rendered report missing variant row or crossover line:\n%s", out)
 	}
 }
@@ -53,7 +57,7 @@ func TestIngestBenchSmall(t *testing.T) {
 func TestIngestBenchCanceled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	r, err := IngestBench(ctx, []int{10_000}, 30, []int{2})
+	r, err := IngestBench(ctx, []int{10_000}, 30, []int{2}, nil)
 	if err == nil {
 		t.Fatal("canceled bench returned nil error")
 	}

@@ -7,7 +7,7 @@ import (
 	"sync"
 	"syscall"
 
-	"arcs/internal/segment/registry"
+	"arcs/internal/vfs"
 )
 
 // FSSchedule scripts filesystem faults by global operation count, so a
@@ -27,11 +27,12 @@ type FSSchedule struct {
 	// FailRenameAt makes the nth Rename call fail with ENOSPC, leaving
 	// the temp file in place like a crash between write and commit.
 	FailRenameAt int
-	// FailReadAt makes the nth ReadFile call fail with EIO.
+	// FailReadAt makes the nth read call (ReadFile or ReaderAt.ReadAt —
+	// the counter is shared) fail with EIO.
 	FailReadAt int
-	// ShortReadAt makes the nth ReadFile return only the first half of
-	// the file — a truncated read with no error, the hardest corruption
-	// to catch without checksums.
+	// ShortReadAt makes the nth read call return only the first half of
+	// the requested bytes — a truncated read with no error, the hardest
+	// corruption to catch without length validation.
 	ShortReadAt int
 }
 
@@ -45,11 +46,11 @@ type FSStats struct {
 	ShortReads  int
 }
 
-// FaultFS wraps a registry.FS with the schedule. Safe for concurrent
-// use; the operation counters are shared across files so schedules
-// address protocol steps, not per-file positions.
+// FaultFS wraps a vfs.FS with the schedule. Safe for concurrent use;
+// the operation counters are shared across files so schedules address
+// protocol steps, not per-file positions.
 type FaultFS struct {
-	inner registry.FS
+	inner vfs.FS
 	sch   FSSchedule
 
 	mu      sync.Mutex
@@ -62,9 +63,9 @@ type FaultFS struct {
 
 // WrapFS wraps inner (nil means the real filesystem) with the fault
 // schedule.
-func WrapFS(inner registry.FS, sch FSSchedule) *FaultFS {
+func WrapFS(inner vfs.FS, sch FSSchedule) *FaultFS {
 	if inner == nil {
-		inner = registry.OSFS{}
+		inner = vfs.OSFS{}
 	}
 	return &FaultFS{inner: inner, sch: sch}
 }
@@ -76,21 +77,14 @@ func (f *FaultFS) Stats() FSStats {
 	return f.stats
 }
 
-// MkdirAll implements registry.FS.
-func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
-	return f.inner.MkdirAll(path, perm)
-}
-
-// ReadDir implements registry.FS.
-func (f *FaultFS) ReadDir(dir string) ([]fs.DirEntry, error) { return f.inner.ReadDir(dir) }
-
-// ReadFile implements registry.FS with read faults applied.
-func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+// nextRead advances the shared read counter and reports whether this
+// read should fail or come back short.
+func (f *FaultFS) nextRead() (fail, short bool) {
 	f.mu.Lock()
 	f.reads++
 	n := f.reads
-	fail := f.sch.FailReadAt > 0 && n == f.sch.FailReadAt
-	short := f.sch.ShortReadAt > 0 && n == f.sch.ShortReadAt
+	fail = f.sch.FailReadAt > 0 && n == f.sch.FailReadAt
+	short = f.sch.ShortReadAt > 0 && n == f.sch.ShortReadAt
 	if fail {
 		f.stats.ReadFails++
 	}
@@ -98,6 +92,20 @@ func (f *FaultFS) ReadFile(name string) ([]byte, error) {
 		f.stats.ShortReads++
 	}
 	f.mu.Unlock()
+	return fail, short
+}
+
+// MkdirAll implements vfs.FS.
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+// ReadDir implements vfs.FS.
+func (f *FaultFS) ReadDir(dir string) ([]fs.DirEntry, error) { return f.inner.ReadDir(dir) }
+
+// ReadFile implements vfs.FS with read faults applied.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	fail, short := f.nextRead()
 	if fail {
 		return nil, fmt.Errorf("faultinject: read %s: %w", name, syscall.EIO)
 	}
@@ -111,9 +119,9 @@ func (f *FaultFS) ReadFile(name string) ([]byte, error) {
 	return raw, nil
 }
 
-// Create implements registry.FS, returning files whose writes and
-// syncs go through the schedule.
-func (f *FaultFS) Create(name string) (registry.File, error) {
+// Create implements vfs.FS, returning files whose writes and syncs go
+// through the schedule.
+func (f *FaultFS) Create(name string) (vfs.File, error) {
 	file, err := f.inner.Create(name)
 	if err != nil {
 		return nil, err
@@ -121,9 +129,9 @@ func (f *FaultFS) Create(name string) (registry.File, error) {
 	return &faultFile{fs: f, inner: file}, nil
 }
 
-// Open implements registry.FS. Opened files share the same write/sync
+// Open implements vfs.FS. Opened files share the same write/sync
 // counters as created ones.
-func (f *FaultFS) Open(name string) (registry.File, error) {
+func (f *FaultFS) Open(name string) (vfs.File, error) {
 	file, err := f.inner.Open(name)
 	if err != nil {
 		return nil, err
@@ -131,7 +139,22 @@ func (f *FaultFS) Open(name string) (registry.File, error) {
 	return &faultFile{fs: f, inner: file}, nil
 }
 
-// Rename implements registry.FS with rename faults applied.
+// OpenReaderAt implements vfs.ReaderAtOpener: positioned reads share
+// the ReadFile fault counter, so one schedule addresses the whole read
+// side. An inner FS without the extension reports a plain error.
+func (f *FaultFS) OpenReaderAt(name string) (vfs.ReaderAtFile, error) {
+	op, ok := f.inner.(vfs.ReaderAtOpener)
+	if !ok {
+		return nil, fmt.Errorf("faultinject: inner FS %T does not support positioned reads", f.inner)
+	}
+	r, err := op.OpenReaderAt(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultReaderAt{fs: f, inner: r}, nil
+}
+
+// Rename implements vfs.FS with rename faults applied.
 func (f *FaultFS) Rename(oldpath, newpath string) error {
 	f.mu.Lock()
 	f.renames++
@@ -146,16 +169,16 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 	return f.inner.Rename(oldpath, newpath)
 }
 
-// Remove implements registry.FS.
+// Remove implements vfs.FS.
 func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
 
 // faultFile applies the write/sync schedule to one open file.
 type faultFile struct {
 	fs    *FaultFS
-	inner registry.File
+	inner vfs.File
 }
 
-// Write implements registry.File with ENOSPC and torn-write faults.
+// Write implements vfs.File with ENOSPC and torn-write faults.
 func (f *faultFile) Write(p []byte) (int, error) {
 	f.fs.mu.Lock()
 	f.fs.writes++
@@ -179,7 +202,7 @@ func (f *faultFile) Write(p []byte) (int, error) {
 	return f.inner.Write(p)
 }
 
-// Sync implements registry.File with scheduled fsync failures.
+// Sync implements vfs.File with scheduled fsync failures.
 func (f *faultFile) Sync() error {
 	f.fs.mu.Lock()
 	f.fs.syncs++
@@ -194,5 +217,34 @@ func (f *faultFile) Sync() error {
 	return f.inner.Sync()
 }
 
-// Close implements registry.File.
+// Close implements vfs.File.
 func (f *faultFile) Close() error { return f.inner.Close() }
+
+// faultReaderAt applies the read schedule to one positioned reader.
+type faultReaderAt struct {
+	fs    *FaultFS
+	inner vfs.ReaderAtFile
+}
+
+// ReadAt implements io.ReaderAt with EIO and silent-short-read faults.
+func (r *faultReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	fail, short := r.fs.nextRead()
+	if fail {
+		return 0, fmt.Errorf("faultinject: read at %d: %w", off, syscall.EIO)
+	}
+	if short {
+		n, err := r.inner.ReadAt(p[:len(p)/2], off)
+		if err != nil {
+			return n, err
+		}
+		// A short positioned read must surface as io.EOF-style truncation
+		// from the caller's perspective — report success for fewer bytes.
+		return n, nil
+	}
+	return r.inner.ReadAt(p, off)
+}
+
+// Close implements io.Closer.
+func (r *faultReaderAt) Close() error { return r.inner.Close() }
+
+var _ vfs.ReaderAtOpener = (*FaultFS)(nil)

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"arcs/internal/core"
+	"arcs/internal/counts"
 	"arcs/internal/dataset"
 	"arcs/internal/obs"
 	"arcs/internal/optimizer"
@@ -66,6 +67,15 @@ type JobSpec struct {
 
 	// IngestWorkers shards the counting pass (in-memory sources only).
 	IngestWorkers int `json:"ingest_workers,omitempty"`
+	// MemBudget is the count-substrate memory budget for this run:
+	// bytes with an optional K/M/G/T suffix, or "off" for unlimited.
+	// Empty inherits the daemon default (-mem-budget flag).
+	MemBudget string `json:"mem_budget,omitempty"`
+	// CountsBackend pins a count backend for this run: auto, dense,
+	// sparse or spill. Empty inherits the daemon default
+	// (-counts-backend flag). The selected backend and its footprint
+	// come back in each result's "counts" block.
+	CountsBackend string `json:"counts_backend,omitempty"`
 	// TimeoutSec bounds the run; on expiry it degrades to the
 	// best-so-far result exactly like the CLI's -timeout.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
@@ -145,15 +155,38 @@ func (j *JobSpec) validate(csvRoot string) error {
 	default:
 		return fmt.Errorf("unknown smoothing %q (want binary, off, weighted or morphological)", j.Smoothing)
 	}
+	if _, err := counts.ParseBudget(j.MemBudget); err != nil {
+		return fmt.Errorf("mem_budget: %w", err)
+	}
+	if _, err := counts.ParseKind(j.CountsBackend); err != nil {
+		return fmt.Errorf("counts_backend: %w", err)
+	}
 	if j.TimeoutSec < 0 {
 		return errors.New("timeout_sec must be non-negative")
 	}
 	return nil
 }
 
+// countsDefaults are the daemon-wide count-substrate settings applied
+// to specs that do not choose their own.
+type countsDefaults struct {
+	memBudget int64
+	backend   string
+	spillDir  string
+}
+
 // coreConfig maps the spec onto a core.Config for the given run ID and
-// observer.
-func (j *JobSpec) coreConfig(runID string, observer *obs.Observer) core.Config {
+// observer; def fills the count-substrate knobs the spec leaves unset.
+func (j *JobSpec) coreConfig(runID string, observer *obs.Observer, def countsDefaults) core.Config {
+	memBudget := def.memBudget
+	// validate already vetted both fields; parse errors cannot reach here.
+	if b, err := counts.ParseBudget(j.MemBudget); err == nil && b != 0 {
+		memBudget = b
+	}
+	backend := j.CountsBackend
+	if backend == "" {
+		backend = def.backend
+	}
 	cfg := core.Config{
 		XAttr: j.X, YAttr: j.Y,
 		CritAttr: j.Crit, CritValue: j.Value,
@@ -163,6 +196,9 @@ func (j *JobSpec) coreConfig(runID string, observer *obs.Observer) core.Config {
 		InterestLift:       j.Lift,
 		Seed:               j.Seed,
 		IngestWorkers:      j.IngestWorkers,
+		MemBudget:          memBudget,
+		CountsBackend:      backend,
+		SpillDir:           def.spillDir,
 		Walk:               optimizer.ThresholdWalk{},
 		RunID:              runID,
 		Observer:           observer,
@@ -384,7 +420,8 @@ func (s *Server) execute(ctx context.Context, r *Run, observer *obs.Observer) {
 		if cleanup != nil {
 			defer cleanup()
 		}
-		sys, err := core.NewContext(ctx, src, spec.coreConfig(r.ID, observer))
+		sys, err := core.NewContext(ctx, src, spec.coreConfig(r.ID, observer,
+			countsDefaults{memBudget: s.defMemBudget, backend: s.defBackend, spillDir: s.spillDir}))
 		if err != nil {
 			runErr = err
 			return

@@ -66,6 +66,19 @@ type Options struct {
 	// ApplyBreakerCooldown is how long a tripped breaker holds before
 	// half-opening (default 5s).
 	ApplyBreakerCooldown time.Duration
+
+	// MemBudget is the daemon-wide default count-substrate memory budget
+	// in bytes for runs whose spec does not set mem_budget (0 keeps the
+	// package default, negative means unlimited; see core.Config).
+	MemBudget int64
+	// CountsBackend is the daemon-wide default count backend ("auto",
+	// "dense", "sparse", "spill") for runs whose spec does not set
+	// counts_backend.
+	CountsBackend string
+	// SpillDir is where spill-backend runs keep their on-disk state;
+	// empty uses the OS temp directory. Deliberately not exposed per
+	// job: the spec would otherwise name arbitrary server paths.
+	SpillDir string
 }
 
 // Server is the arcsd HTTP surface. Construct with New, mount
@@ -80,6 +93,12 @@ type Server struct {
 	subBuf    int
 	maxRuns   int
 	qualityN  int
+
+	// Daemon-wide count-substrate defaults, applied to specs that do
+	// not choose their own (see JobSpec.coreConfig).
+	defMemBudget int64
+	defBackend   string
+	spillDir     string
 
 	ready atomic.Bool
 
@@ -165,6 +184,10 @@ func New(opts Options) *Server {
 		maxRuns:   opts.MaxRuns,
 		qualityN:  opts.QualityTestN,
 		runs:      make(map[string]*Run),
+
+		defMemBudget: opts.MemBudget,
+		defBackend:   opts.CountsBackend,
+		spillDir:     opts.SpillDir,
 
 		mRunsStarted:  opts.Registry.Counter("serve_runs_started_total"),
 		mRunsDegraded: opts.Registry.Counter("serve_runs_degraded_total"),

@@ -67,6 +67,10 @@ type jsonResult struct {
 	FalseNegatives int        `json:"false_negatives"`
 	SampleSize     int        `json:"sample_size"`
 	ErrorRatePct   float64    `json:"error_rate_pct"`
+	// Counts identifies the count backend the run read from (dense,
+	// sparse or spill) and its memory/disk footprint. Omitted on
+	// results predating the backend refactor (empty backend name).
+	Counts *core.CountsInfo `json:"counts,omitempty"`
 }
 
 func toJSONRule(r rules.ClusteredRule) jsonRule {
@@ -97,6 +101,10 @@ func JSONResult(res *core.Result) any {
 	}
 	for _, r := range res.Rules {
 		doc.Rules = append(doc.Rules, toJSONRule(r))
+	}
+	if res.Counts.Backend != "" {
+		c := res.Counts
+		doc.Counts = &c
 	}
 	return doc
 }

@@ -1,59 +1,18 @@
 package registry
 
-import (
-	"io"
-	"io/fs"
-	"os"
-)
+import "arcs/internal/vfs"
 
-// FS is the filesystem surface the registry publishes through. It is an
-// interface for the same reason dataset.Source is: the chaos suite
-// wraps the real implementation with internal/faultinject to script
-// torn writes, ENOSPC and read errors at exact call positions.
-// Production code always uses OSFS.
-type FS interface {
-	MkdirAll(path string, perm os.FileMode) error
-	ReadDir(dir string) ([]fs.DirEntry, error)
-	ReadFile(name string) ([]byte, error)
-	// Create opens name for writing (O_WRONLY|O_CREATE|O_TRUNC).
-	Create(name string) (File, error)
-	// Open opens name read-only; the registry uses it to fsync
-	// directories after renames.
-	Open(name string) (File, error)
-	Rename(oldpath, newpath string) error
-	Remove(name string) error
-}
+// The registry's filesystem seam moved to internal/vfs when the
+// spill-to-disk count backend started sharing it; these aliases keep the
+// registry's public surface (and every chaos test written against it)
+// unchanged. See vfs for the interface contract.
+
+// FS is the filesystem surface the registry publishes through.
+type FS = vfs.FS
 
 // File is the subset of *os.File the registry needs: sequential write,
 // durability, close.
-type File interface {
-	io.Writer
-	Sync() error
-	Close() error
-}
+type File = vfs.File
 
 // OSFS is the real filesystem.
-type OSFS struct{}
-
-// MkdirAll implements FS.
-func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
-
-// ReadDir implements FS.
-func (OSFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
-
-// ReadFile implements FS.
-func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
-
-// Create implements FS.
-func (OSFS) Create(name string) (File, error) {
-	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-}
-
-// Open implements FS.
-func (OSFS) Open(name string) (File, error) { return os.Open(name) }
-
-// Rename implements FS.
-func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
-
-// Remove implements FS.
-func (OSFS) Remove(name string) error { return os.Remove(name) }
+type OSFS = vfs.OSFS
